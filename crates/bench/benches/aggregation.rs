@@ -1,0 +1,60 @@
+//! Criterion benches of the CPU aggregation primitives: index-driven
+//! scatter/gather (baseline) versus the banded path layout (MEGA). The CPU
+//! shows the same locality effect the GPU simulator models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mega_core::{preprocess, MegaConfig};
+use mega_graph::generate;
+use mega_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FEAT: usize = 64;
+
+fn bench_gather_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather");
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generate::barabasi_albert(2000, 4, &mut rng).unwrap();
+    let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
+    let n = g.node_count();
+    let feats = Tensor::full(n, FEAT, 1.0);
+
+    // Baseline: gather per adjacency slot (index-driven).
+    let mut slot_src = Vec::new();
+    for v in 0..n {
+        for &u in g.neighbors(v) {
+            slot_src.push(u);
+        }
+    }
+    group.bench_function(BenchmarkId::new("scattered", "ba-2000"), |b| {
+        b.iter(|| feats.gather_rows(&slot_src))
+    });
+
+    // MEGA: gather in path order (sequential).
+    let path: Vec<usize> = schedule.gather_index().to_vec();
+    group.bench_function(BenchmarkId::new("path-ordered", "ba-2000"), |b| {
+        b.iter(|| feats.gather_rows(&path))
+    });
+    group.finish();
+}
+
+fn bench_scatter_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatter_add");
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = generate::barabasi_albert(2000, 4, &mut rng).unwrap();
+    let n = g.node_count();
+    let mut slot_dst = Vec::new();
+    for v in 0..n {
+        for _ in g.neighbors(v) {
+            slot_dst.push(v);
+        }
+    }
+    let messages = Tensor::full(slot_dst.len(), FEAT, 0.5);
+    group.bench_function("by-destination", |b| {
+        b.iter(|| messages.scatter_add_rows(&slot_dst, n))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gather_patterns, bench_scatter_add);
+criterion_main!(benches);

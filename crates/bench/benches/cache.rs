@@ -1,0 +1,53 @@
+//! Criterion benches of the GPU simulator: cache throughput and kernel
+//! launch simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mega_gpu_sim::{cache::SectoredCache, DeviceConfig, Profiler};
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_cache");
+    group.bench_function("sequential_64k", |b| {
+        let mut cache = SectoredCache::new(2 * 1024 * 1024, 128, 32, 16);
+        b.iter(|| {
+            for a in (0..64 * 1024u64).step_by(32) {
+                cache.access_sector(a);
+            }
+        })
+    });
+    group.bench_function("strided_64k", |b| {
+        let mut cache = SectoredCache::new(2 * 1024 * 1024, 128, 32, 16);
+        b.iter(|| {
+            for i in 0..2048u64 {
+                cache.access_sector((i * 7919 * 32) % (8 * 1024 * 1024));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernel_launches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiler");
+    group.bench_function("gather_10k_rows", |b| {
+        let idx: Vec<usize> = (0..10_000).map(|i| (i * 6151) % 10_000).collect();
+        b.iter(|| {
+            let mut p = Profiler::new(DeviceConfig::gtx_1080());
+            let src = p.alloc(10_000 * 64 * 4);
+            p.launch_gather(src, &idx, 64, 10_000);
+            p.total_cycles()
+        })
+    });
+    group.bench_function("sgemm_512", |b| {
+        b.iter(|| {
+            let mut p = Profiler::new(DeviceConfig::gtx_1080());
+            let a = p.alloc(512 * 512 * 4);
+            let bb = p.alloc(512 * 512 * 4);
+            let cc = p.alloc(512 * 512 * 4);
+            p.launch_sgemm(a, bb, cc, 512, 512, 512);
+            p.total_cycles()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_access, bench_kernel_launches);
+criterion_main!(benches);

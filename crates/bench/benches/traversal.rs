@@ -1,0 +1,56 @@
+//! Criterion benches of the MEGA preprocessing pipeline: traversal, band
+//! construction and full preprocessing over representative topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mega_core::{preprocess, traverse, BandMask, MegaConfig, WindowPolicy};
+use mega_graph::{generate, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn topologies() -> Vec<(String, Graph)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    vec![
+        ("molecular-23".into(), generate::molecular_chain(23, 3, 3, &mut rng).unwrap()),
+        ("csl-41".into(), generate::circular_skip_links(41, 5).unwrap()),
+        ("ba-500".into(), generate::barabasi_albert(500, 3, &mut rng).unwrap()),
+        ("er-500".into(), generate::erdos_renyi(500, 0.02, &mut rng).unwrap()),
+    ]
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal");
+    for (name, g) in topologies() {
+        let cfg = MegaConfig::default();
+        group.bench_with_input(BenchmarkId::new("algorithm1", &name), &g, |b, g| {
+            b.iter(|| traverse(g, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_band(c: &mut Criterion) {
+    let mut group = c.benchmark_group("band_mask");
+    for (name, g) in topologies() {
+        let t = traverse(&g, &MegaConfig::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("build", &name), &t, |b, t| {
+            b.iter(|| BandMask::from_traversal(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocess_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess_window");
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generate::barabasi_albert(300, 4, &mut rng).unwrap();
+    for w in [1usize, 4, 16] {
+        let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(w));
+        group.bench_with_input(BenchmarkId::new("ba-300", w), &cfg, |b, cfg| {
+            b.iter(|| preprocess(&g, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal, bench_band, bench_preprocess_windows);
+criterion_main!(benches);

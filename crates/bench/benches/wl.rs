@@ -1,0 +1,34 @@
+//! Criterion benches of the Weisfeiler-Lehman machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mega_core::{preprocess, MegaConfig};
+use mega_graph::generate;
+use mega_wl::{labels, path_similarity, subtree_similarity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wl_refine");
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [100usize, 400] {
+        let g = generate::barabasi_albert(n, 3, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("3-rounds", n), &g, |b, g| {
+            b.iter(|| labels::refine(g, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wl_similarity");
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = generate::erdos_renyi(150, 0.05, &mut rng).unwrap();
+    let s = preprocess(&g, &MegaConfig::default()).unwrap();
+    group.bench_function("path_2hop", |b| b.iter(|| path_similarity(&g, &s, 2)));
+    let h = generate::erdos_renyi(150, 0.05, &mut rng).unwrap();
+    group.bench_function("subtree_kernel", |b| b.iter(|| subtree_similarity(&g, &h, 3)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement, bench_similarity);
+criterion_main!(benches);

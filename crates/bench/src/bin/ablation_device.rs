@@ -1,0 +1,69 @@
+//! Ablation: device sensitivity of the Mega-vs-DGL speedup.
+//!
+//! The paper's testbed is a GTX 1080; this sweep re-runs the Fig. 10 epoch
+//! comparison on a low-end (GTX 1050-class) and a modern (RTX 3080-class)
+//! device model. More bandwidth and cache shrink the scattered-access
+//! penalty but do not erase it — MEGA's advantage is architectural, not an
+//! artifact of one card.
+
+use mega_bench::{fmt, save_json, TableWriter};
+use mega_core::{preprocess, MegaConfig};
+use mega_datasets::{zinc, DatasetSpec};
+use mega_gpu_sim::{BatchTopology, DeviceConfig, EngineKind, GnnCostModel, ModelSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    model: String,
+    dgl_ms: f64,
+    mega_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let ds = zinc(&DatasetSpec { train: 64, val: 1, test: 1, seed: 19 });
+    let graphs: Vec<_> = ds.train.iter().map(|s| s.graph.clone()).collect();
+    let schedules: Vec<_> = graphs
+        .iter()
+        .map(|g| preprocess(g, &MegaConfig::default()).expect("valid graph"))
+        .collect();
+    let base_topo = BatchTopology::from_graphs(&graphs);
+    let mega_topo = BatchTopology::from_graphs_with_schedules(&graphs, &schedules);
+
+    let devices = [DeviceConfig::gtx_1050(), DeviceConfig::gtx_1080(), DeviceConfig::rtx_3080()];
+    let specs = [ModelSpec::gated_gcn(64, 2), ModelSpec::graph_transformer(64, 2)];
+
+    let mut table = TableWriter::new(&["device", "model", "DGL(ms)", "Mega(ms)", "speedup"]);
+    let mut rows = Vec::new();
+    for dev in &devices {
+        for spec in &specs {
+            let dgl = GnnCostModel::new(dev.clone(), spec.clone(), EngineKind::DglBaseline)
+                .epoch_cost(&base_topo, 1);
+            let mega = GnnCostModel::new(dev.clone(), spec.clone(), EngineKind::Mega)
+                .epoch_cost(&mega_topo, 1);
+            let speedup = dgl.epoch_seconds / mega.epoch_seconds;
+            table.row(&[
+                dev.name.clone(),
+                spec.name.clone(),
+                fmt(dgl.epoch_seconds * 1e3, 3),
+                fmt(mega.epoch_seconds * 1e3, 3),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push(Row {
+                device: dev.name.clone(),
+                model: spec.name.clone(),
+                dgl_ms: dgl.epoch_seconds * 1e3,
+                mega_ms: mega.epoch_seconds * 1e3,
+                speedup,
+            });
+        }
+    }
+    println!("Ablation — device sensitivity (ZINC batch 64, hidden 64)\n");
+    table.print();
+    println!(
+        "\nExpected: the speedup persists across three GPU generations; the low-end part\n\
+         (least latency-hiding) benefits most, the bandwidth-rich part least."
+    );
+    save_json("ablation_device", &rows);
+}

@@ -1,0 +1,61 @@
+//! Figure 5: kernel time shares vs batch size under the DGL baseline.
+//!
+//! Paper setup: hidden 64, batch sizes 128 and 256. Larger batches amortize
+//! graph-kernel overhead and grow the `sgemm` share — except on CSL, whose
+//! constant graph size keeps the shares flat.
+
+use mega_bench::{bench_datasets, fmt, profile_config, save_json, TableWriter};
+use mega_datasets::DatasetSpec;
+use mega_gnn::{EngineChoice, ModelKind};
+use mega_gpu_sim::KernelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    model: String,
+    batch: usize,
+    sgemm_share: f64,
+    graph_ops_share: f64,
+    memcpy_share: f64,
+    eltwise_share: f64,
+}
+
+fn main() {
+    let spec = DatasetSpec::small(5);
+    let (hidden, layers) = (64usize, 2usize);
+    let mut table =
+        TableWriter::new(&["dataset", "model", "batch", "sgemm%", "graph-ops%", "memcpy%", "eltwise%"]);
+    let mut rows = Vec::new();
+    for ds in bench_datasets(&spec) {
+        for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer] {
+            for &batch in &[128usize, 256] {
+                let cost = profile_config(&ds, kind, EngineChoice::Baseline, batch, hidden, layers);
+                let r = &cost.report;
+                let share = |k: KernelKind| r.kernel(k).map_or(0.0, |x| x.time_share);
+                table.row(&[
+                    ds.name.clone(),
+                    kind.label().to_string(),
+                    batch.to_string(),
+                    fmt(r.sgemm_time_share() * 100.0, 1),
+                    fmt(r.graph_op_time_share() * 100.0, 1),
+                    fmt(share(KernelKind::Memcpy) * 100.0, 1),
+                    fmt(share(KernelKind::Elementwise) * 100.0, 1),
+                ]);
+                rows.push(Row {
+                    dataset: ds.name.clone(),
+                    model: kind.label().to_string(),
+                    batch,
+                    sgemm_share: r.sgemm_time_share(),
+                    graph_ops_share: r.graph_op_time_share(),
+                    memcpy_share: share(KernelKind::Memcpy),
+                    eltwise_share: share(KernelKind::Elementwise),
+                });
+            }
+        }
+    }
+    println!("Figure 5 — kernel time shares vs batch size (hidden 64, DGL baseline)\n");
+    table.print();
+    println!("\nPaper claims: GT spends a larger share on graph ops than GCN; sgemm share grows with batch size.");
+    save_json("fig05_time_share", &rows);
+}

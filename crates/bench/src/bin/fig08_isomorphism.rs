@@ -1,0 +1,83 @@
+//! Figure 8: isomorphism (aggregation-similarity) evaluation.
+//!
+//! WL-style similarity between the original graph's k-hop aggregation and
+//! (a) MEGA's path representation, (b) global attention's "full label set",
+//! at two sparsity levels and two graph sizes. The path representation is
+//! exact at 1 hop and degrades gracefully; global attention destroys
+//! locality on sparse graphs.
+
+use mega_bench::{fmt, save_json, TableWriter};
+use mega_core::{preprocess, MegaConfig};
+use mega_graph::generate;
+use mega_wl::{global_similarity, path_similarity, path_similarity_merged};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    representation: String,
+    nodes: usize,
+    sparsity: f64,
+    hops: usize,
+    similarity: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut table = TableWriter::new(&["repr", "nodes", "sparsity", "1-hop", "2-hop", "3-hop"]);
+    for &sparsity in &[0.05f64, 0.1] {
+        for &n in &[32usize, 96] {
+            let mut rng = StdRng::seed_from_u64((n as u64) * 100 + (sparsity * 100.0) as u64);
+            let g = generate::erdos_renyi(n, sparsity, &mut rng).unwrap();
+            let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
+
+            let mut p_scores = Vec::new();
+            let mut g_scores = Vec::new();
+            let mut m_scores = Vec::new();
+            for hops in 1..=3 {
+                let p = path_similarity(&g, &schedule, hops);
+                let q = global_similarity(&g, hops);
+                let m = path_similarity_merged(&g, &schedule, hops);
+                rows.push(Row { representation: "path".into(), nodes: n, sparsity, hops, similarity: p });
+                rows.push(Row { representation: "global".into(), nodes: n, sparsity, hops, similarity: q });
+                rows.push(Row { representation: "path-merged".into(), nodes: n, sparsity, hops, similarity: m });
+                p_scores.push(p);
+                g_scores.push(q);
+                m_scores.push(m);
+            }
+            table.row(&[
+                format!("p{n}"),
+                n.to_string(),
+                fmt(sparsity, 2),
+                fmt(p_scores[0], 3),
+                fmt(p_scores[1], 3),
+                fmt(p_scores[2], 3),
+            ]);
+            table.row(&[
+                format!("g{n}"),
+                n.to_string(),
+                fmt(sparsity, 2),
+                fmt(g_scores[0], 3),
+                fmt(g_scores[1], 3),
+                fmt(g_scores[2], 3),
+            ]);
+            table.row(&[
+                format!("p{n}-merged"),
+                n.to_string(),
+                fmt(sparsity, 2),
+                fmt(m_scores[0], 3),
+                fmt(m_scores[1], 3),
+                fmt(m_scores[2], 3),
+            ]);
+        }
+    }
+    println!("Figure 8 — aggregation similarity: path representation (p) vs global attention (g)\n");
+    table.print();
+    println!(
+        "\nPaper claims: p-rows are exactly 1.0 at 1 hop and stay high at more hops;\n\
+         g-rows are low on sparse graphs. (path-merged = per-layer scatter flow used by\n\
+         the trained engine: exact at every hop.)"
+    );
+    save_json("fig08_isomorphism", &rows);
+}

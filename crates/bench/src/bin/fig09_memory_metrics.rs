@@ -1,0 +1,57 @@
+//! Figure 9: aggregate memory metrics — Mega vs DGL.
+//!
+//! Paper setup: batch 64, hidden 128. Invocation-weighted SM efficiency and
+//! memory-stall percentage (the paper's aggregate-metric equation) for both
+//! engines across every dataset and model. Mega holds stable high efficiency
+//! and low stalls regardless of dataset or model.
+
+use mega_bench::{bench_datasets, fmt, profile_config, save_json, TableWriter};
+use mega_datasets::DatasetSpec;
+use mega_gnn::{EngineChoice, ModelKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    model: String,
+    engine: String,
+    aggregate_sm_efficiency: f64,
+    aggregate_stall_pct: f64,
+}
+
+fn main() {
+    let spec = DatasetSpec::small(9);
+    let (batch, hidden, layers) = (64usize, 128usize, 2usize);
+    let mut table = TableWriter::new(&["dataset", "model", "engine", "agg sm_eff", "agg stall%"]);
+    let mut rows = Vec::new();
+    for ds in bench_datasets(&spec) {
+        for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer] {
+            for engine in [EngineChoice::Baseline, EngineChoice::Mega] {
+                let cost = profile_config(&ds, kind, engine, batch, hidden, layers);
+                let eff = cost.report.aggregate_sm_efficiency();
+                let stall = cost.report.aggregate_stall_pct();
+                table.row(&[
+                    ds.name.clone(),
+                    kind.label().to_string(),
+                    engine.label().to_string(),
+                    fmt(eff, 2),
+                    fmt(stall * 100.0, 1),
+                ]);
+                rows.push(Row {
+                    dataset: ds.name.clone(),
+                    model: kind.label().to_string(),
+                    engine: engine.label().to_string(),
+                    aggregate_sm_efficiency: eff,
+                    aggregate_stall_pct: stall,
+                });
+            }
+        }
+    }
+    println!("Figure 9 — aggregate memory metrics, Mega vs DGL (batch 64, hidden 128)\n");
+    table.print();
+    println!(
+        "\nPaper claims: Mega's SM efficiency is high and stable across datasets/models;\n\
+         DGL's varies and drops hardest for GT (5x more scatter ops)."
+    );
+    save_json("fig09_memory_metrics", &rows);
+}

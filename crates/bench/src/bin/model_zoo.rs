@@ -1,0 +1,71 @@
+//! Extension experiment: the engine comparison across the full model zoo —
+//! GatedGCN, Graph Transformer, and GAT (the canonical graph-attention layer
+//! the paper cites as \[14\]).
+//!
+//! Epoch cost under both engines plus a short real training run per model,
+//! confirming that MEGA's advantage and its numerical equivalence are
+//! architecture-independent properties of the banded message routing.
+
+use mega_bench::{fmt, save_json, TableWriter};
+use mega_datasets::{zinc, DatasetSpec};
+use mega_gnn::{EngineChoice, GnnConfig, ModelKind, Trainer};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    dgl_epoch_ms: f64,
+    mega_epoch_ms: f64,
+    speedup: f64,
+    dgl_final_mae: f64,
+    mega_final_mae: f64,
+}
+
+fn main() {
+    let ds = zinc(&DatasetSpec { train: 256, val: 64, test: 64, seed: 33 });
+    let mut table = TableWriter::new(&[
+        "model", "DGL epoch(ms)", "Mega epoch(ms)", "speedup", "DGL MAE", "Mega MAE",
+    ]);
+    let mut rows = Vec::new();
+    for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer, ModelKind::Gat] {
+        eprintln!("training {}...", kind.label());
+        let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, 1)
+            .with_hidden(32)
+            .with_layers(2)
+            .with_heads(4)
+            .with_seed(5);
+        let dgl = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(8)
+            .with_batch_size(32)
+            .run(&ds, cfg.clone());
+        let mega = Trainer::new(EngineChoice::Mega)
+            .with_epochs(8)
+            .with_batch_size(32)
+            .run(&ds, cfg);
+        let speedup = dgl.epoch_sim_seconds / mega.epoch_sim_seconds;
+        let (dl, ml) = (dgl.records.last().unwrap(), mega.records.last().unwrap());
+        table.row(&[
+            kind.label().to_string(),
+            fmt(dgl.epoch_sim_seconds * 1e3, 2),
+            fmt(mega.epoch_sim_seconds * 1e3, 2),
+            format!("{speedup:.2}x"),
+            fmt(dl.val_metric, 4),
+            fmt(ml.val_metric, 4),
+        ]);
+        rows.push(Row {
+            model: kind.label().to_string(),
+            dgl_epoch_ms: dgl.epoch_sim_seconds * 1e3,
+            mega_epoch_ms: mega.epoch_sim_seconds * 1e3,
+            speedup,
+            dgl_final_mae: dl.val_metric,
+            mega_final_mae: ml.val_metric,
+        });
+    }
+    println!("Model zoo — Mega vs DGL across architectures (ZINC, hidden 32)\n");
+    table.print();
+    println!(
+        "\nExpected: every architecture trains to the same quality under both engines,\n\
+         and every one runs faster under Mega — the banded routing is model-agnostic."
+    );
+    save_json("model_zoo", &rows);
+}

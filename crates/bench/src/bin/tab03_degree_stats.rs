@@ -1,0 +1,55 @@
+//! Table III: degree-distribution consistency and KS similarity per dataset.
+
+use mega_bench::{bench_datasets, fmt, save_json, TableWriter};
+use mega_datasets::DatasetSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    mean_degree_std: f64,
+    std_min_degree: f64,
+    std_max_degree: f64,
+    std_mean_degree: f64,
+    mean_ks_similarity: f64,
+}
+
+fn main() {
+    let spec = DatasetSpec::small(2024);
+    let mut table = TableWriter::new(&[
+        "Datasets",
+        "mu(sigma(d))",
+        "sigma(d_min)",
+        "sigma(d_max)",
+        "sigma(d_mean)",
+        "mu(eps)",
+    ]);
+    let mut rows = Vec::new();
+    for ds in bench_datasets(&spec) {
+        let st = ds.stats(256);
+        table.row(&[
+            ds.name.clone(),
+            fmt(st.mean_degree_std, 4),
+            fmt(st.std_min_degree, 4),
+            fmt(st.std_max_degree, 4),
+            fmt(st.std_mean_degree, 4),
+            fmt(st.mean_ks_similarity, 2),
+        ]);
+        rows.push(Row {
+            dataset: ds.name.clone(),
+            mean_degree_std: st.mean_degree_std,
+            std_min_degree: st.std_min_degree,
+            std_max_degree: st.std_max_degree,
+            std_mean_degree: st.std_mean_degree,
+            mean_ks_similarity: st.mean_ks_similarity,
+        });
+    }
+    println!("Table III — degree-distribution statistics\n");
+    table.print();
+    println!(
+        "\nPaper values mu(sigma(d)) / sigma(d_min) / sigma(d_max) / sigma(d_mean) / mu(eps):\n\
+         ZINC 0.5116/0.0059/0.1998/0.0052/0.94, AQSOL 0.6255/0.0987/0.3106/0.0511/0.87,\n\
+         CSL 0/0/0/0/1.0, CYCLES 0.4737/0/0.5045/0.0241/0.71."
+    );
+    save_json("tab03_degree_stats", &rows);
+}

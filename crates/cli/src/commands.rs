@@ -1,0 +1,212 @@
+//! CLI command implementations.
+
+use crate::args::Args;
+use mega_core::{preprocess as mega_preprocess, MegaConfig, WindowPolicy};
+use mega_datasets::{aqsol, csl, cycles, zinc, Dataset, DatasetSpec, Task};
+use mega_gnn::{EngineChoice, GnnConfig, ModelKind, Trainer};
+use mega_graph::{io, Direction};
+use mega_wl::{global_similarity, path_similarity};
+use std::fs::File;
+use std::io::BufReader;
+
+fn dataset_by_name(name: &str, spec: &DatasetSpec) -> Result<Dataset, String> {
+    match name {
+        "zinc" => Ok(zinc(spec)),
+        "aqsol" => Ok(aqsol(spec)),
+        "csl" => Ok(csl(spec)),
+        "cycles" => Ok(cycles(spec)),
+        other => Err(format!("unknown dataset `{other}` (zinc|aqsol|csl|cycles)")),
+    }
+}
+
+fn model_by_name(name: &str) -> Result<ModelKind, String> {
+    match name {
+        "gcn" => Ok(ModelKind::GatedGcn),
+        "gt" => Ok(ModelKind::GraphTransformer),
+        "gat" => Ok(ModelKind::Gat),
+        other => Err(format!("unknown model `{other}` (gcn|gt|gat)")),
+    }
+}
+
+fn engine_by_name(name: &str) -> Result<EngineChoice, String> {
+    match name {
+        "dgl" | "baseline" => Ok(EngineChoice::Baseline),
+        "mega" => Ok(EngineChoice::Mega),
+        other => Err(format!("unknown engine `{other}` (dgl|mega)")),
+    }
+}
+
+/// `mega demo` — preprocess the paper's Fig. 3a graph and print the path.
+pub fn demo() -> Result<(), String> {
+    let g = mega_graph::GraphBuilder::undirected(7)
+        .edges([(0, 1), (0, 5), (1, 2), (1, 5), (2, 3), (2, 6), (3, 6), (3, 4), (4, 6), (5, 6)])
+        .map_err(|e| e.to_string())?
+        .build()
+        .map_err(|e| e.to_string())?;
+    let s = mega_preprocess(&g, &MegaConfig::default()).map_err(|e| e.to_string())?;
+    let stats = s.stats();
+    println!("demo graph: {} nodes, {} edges", stats.nodes, stats.edges);
+    println!("path: {:?}", s.gather_index());
+    println!(
+        "window {} | revisits {} | virtual edges {} | coverage {:.0}% | expansion {:.2}x",
+        stats.window,
+        stats.revisits,
+        stats.virtual_edges,
+        stats.coverage * 100.0,
+        stats.expansion
+    );
+    for hops in 1..=3 {
+        println!(
+            "{hops}-hop similarity: path {:.3} vs global attention {:.3}",
+            path_similarity(&g, &s, hops),
+            global_similarity(&g, hops)
+        );
+    }
+    Ok(())
+}
+
+/// `mega preprocess <file>` — preprocess a user graph.
+pub fn preprocess(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional()
+        .first()
+        .ok_or("preprocess needs an edge-list file argument")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let g = io::read_edge_list(BufReader::new(file), Direction::Undirected)
+        .map_err(|e| e.to_string())?;
+
+    let mut cfg = MegaConfig::default();
+    if let Some(w) = args.get("window") {
+        let w: usize = w.parse().map_err(|_| format!("invalid --window {w}"))?;
+        cfg = cfg.with_window(WindowPolicy::Fixed(w));
+    }
+    cfg = cfg.with_coverage(args.get_or("coverage", 1.0f64)?);
+    cfg = cfg.with_edge_drop(args.get_or("drop", 0.0f64)?);
+
+    let s = mega_preprocess(&g, &cfg).map_err(|e| e.to_string())?;
+    let stats = s.stats();
+    if args.has_flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("stats serialize infallibly")
+        );
+    } else {
+        println!("graph: {} nodes, {} edges", stats.nodes, stats.edges);
+        println!(
+            "path length {} (expansion {:.2}x) | window {} | revisits {} | virtual {}",
+            stats.path_len, stats.expansion, stats.window, stats.revisits, stats.virtual_edges
+        );
+        println!(
+            "band: coverage {:.1}% | density {:.3}",
+            stats.coverage * 100.0,
+            stats.band_density
+        );
+    }
+    Ok(())
+}
+
+/// `mega stats` — Table II/III rows for the synthetic datasets.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let which = args.get("dataset").unwrap_or("all");
+    let spec = DatasetSpec::small(2024);
+    let names: Vec<&str> = match which {
+        "all" => vec!["zinc", "aqsol", "csl", "cycles"],
+        one => vec![one],
+    };
+    println!(
+        "{:<8} {:>7} {:>9} {:>9} {:>11} {:>10} {:>8}",
+        "dataset", "nodes", "edges(2m)", "sparsity", "mu(sig(d))", "sig(dmax)", "mu(eps)"
+    );
+    for name in names {
+        let ds = dataset_by_name(name, &spec)?;
+        let st = ds.stats(128);
+        println!(
+            "{:<8} {:>7.1} {:>9.1} {:>9.3} {:>11.4} {:>10.4} {:>8.2}",
+            ds.name,
+            st.mean_nodes,
+            2.0 * st.mean_edges,
+            st.mean_sparsity,
+            st.mean_degree_std,
+            st.std_max_degree,
+            st.mean_ks_similarity
+        );
+    }
+    Ok(())
+}
+
+/// `mega train` — train one model/engine combination and print the history.
+pub fn train(args: &Args) -> Result<(), String> {
+    let spec = DatasetSpec { train: 256, val: 64, test: 64, seed: 7 };
+    let ds = dataset_by_name(args.get("dataset").unwrap_or("zinc"), &spec)?;
+    let kind = model_by_name(args.get("model").unwrap_or("gcn"))?;
+    let engine = engine_by_name(args.get("engine").unwrap_or("mega"))?;
+    let out = match ds.task {
+        Task::Regression => 1,
+        Task::Classification { classes } => classes,
+    };
+    let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, out)
+        .with_hidden(args.get_or("hidden", 32usize)?)
+        .with_layers(args.get_or("layers", 2usize)?)
+        .with_heads(4);
+    let trainer = Trainer::new(engine)
+        .with_epochs(args.get_or("epochs", 5usize)?)
+        .with_batch_size(args.get_or("batch", 32usize)?)
+        .with_lr(args.get_or("lr", 5e-3f32)?);
+    println!(
+        "training {} on {} with the {} engine...",
+        kind.label(),
+        ds.name,
+        engine.label()
+    );
+    let hist = trainer.run(&ds, cfg);
+    println!("simulated GPU epoch: {:.3} ms", hist.epoch_sim_seconds * 1e3);
+    println!("{:>5} {:>12} {:>10} {:>10} {:>12}", "epoch", "train-loss", "val-loss", "metric", "sim-clock(s)");
+    for r in &hist.records {
+        println!(
+            "{:>5} {:>12.4} {:>10.4} {:>10.4} {:>12.4}",
+            r.epoch, r.train_loss, r.val_loss, r.val_metric, r.sim_seconds
+        );
+    }
+    Ok(())
+}
+
+/// `mega profile` — kernel tables for both engines on a simulated GTX 1080.
+pub fn profile(args: &Args) -> Result<(), String> {
+    let spec = DatasetSpec { train: 64, val: 8, test: 8, seed: 9 };
+    let ds = dataset_by_name(args.get("dataset").unwrap_or("zinc"), &spec)?;
+    let kind = model_by_name(args.get("model").unwrap_or("gt"))?;
+    let batch = args.get_or("batch", 64usize)?;
+    let hidden = args.get_or("hidden", 64usize)?;
+    for engine in [EngineChoice::Baseline, EngineChoice::Mega] {
+        let cost = mega_bench_profile(&ds, kind, engine, batch, hidden)?;
+        println!("\n=== {} engine — one epoch ({} steps) ===", engine.label(), cost.steps);
+        println!("{}", cost.report);
+        println!("epoch: {:.3} ms", cost.epoch_seconds * 1e3);
+    }
+    Ok(())
+}
+
+fn mega_bench_profile(
+    ds: &Dataset,
+    kind: ModelKind,
+    engine: EngineChoice,
+    batch: usize,
+    hidden: usize,
+) -> Result<mega_gpu_sim::EpochCost, String> {
+    let samples = &ds.train[..ds.train.len().min(batch)];
+    let schedules: Option<Vec<_>> = match engine {
+        EngineChoice::Mega => Some(
+            samples
+                .iter()
+                .map(|s| mega_preprocess(&s.graph, &MegaConfig::default()).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?,
+        ),
+        EngineChoice::Baseline => None,
+    };
+    let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, 1)
+        .with_hidden(hidden)
+        .with_layers(2)
+        .with_heads(4);
+    let steps = ds.train.len().div_ceil(batch).max(1);
+    Ok(mega_gnn::cost::epoch_cost(&cfg, engine, samples, schedules.as_deref(), steps))
+}

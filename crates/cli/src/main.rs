@@ -1,0 +1,69 @@
+//! `mega` — command-line interface for the MEGA graph-attention toolkit.
+//!
+//! ```text
+//! mega demo                               # preprocess the paper's demo graph
+//! mega preprocess graph.txt --window 2    # preprocess an edge-list file
+//! mega stats --dataset all                # Table II/III statistics
+//! mega train --dataset zinc --model gt --engine mega --epochs 5
+//! mega profile --dataset zinc --model gt  # nvprof-style engine comparison
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mega — More Efficient Graph Attention toolkit
+
+USAGE:
+    mega <command> [options]
+
+COMMANDS:
+    demo                      Preprocess the paper's Fig. 3a demo graph
+    preprocess <edge-list>    Preprocess a graph file (one `src dst` per line)
+        --window N            fixed traversal window (default: adaptive)
+        --coverage F          edge coverage target in (0,1] (default 1.0)
+        --drop F              edge-drop fraction in [0,1) (default 0)
+        --json                emit the schedule stats as JSON
+    stats                     Dataset statistics (Tables II/III)
+        --dataset NAME        zinc | aqsol | csl | cycles | all (default all)
+    train                     Train a model under one engine
+        --dataset NAME        zinc | aqsol | csl | cycles (default zinc)
+        --model NAME          gcn | gt | gat (default gcn)
+        --engine NAME         dgl | mega (default mega)
+        --epochs N            (default 5)   --batch N   (default 32)
+        --hidden N            (default 32)  --lr F      (default 0.005)
+    profile                   Simulated GTX 1080 kernel profile, both engines
+        --dataset NAME        (default zinc)  --model NAME (default gt)
+        --batch N             (default 64)    --hidden N   (default 64)
+";
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    let Some(command) = raw.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(raw);
+    let result = match command.as_str() {
+        "demo" => commands::demo(),
+        "preprocess" => commands::preprocess(&args),
+        "stats" => commands::stats(&args),
+        "train" => commands::train(&args),
+        "profile" => commands::profile(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; run `mega help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! DropEdge-style random edge removal (paper §IV-B5).
+//!
+//! "20% of edges are randomly dropped within every graph and its respective
+//! path representation" — dropping happens *before* traversal so the path is
+//! built over (and only needs to cover) the surviving edges, shortening the
+//! path and the training epoch.
+
+use mega_graph::{EdgeList, Graph, GraphError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns a copy of `g` with `fraction` of its edges removed uniformly at
+/// random (all nodes kept). `fraction` is clamped to `[0, 1)`; at least one
+/// edge is kept when the input has any, so downstream traversal always has
+/// work to do.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from graph reconstruction (cannot occur for
+/// inputs that were themselves valid [`Graph`]s).
+///
+/// # Example
+///
+/// ```
+/// use mega_core::edge_drop::drop_edges;
+/// use mega_graph::generate;
+///
+/// # fn main() -> Result<(), mega_graph::GraphError> {
+/// let g = generate::complete(10).unwrap(); // 45 edges
+/// let dropped = drop_edges(&g, 0.2, 7)?;
+/// assert_eq!(dropped.edge_count(), 36); // 45 - floor(0.2 * 45)
+/// assert_eq!(dropped.node_count(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn drop_edges(g: &Graph, fraction: f64, seed: u64) -> Result<Graph, GraphError> {
+    let fraction = fraction.clamp(0.0, 1.0 - f64::EPSILON);
+    let m = g.edge_count();
+    let drop = ((m as f64) * fraction).floor() as usize;
+    let keep = m.saturating_sub(drop).max(usize::from(m > 0));
+    let mut pairs: Vec<(usize, usize)> = g.edges().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    pairs.shuffle(&mut rng);
+    pairs.truncate(keep);
+    // Keep deterministic edge order independent of the shuffle for stable
+    // downstream edge ids.
+    pairs.sort_unstable();
+    let coo = EdgeList::from_pairs(g.node_count(), pairs)?;
+    Graph::from_edge_list(coo, g.direction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate;
+
+    #[test]
+    fn zero_fraction_is_identity_topology() {
+        let g = generate::cycle(8).unwrap();
+        let d = drop_edges(&g, 0.0, 1).unwrap();
+        assert_eq!(d.edge_count(), 8);
+        for (s, t) in g.edges() {
+            assert!(d.contains_edge(s, t));
+        }
+    }
+
+    #[test]
+    fn drops_expected_count() {
+        let g = generate::complete(12).unwrap(); // 66 edges
+        let d = drop_edges(&g, 0.5, 3).unwrap();
+        assert_eq!(d.edge_count(), 33);
+    }
+
+    #[test]
+    fn surviving_edges_are_subset() {
+        let g = generate::complete(9).unwrap();
+        let d = drop_edges(&g, 0.3, 11).unwrap();
+        for (s, t) in d.edges() {
+            assert!(g.contains_edge(s, t));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generate::complete(10).unwrap();
+        let a = drop_edges(&g, 0.4, 5).unwrap();
+        let b = drop_edges(&g, 0.4, 5).unwrap();
+        assert_eq!(a.edge_list(), b.edge_list());
+        let c = drop_edges(&g, 0.4, 6).unwrap();
+        // Different seed should (with overwhelming probability) differ.
+        assert_ne!(a.edge_list(), c.edge_list());
+    }
+
+    #[test]
+    fn never_drops_to_zero_edges() {
+        let g = generate::path(2).unwrap(); // single edge
+        let d = drop_edges(&g, 0.99, 1).unwrap();
+        assert_eq!(d.edge_count(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for MEGA preprocessing.
+
+use mega_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by MEGA configuration and preprocessing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MegaError {
+    /// A configuration field was outside its valid domain.
+    InvalidConfig {
+        /// The field name.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The traversal failed to reach the requested edge coverage; carries the
+    /// coverage that was achievable.
+    CoverageUnreachable {
+        /// The requested coverage θ.
+        requested: f64,
+        /// The coverage actually achieved.
+        achieved: f64,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for MegaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MegaError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field `{field}`: {reason}")
+            }
+            MegaError::CoverageUnreachable { requested, achieved } => {
+                write!(
+                    f,
+                    "requested edge coverage {requested} unreachable; achieved {achieved}"
+                )
+            }
+            MegaError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for MegaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MegaError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for MegaError {
+    fn from(e: GraphError) -> Self {
+        MegaError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = MegaError::InvalidConfig { field: "window", reason: "must be >= 1".into() };
+        assert!(e.to_string().contains("window"));
+    }
+
+    #[test]
+    fn graph_errors_convert() {
+        let ge = GraphError::Empty;
+        let me: MegaError = ge.clone().into();
+        assert_eq!(me, MegaError::Graph(ge));
+        assert!(Error::source(&me).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MegaError>();
+    }
+}

@@ -1,0 +1,254 @@
+//! Heterogeneous-graph multi-path scheduling (the paper's future-work
+//! direction, §IV-B8): "for heterogeneous graph scenarios, MEGA can arrange
+//! multiple paths to cover distinct node types, subsequently merging
+//! hierarchically" (cf. HAN).
+//!
+//! A [`HeteroGraph`] is a graph whose nodes carry a type id. Preprocessing
+//! builds one path per node type over that type's induced subgraph, plus one
+//! *cross path* over the remaining inter-type edges. Every original edge is
+//! covered by exactly one of the schedules, so a hierarchical aggregation —
+//! intra-type banded attention first, cross-type second — sees each edge
+//! once, exactly like the homogeneous schedule.
+
+use crate::config::MegaConfig;
+use crate::error::MegaError;
+use crate::schedule::AttentionSchedule;
+use crate::traversal::traverse;
+use mega_graph::{EdgeList, Graph};
+
+/// A graph with typed nodes.
+#[derive(Debug, Clone)]
+pub struct HeteroGraph {
+    graph: Graph,
+    node_types: Vec<usize>,
+    type_count: usize,
+}
+
+impl HeteroGraph {
+    /// Wraps a graph with per-node type ids in `0..type_count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MegaError::InvalidConfig`] if the type vector length differs
+    /// from the node count or a type id is out of range.
+    pub fn new(graph: Graph, node_types: Vec<usize>, type_count: usize) -> Result<Self, MegaError> {
+        if node_types.len() != graph.node_count() {
+            return Err(MegaError::InvalidConfig {
+                field: "node_types",
+                reason: format!(
+                    "expected {} type ids, got {}",
+                    graph.node_count(),
+                    node_types.len()
+                ),
+            });
+        }
+        if let Some(&bad) = node_types.iter().find(|&&t| t >= type_count) {
+            return Err(MegaError::InvalidConfig {
+                field: "node_types",
+                reason: format!("type id {bad} out of range 0..{type_count}"),
+            });
+        }
+        Ok(HeteroGraph { graph, node_types, type_count })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Per-node type ids.
+    pub fn node_types(&self) -> &[usize] {
+        &self.node_types
+    }
+
+    /// Number of node types.
+    pub fn type_count(&self) -> usize {
+        self.type_count
+    }
+
+    /// Number of edges whose endpoints share a type.
+    pub fn intra_edge_count(&self) -> usize {
+        self.graph
+            .edges()
+            .filter(|&(a, b)| self.node_types[a] == self.node_types[b])
+            .count()
+    }
+
+    /// Number of edges crossing types.
+    pub fn cross_edge_count(&self) -> usize {
+        self.graph.edge_count() - self.intra_edge_count()
+    }
+}
+
+/// One per-type schedule with its local→global node mapping.
+#[derive(Debug, Clone)]
+pub struct TypedSchedule {
+    /// The node type this schedule covers.
+    pub node_type: usize,
+    /// Schedule over the induced subgraph (local node ids).
+    pub schedule: AttentionSchedule,
+    /// `local_to_global[local]` is the original node id.
+    pub local_to_global: Vec<usize>,
+}
+
+/// The hierarchical multi-path preprocessing artifact.
+#[derive(Debug, Clone)]
+pub struct MultiPathSchedule {
+    /// Intra-type schedules, one per node type with at least one node.
+    pub per_type: Vec<TypedSchedule>,
+    /// Schedule over the cross-type edges (global node ids), present when
+    /// any cross edges exist.
+    pub cross: Option<AttentionSchedule>,
+}
+
+impl MultiPathSchedule {
+    /// Total edges covered across all schedules.
+    pub fn covered_edge_count(&self) -> usize {
+        let intra: usize =
+            self.per_type.iter().map(|t| t.schedule.band().covered_edge_count()).sum();
+        intra + self.cross.as_ref().map_or(0, |c| c.band().covered_edge_count())
+    }
+
+    /// Total path positions across all schedules.
+    pub fn total_path_len(&self) -> usize {
+        let intra: usize = self.per_type.iter().map(|t| t.schedule.path().len()).sum();
+        intra + self.cross.as_ref().map_or(0, |c| c.path().len())
+    }
+}
+
+/// Builds the multi-path schedule: one traversal per node type over the
+/// induced subgraph, plus one over the cross-type edges.
+///
+/// # Errors
+///
+/// Propagates configuration and traversal errors.
+pub fn preprocess_hetero(
+    h: &HeteroGraph,
+    config: &MegaConfig,
+) -> Result<MultiPathSchedule, MegaError> {
+    config.validate()?;
+    let g = h.graph();
+    let mut per_type = Vec::new();
+    for t in 0..h.type_count() {
+        let local_to_global: Vec<usize> =
+            (0..g.node_count()).filter(|&v| h.node_types[v] == t).collect();
+        if local_to_global.is_empty() {
+            continue;
+        }
+        let mut global_to_local = vec![usize::MAX; g.node_count()];
+        for (l, &v) in local_to_global.iter().enumerate() {
+            global_to_local[v] = l;
+        }
+        let mut pairs = Vec::new();
+        for (a, b) in g.edges() {
+            if h.node_types[a] == t && h.node_types[b] == t {
+                pairs.push((global_to_local[a], global_to_local[b]));
+            }
+        }
+        let coo = EdgeList::from_pairs(local_to_global.len(), pairs)?;
+        let sub = Graph::from_edge_list(coo, g.direction())?;
+        let traversal = traverse(&sub, config)?;
+        per_type.push(TypedSchedule {
+            node_type: t,
+            schedule: AttentionSchedule::from_traversal(&sub, traversal),
+            local_to_global,
+        });
+    }
+
+    let cross_pairs: Vec<(usize, usize)> = g
+        .edges()
+        .filter(|&(a, b)| h.node_types[a] != h.node_types[b])
+        .collect();
+    let cross = if cross_pairs.is_empty() {
+        None
+    } else {
+        let coo = EdgeList::from_pairs(g.node_count(), cross_pairs)?;
+        let cross_graph = Graph::from_edge_list(coo, g.direction())?;
+        let traversal = traverse(&cross_graph, config)?;
+        Some(AttentionSchedule::from_traversal(&cross_graph, traversal))
+    };
+
+    Ok(MultiPathSchedule { per_type, cross })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::GraphBuilder;
+
+    /// A bipartite-ish hetero graph: types {0, 1}, intra edges within each
+    /// type plus cross edges between them.
+    fn sample() -> HeteroGraph {
+        let g = GraphBuilder::undirected(6)
+            .edges([
+                (0, 1), // type 0 intra
+                (1, 2), // type 0 intra
+                (3, 4), // type 1 intra
+                (4, 5), // type 1 intra
+                (0, 3), // cross
+                (2, 5), // cross
+            ])
+            .unwrap()
+            .build()
+            .unwrap();
+        HeteroGraph::new(g, vec![0, 0, 0, 1, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn validates_type_vector() {
+        let g = GraphBuilder::undirected(2).edges([(0, 1)]).unwrap().build().unwrap();
+        assert!(HeteroGraph::new(g.clone(), vec![0], 1).is_err());
+        assert!(HeteroGraph::new(g.clone(), vec![0, 3], 2).is_err());
+        assert!(HeteroGraph::new(g, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn edge_classification() {
+        let h = sample();
+        assert_eq!(h.intra_edge_count(), 4);
+        assert_eq!(h.cross_edge_count(), 2);
+    }
+
+    #[test]
+    fn every_edge_covered_exactly_once() {
+        let h = sample();
+        let mp = preprocess_hetero(&h, &MegaConfig::default()).unwrap();
+        assert_eq!(mp.covered_edge_count(), h.graph().edge_count());
+        assert_eq!(mp.per_type.len(), 2);
+        assert!(mp.cross.is_some());
+    }
+
+    #[test]
+    fn per_type_schedules_map_back_to_global_nodes() {
+        let h = sample();
+        let mp = preprocess_hetero(&h, &MegaConfig::default()).unwrap();
+        for ts in &mp.per_type {
+            for &pos_node in ts.schedule.gather_index() {
+                let global = ts.local_to_global[pos_node];
+                assert_eq!(h.node_types()[global], ts.node_type);
+            }
+        }
+    }
+
+    #[test]
+    fn single_type_degenerates_to_homogeneous() {
+        let g = mega_graph::generate::cycle(8).unwrap();
+        let h = HeteroGraph::new(g.clone(), vec![0; 8], 1).unwrap();
+        let mp = preprocess_hetero(&h, &MegaConfig::default()).unwrap();
+        assert_eq!(mp.per_type.len(), 1);
+        assert!(mp.cross.is_none());
+        assert_eq!(mp.covered_edge_count(), 8);
+        // Matches the homogeneous preprocessing coverage.
+        let homo = crate::preprocess(&g, &MegaConfig::default()).unwrap();
+        assert_eq!(mp.covered_edge_count(), homo.band().covered_edge_count());
+    }
+
+    #[test]
+    fn empty_type_is_skipped() {
+        let g = GraphBuilder::undirected(3).edges([(0, 1), (1, 2)]).unwrap().build().unwrap();
+        let h = HeteroGraph::new(g, vec![0, 0, 0], 3).unwrap();
+        let mp = preprocess_hetero(&h, &MegaConfig::default()).unwrap();
+        assert_eq!(mp.per_type.len(), 1);
+        assert_eq!(mp.total_path_len(), mp.per_type[0].schedule.path().len());
+    }
+}

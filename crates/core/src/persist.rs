@@ -1,0 +1,97 @@
+//! Schedule persistence.
+//!
+//! MEGA's preprocessing is decoupled from training (§III-B: it runs once on
+//! the CPU); persisting the [`AttentionSchedule`] lets a training job — or a
+//! fleet of distributed workers — load precomputed schedules instead of
+//! re-traversing. JSON keeps the artifact inspectable; the types already
+//! carry serde implementations.
+
+use crate::error::MegaError;
+use crate::schedule::AttentionSchedule;
+use std::path::Path;
+
+/// Serializes a schedule to a JSON string.
+///
+/// # Panics
+///
+/// Never — schedule types serialize infallibly.
+pub fn to_json(schedule: &AttentionSchedule) -> String {
+    serde_json::to_string(schedule).expect("schedule serialization is infallible")
+}
+
+/// Deserializes a schedule from JSON.
+///
+/// # Errors
+///
+/// [`MegaError::InvalidConfig`] when the JSON is malformed or structurally
+/// inconsistent.
+pub fn from_json(json: &str) -> Result<AttentionSchedule, MegaError> {
+    serde_json::from_str(json).map_err(|e| MegaError::InvalidConfig {
+        field: "json",
+        reason: e.to_string(),
+    })
+}
+
+/// Writes a schedule to a file.
+///
+/// # Errors
+///
+/// [`MegaError::InvalidConfig`] wrapping any I/O failure.
+pub fn save<P: AsRef<Path>>(schedule: &AttentionSchedule, path: P) -> Result<(), MegaError> {
+    std::fs::write(path.as_ref(), to_json(schedule)).map_err(|e| MegaError::InvalidConfig {
+        field: "path",
+        reason: format!("cannot write schedule: {e}"),
+    })
+}
+
+/// Loads a schedule from a file.
+///
+/// # Errors
+///
+/// [`MegaError::InvalidConfig`] on I/O or parse failure.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<AttentionSchedule, MegaError> {
+    let json = std::fs::read_to_string(path.as_ref()).map_err(|e| MegaError::InvalidConfig {
+        field: "path",
+        reason: format!("cannot read schedule: {e}"),
+    })?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{preprocess, MegaConfig};
+    use mega_graph::generate;
+
+    fn sample() -> AttentionSchedule {
+        let g = generate::complete(8).unwrap();
+        preprocess(&g, &MegaConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let s = sample();
+        let back = from_json(&to_json(&s)).unwrap();
+        assert_eq!(s.gather_index(), back.gather_index());
+        assert_eq!(s.band().active_slots(), back.band().active_slots());
+        assert_eq!(s.stats(), back.stats());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("mega-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("schedule.json");
+        let s = sample();
+        save(&s, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(s.gather_index(), back.gather_index());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(from_json("{broken").is_err());
+        assert!(load("/nonexistent/path/schedule.json").is_err());
+    }
+}

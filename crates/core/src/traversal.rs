@@ -1,0 +1,474 @@
+//! The objective graph traversal (paper Algorithm 1, Eq. 2).
+//!
+//! The traversal agent starts at a chosen vertex and repeatedly appends a next
+//! node to the path `P`:
+//!
+//! 1. If the current node still has *uncovered-edge neighbors* (the paper's
+//!    `N(curr)`, maintained exactly like the pseudocode's neighbors dict with
+//!    `N(curr).remove(pre)` as edges are consumed), pick among them.
+//! 2. Otherwise pop the stack of previously visited nodes that still have
+//!    uncovered-edge neighbors — a *revisit*.
+//! 3. Otherwise jump to an unvisited node (or, when all nodes are visited but
+//!    the coverage target θ is not yet met, to any node with uncovered
+//!    edges) — creating a *virtual edge* if the jump target is not adjacent
+//!    to the path head.
+//!
+//! Within a candidate pool the default selection is Eq. 2: the candidate
+//! maximizing `|N(v) ∩ P[-ω:]|`, the overlap between the candidate's original
+//! neighborhood and the last ω path entries.
+//!
+//! An edge counts as *covered* as soon as its two endpoints appear within ω
+//! positions of each other anywhere in the path, which is exactly the
+//! condition for the edge to own a slot in the diagonal band (see
+//! [`crate::band`]).
+
+use crate::config::{CandidatePolicy, MegaConfig};
+use crate::edge_drop::drop_edges;
+use crate::error::MegaError;
+use crate::window::resolve_window;
+use mega_graph::Graph;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// The raw result of running Algorithm 1 on a graph.
+#[derive(Debug, Clone)]
+pub struct Traversal {
+    /// The node id at each path position.
+    pub path: Vec<usize>,
+    /// `virtual_step[i]` is true when the step from `path[i-1]` to `path[i]`
+    /// does not follow an original edge (`virtual_step[0]` is always false).
+    pub virtual_step: Vec<bool>,
+    /// The window ω the traversal was run with.
+    pub window: usize,
+    /// Number of working-graph edges covered by the band (endpoints within ω
+    /// path positions of each other).
+    pub covered_edges: usize,
+    /// Edge count of the working (post-drop) graph.
+    pub working_edges: usize,
+    /// Number of node appearances beyond each node's first (revisits).
+    pub revisits: usize,
+    /// Number of virtual steps taken.
+    pub virtual_edge_count: usize,
+    /// The working graph the traversal ran over (equals the input unless edge
+    /// dropping was configured).
+    pub working_graph: Graph,
+}
+
+impl Traversal {
+    /// Fraction of working-graph edges covered by the band.
+    pub fn coverage(&self) -> f64 {
+        if self.working_edges == 0 {
+            1.0
+        } else {
+            self.covered_edges as f64 / self.working_edges as f64
+        }
+    }
+
+    /// Path length divided by node count: the memory-expansion factor the
+    /// paper calls the justifiable tradeoff (§IV-B6).
+    pub fn expansion_factor(&self) -> f64 {
+        self.path.len() as f64 / self.working_graph.node_count() as f64
+    }
+}
+
+struct State<'g> {
+    g: &'g Graph,
+    window: usize,
+    policy: CandidatePolicy,
+    rng: StdRng,
+    /// Uncovered-edge neighbors per node (the pseudocode's `N` dict), kept
+    /// sorted for deterministic argmax tie-breaking.
+    open_nbrs: Vec<Vec<usize>>,
+    /// Nodes with non-empty `open_nbrs`, ordered.
+    open_nodes: BTreeSet<usize>,
+    /// Edge id lookup for the working graph.
+    edge_of: HashMap<(usize, usize), usize>,
+    covered: Vec<bool>,
+    covered_count: usize,
+    visited: Vec<bool>,
+    unvisited_count: usize,
+    path: Vec<usize>,
+    virtual_step: Vec<bool>,
+    stack: Vec<usize>,
+    revisits: usize,
+}
+
+impl<'g> State<'g> {
+    fn new(g: &'g Graph, window: usize, policy: CandidatePolicy, seed: u64) -> Self {
+        let n = g.node_count();
+        let mut open_nbrs: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for v in 0..n {
+            open_nbrs.push(g.neighbors(v).to_vec());
+        }
+        let open_nodes: BTreeSet<usize> =
+            (0..n).filter(|&v| !open_nbrs[v].is_empty()).collect();
+        let mut edge_of = HashMap::with_capacity(g.edge_count());
+        for (eid, (s, d)) in g.edges().enumerate() {
+            edge_of.insert((s.min(d), s.max(d)), eid);
+        }
+        State {
+            g,
+            window,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            open_nbrs,
+            open_nodes,
+            edge_of,
+            covered: vec![false; g.edge_count()],
+            covered_count: 0,
+            visited: vec![false; n],
+            unvisited_count: n,
+            path: Vec::with_capacity(n + 2 * g.edge_count()),
+            virtual_step: Vec::with_capacity(n + 2 * g.edge_count()),
+            stack: Vec::new(),
+            revisits: 0,
+        }
+    }
+
+    /// Eq. 2: overlap between `v`'s original neighborhood and the last ω path
+    /// entries.
+    fn correlate(&self, v: usize) -> usize {
+        let lo = self.path.len().saturating_sub(self.window);
+        self.path[lo..]
+            .iter()
+            .filter(|&&p| p != v && self.g.contains_edge(p, v))
+            .count()
+    }
+
+    /// Selects from a non-empty candidate pool according to the policy.
+    fn select(&mut self, pool: &[usize]) -> usize {
+        debug_assert!(!pool.is_empty());
+        match self.policy {
+            CandidatePolicy::CorrelateArgmax => {
+                let mut best = pool[0];
+                let mut best_score = self.correlate(best);
+                for &v in &pool[1..] {
+                    let s = self.correlate(v);
+                    if s > best_score || (s == best_score && v < best) {
+                        best = v;
+                        best_score = s;
+                    }
+                }
+                best
+            }
+            CandidatePolicy::FirstCandidate => *pool.iter().min().expect("non-empty pool"),
+            CandidatePolicy::Random => pool[self.rng.gen_range(0..pool.len())],
+        }
+    }
+
+    fn remove_open(&mut self, a: usize, b: usize) {
+        if let Ok(i) = self.open_nbrs[a].binary_search(&b) {
+            self.open_nbrs[a].remove(i);
+            if self.open_nbrs[a].is_empty() {
+                self.open_nodes.remove(&a);
+            }
+        }
+    }
+
+    /// Appends `v` to the path, marking the step virtual when it does not ride
+    /// an original edge, and covering every uncovered edge from `v` to the ω
+    /// previous path entries.
+    fn append(&mut self, v: usize) {
+        let is_virtual = match self.path.last() {
+            Some(&prev) => prev == v || !self.g.contains_edge(prev, v),
+            None => false,
+        };
+        if self.visited[v] {
+            self.revisits += 1;
+        } else {
+            self.visited[v] = true;
+            self.unvisited_count -= 1;
+        }
+        self.path.push(v);
+        self.virtual_step.push(is_virtual);
+        let i = self.path.len() - 1;
+        let lo = i.saturating_sub(self.window);
+        for j in lo..i {
+            let u = self.path[j];
+            if u == v {
+                continue;
+            }
+            if let Some(&eid) = self.edge_of.get(&(u.min(v), u.max(v))) {
+                if !self.covered[eid] {
+                    self.covered[eid] = true;
+                    self.covered_count += 1;
+                    self.remove_open(u, v);
+                    self.remove_open(v, u);
+                }
+            }
+        }
+        if !self.open_nbrs[v].is_empty() {
+            self.stack.push(v);
+        }
+    }
+
+    /// Pops the stack until a node with uncovered-edge neighbors surfaces.
+    fn pop_open(&mut self) -> Option<usize> {
+        while let Some(v) = self.stack.pop() {
+            if !self.open_nbrs[v].is_empty() {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// Picks the starting vertex: the smallest-id odd-degree node if any (an
+/// Eulerian path, when one exists, must start there), otherwise the
+/// smallest-id node with non-zero degree, otherwise node 0.
+fn start_node(g: &Graph) -> usize {
+    (0..g.node_count())
+        .find(|&v| g.degree(v) % 2 == 1)
+        .or_else(|| (0..g.node_count()).find(|&v| g.degree(v) > 0))
+        .unwrap_or(0)
+}
+
+/// Runs Algorithm 1 over `g` under `config`.
+///
+/// # Errors
+///
+/// * [`MegaError::InvalidConfig`] if the configuration fails validation.
+/// * [`MegaError::CoverageUnreachable`] if the safety cap on path length is
+///   hit before the coverage target (cannot happen with the shipped policies
+///   and a valid θ ≤ 1).
+pub fn traverse(g: &Graph, config: &MegaConfig) -> Result<Traversal, MegaError> {
+    config.validate()?;
+    let working = if config.edge_drop > 0.0 {
+        drop_edges(g, config.edge_drop, config.seed)?
+    } else {
+        g.clone()
+    };
+    let window = resolve_window(&working, config.window);
+    let n = working.node_count();
+    let m = working.edge_count();
+    let needed = (config.coverage * m as f64).ceil() as usize;
+    let cap = config.max_path_factor * (n + 2 * m + 1);
+
+    let mut st = State::new(&working, window, config.policy, config.seed);
+    st.append(start_node(&working));
+
+    while st.unvisited_count > 0 || st.covered_count < needed {
+        if st.path.len() >= cap {
+            return Err(MegaError::CoverageUnreachable {
+                requested: config.coverage,
+                achieved: st.covered_count as f64 / m.max(1) as f64,
+            });
+        }
+        let curr = *st.path.last().expect("path starts non-empty");
+        let next = if !st.open_nbrs[curr].is_empty() {
+            // Pool 1: neighbors over uncovered edges — extend the walk.
+            let pool = st.open_nbrs[curr].clone();
+            st.select(&pool)
+        } else if let Some(v) = st.pop_open() {
+            // Pool 2: revisit a node that still has open edges.
+            v
+        } else if st.unvisited_count > 0 {
+            // Pool 3: jump to an unvisited node.
+            let pool: Vec<usize> = (0..n).filter(|&v| !st.visited[v]).collect();
+            st.select(&pool)
+        } else {
+            // Coverage not met but stack is empty: jump to any open node.
+            // (Reachable when a far region's edges were only partly covered.)
+            let pool: Vec<usize> = st.open_nodes.iter().copied().collect();
+            if pool.is_empty() {
+                // Every edge is covered; needed > m is impossible for θ ≤ 1.
+                break;
+            }
+            st.select(&pool)
+        };
+        st.append(next);
+    }
+
+    let covered_count = st.covered_count;
+    let virtual_edge_count = st.virtual_step.iter().filter(|&&b| b).count();
+    Ok(Traversal {
+        path: st.path,
+        virtual_step: st.virtual_step,
+        window,
+        covered_edges: covered_count,
+        working_edges: m,
+        revisits: st.revisits,
+        virtual_edge_count,
+        working_graph: working,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WindowPolicy;
+    use mega_graph::{generate, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig3a() -> Graph {
+        // The 7-node demonstration graph of Fig. 3a.
+        GraphBuilder::undirected(7)
+            .edges([(0, 1), (0, 5), (1, 2), (1, 5), (2, 3), (2, 6), (3, 6), (3, 4), (4, 6), (5, 6)])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn full_cfg(window: usize) -> MegaConfig {
+        MegaConfig::default().with_window(WindowPolicy::Fixed(window))
+    }
+
+    #[test]
+    fn covers_all_nodes_and_edges_at_full_coverage() {
+        let g = fig3a();
+        let t = traverse(&g, &full_cfg(1)).unwrap();
+        let mut seen = [false; 7];
+        for &v in &t.path {
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(t.covered_edges, g.edge_count());
+        assert!((t.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_steps_follow_original_edges() {
+        let g = fig3a();
+        let t = traverse(&g, &full_cfg(2)).unwrap();
+        for i in 1..t.path.len() {
+            if !t.virtual_step[i] {
+                assert!(
+                    g.contains_edge(t.path[i - 1], t.path[i]),
+                    "step {} -> {} marked real but not an edge",
+                    t.path[i - 1],
+                    t.path[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_needs_no_virtual_edges_or_revisits_for_nodes() {
+        // An even cycle has an Eulerian circuit; with ω=1 the walk just goes
+        // around it.
+        let g = generate::cycle(10).unwrap();
+        let t = traverse(&g, &full_cfg(1)).unwrap();
+        assert_eq!(t.virtual_edge_count, 0);
+        // Path is 0,1,...,9 plus one revisit closing the last edge (9,0).
+        assert_eq!(t.path.len(), 11);
+        assert_eq!(t.revisits, 1);
+    }
+
+    #[test]
+    fn disconnected_graph_uses_virtual_jumps() {
+        let g = GraphBuilder::undirected(6)
+            .edges([(0, 1), (1, 2), (3, 4), (4, 5)])
+            .unwrap()
+            .build()
+            .unwrap();
+        let t = traverse(&g, &full_cfg(1)).unwrap();
+        assert!(t.virtual_edge_count >= 1);
+        assert_eq!(t.covered_edges, 4);
+        let mut seen = [false; 6];
+        for &v in &t.path {
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn isolated_nodes_appear_in_path() {
+        let g = GraphBuilder::undirected(4).edges([(0, 1)]).unwrap().build().unwrap();
+        let t = traverse(&g, &full_cfg(1)).unwrap();
+        for v in 0..4 {
+            assert!(t.path.contains(&v), "node {v} missing from path");
+        }
+    }
+
+    #[test]
+    fn partial_coverage_stops_early() {
+        let g = generate::complete(12).unwrap(); // 66 edges
+        let half = MegaConfig::default()
+            .with_window(WindowPolicy::Fixed(1))
+            .with_coverage(0.5);
+        let t = traverse(&g, &half).unwrap();
+        assert!(t.coverage() >= 0.5);
+        let full = traverse(&g, &full_cfg(1)).unwrap();
+        assert!(t.path.len() < full.path.len());
+    }
+
+    #[test]
+    fn larger_window_covers_with_fewer_revisits() {
+        let g = generate::complete(10).unwrap();
+        let t1 = traverse(&g, &full_cfg(1)).unwrap();
+        let t4 = traverse(&g, &full_cfg(4)).unwrap();
+        assert!(t4.revisits <= t1.revisits);
+        assert!(t4.path.len() <= t1.path.len());
+        assert_eq!(t4.covered_edges, 45);
+    }
+
+    #[test]
+    fn revisits_respect_two_sided_floor() {
+        let g = generate::barabasi_albert(60, 3, &mut StdRng::seed_from_u64(5)).unwrap();
+        for w in [1usize, 2, 4] {
+            let t = traverse(&g, &full_cfg(w)).unwrap();
+            let floor = crate::window::revisit_floor_two_sided(&g.degrees(), w);
+            assert!(
+                t.revisits >= floor,
+                "window {w}: revisits {} below floor {floor}",
+                t.revisits
+            );
+        }
+    }
+
+    #[test]
+    fn edge_drop_shortens_path() {
+        let g = generate::complete(14).unwrap();
+        let base = traverse(&g, &full_cfg(2)).unwrap();
+        let dropped = traverse(&g, &full_cfg(2).with_edge_drop(0.5)).unwrap();
+        assert!(dropped.working_edges < base.working_edges);
+        assert!(dropped.path.len() < base.path.len());
+        assert!((dropped.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = generate::erdos_renyi(40, 0.15, &mut StdRng::seed_from_u64(3)).unwrap();
+        let a = traverse(&g, &full_cfg(2)).unwrap();
+        let b = traverse(&g, &full_cfg(2)).unwrap();
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.virtual_step, b.virtual_step);
+    }
+
+    #[test]
+    fn policies_all_reach_full_coverage() {
+        let g = generate::erdos_renyi(30, 0.2, &mut StdRng::seed_from_u64(8)).unwrap();
+        for policy in [
+            CandidatePolicy::CorrelateArgmax,
+            CandidatePolicy::FirstCandidate,
+            CandidatePolicy::Random,
+        ] {
+            let cfg = full_cfg(2).with_policy(policy);
+            let t = traverse(&g, &cfg).unwrap();
+            assert_eq!(t.covered_edges, g.edge_count(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn start_prefers_odd_degree() {
+        // Path graph: endpoints have odd degree; node 0 is one.
+        let g = generate::path(5).unwrap();
+        assert_eq!(start_node(&g), 0);
+        // Star: all leaves odd (degree 1), hub even when n-1 even.
+        let g = generate::star(5).unwrap();
+        assert_eq!(start_node(&g), 1);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = GraphBuilder::undirected(1).build().unwrap();
+        let t = traverse(&g, &full_cfg(1)).unwrap();
+        assert_eq!(t.path, vec![0]);
+        assert_eq!(t.covered_edges, 0);
+        assert!((t.coverage() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Adaptive window sizing and the revisit lower bound.
+//!
+//! The paper (§III-B, §III-C): the window ω "can be adaptively tuned based on
+//! the mean degree of the input processing graph", and the theoretical lower
+//! bound on the number of revisits achievable with window ω is
+//! `Σ_{d_i ∈ D} ⌈d_i / ω⌉ − n`.
+
+use crate::config::WindowPolicy;
+use mega_graph::Graph;
+
+/// Chooses a window for `g`: roughly half the mean degree (each appearance of
+/// a node can cover up to ω edges on each side of the diagonal), clamped to
+/// `[min, max]` and never below 1.
+///
+/// # Example
+///
+/// ```
+/// use mega_core::adaptive_window;
+/// use mega_graph::generate;
+///
+/// let g = generate::cycle(10).unwrap(); // mean degree 2
+/// assert_eq!(adaptive_window(&g, 1, 16), 1);
+/// ```
+pub fn adaptive_window(g: &Graph, min: usize, max: usize) -> usize {
+    let mean = g.mean_degree();
+    let w = (mean / 2.0).round() as usize;
+    w.clamp(min.max(1), max.max(min.max(1)))
+}
+
+/// Resolves a [`WindowPolicy`] against a concrete graph.
+pub fn resolve_window(g: &Graph, policy: WindowPolicy) -> usize {
+    match policy {
+        WindowPolicy::Fixed(w) => w.max(1),
+        WindowPolicy::Adaptive { min, max } => adaptive_window(g, min, max),
+    }
+}
+
+/// The paper's optimistic lower bound on revisit count for window ω:
+/// `Σ ⌈d_i / ω⌉ − n`, clamped at 0.
+///
+/// Intuition: a node of degree `d` needs at least `⌈d/ω⌉` appearances for all
+/// of its edges to fall inside a width-ω band; everything beyond the first
+/// appearance is a revisit.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn revisit_lower_bound(degrees: &[usize], window: usize) -> usize {
+    assert!(window >= 1, "window must be >= 1");
+    let total: usize = degrees.iter().map(|&d| d.div_ceil(window)).sum();
+    total.saturating_sub(degrees.len())
+}
+
+/// A tighter variant accounting for both sides of the band: each appearance
+/// of a node can host up to `2ω` incident edges (ω backward, ω forward), so a
+/// node of degree `d` needs at least `⌈d / 2ω⌉` appearances. Used by tests as
+/// a true invariant on traversal output.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn revisit_floor_two_sided(degrees: &[usize], window: usize) -> usize {
+    assert!(window >= 1, "window must be >= 1");
+    let total: usize = degrees.iter().map(|&d| d.div_ceil(2 * window)).sum();
+    total.saturating_sub(degrees.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate;
+
+    #[test]
+    fn lower_bound_zero_when_window_covers_degree() {
+        // Cycle: all degrees 2, window 2 -> ceil(2/2)=1 per node -> bound 0.
+        assert_eq!(revisit_lower_bound(&[2, 2, 2, 2], 2), 0);
+        // Window 1 -> ceil(2/1)=2 per node -> bound n.
+        assert_eq!(revisit_lower_bound(&[2, 2, 2, 2], 1), 4);
+    }
+
+    #[test]
+    fn lower_bound_scales_with_hub_degree() {
+        // Star with hub degree 9, window 2: hub needs ceil(9/2)=5 appearances.
+        let mut degrees = vec![1usize; 9];
+        degrees.push(9);
+        assert_eq!(revisit_lower_bound(&degrees, 2), (9 + 5) - 10);
+    }
+
+    #[test]
+    fn two_sided_floor_is_no_larger() {
+        let degrees = [5usize, 3, 8, 1, 12];
+        for w in 1..6 {
+            assert!(revisit_floor_two_sided(&degrees, w) <= revisit_lower_bound(&degrees, w));
+        }
+    }
+
+    #[test]
+    fn adaptive_window_tracks_mean_degree() {
+        let sparse = generate::path(20).unwrap(); // mean degree ~1.9
+        assert_eq!(adaptive_window(&sparse, 1, 16), 1);
+        let dense = generate::complete(21).unwrap(); // mean degree 20
+        assert_eq!(adaptive_window(&dense, 1, 16), 10);
+        // Clamped by max.
+        assert_eq!(adaptive_window(&dense, 1, 4), 4);
+    }
+
+    #[test]
+    fn resolve_window_fixed_and_adaptive() {
+        let g = generate::cycle(6).unwrap();
+        assert_eq!(resolve_window(&g, WindowPolicy::Fixed(7)), 7);
+        assert_eq!(resolve_window(&g, WindowPolicy::Fixed(0)), 1); // floor at 1
+        assert_eq!(resolve_window(&g, WindowPolicy::Adaptive { min: 2, max: 8 }), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 1")]
+    fn zero_window_panics() {
+        revisit_lower_bound(&[1, 2], 0);
+    }
+}

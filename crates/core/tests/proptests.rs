@@ -1,0 +1,144 @@
+//! Property-based tests for MEGA preprocessing invariants.
+
+use mega_core::{
+    preprocess, revisit_lower_bound, traverse, window::revisit_floor_two_sided, BandMask,
+    CandidatePolicy, MegaConfig, WindowPolicy,
+};
+use mega_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// Arbitrary simple undirected graph.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..60).prop_map(move |pairs| {
+            let mut b = GraphBuilder::undirected(n);
+            b.dedup(true);
+            for (a, c) in pairs {
+                b.edge(a, c).unwrap();
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = MegaConfig> {
+    (
+        1usize..5,
+        prop_oneof![
+            Just(CandidatePolicy::CorrelateArgmax),
+            Just(CandidatePolicy::FirstCandidate),
+            Just(CandidatePolicy::Random)
+        ],
+        0u64..100,
+    )
+        .prop_map(|(w, policy, seed)| {
+            MegaConfig::default()
+                .with_window(WindowPolicy::Fixed(w))
+                .with_policy(policy)
+                .with_seed(seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_node_appears_at_least_once((g, cfg) in (arb_graph(), arb_config())) {
+        let t = traverse(&g, &cfg).unwrap();
+        let mut seen = vec![false; g.node_count()];
+        for &v in &t.path {
+            seen[v] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_coverage_reached((g, cfg) in (arb_graph(), arb_config())) {
+        let t = traverse(&g, &cfg).unwrap();
+        prop_assert_eq!(t.covered_edges, g.edge_count());
+    }
+
+    #[test]
+    fn real_steps_ride_original_edges((g, cfg) in (arb_graph(), arb_config())) {
+        let t = traverse(&g, &cfg).unwrap();
+        for i in 1..t.path.len() {
+            if !t.virtual_step[i] {
+                prop_assert!(g.contains_edge(t.path[i - 1], t.path[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn revisits_at_least_two_sided_floor((g, cfg) in (arb_graph(), arb_config())) {
+        let t = traverse(&g, &cfg).unwrap();
+        let floor = revisit_floor_two_sided(&g.degrees(), t.window);
+        prop_assert!(t.revisits >= floor);
+        // The paper's one-sided bound is an upper estimate of the floor.
+        prop_assert!(revisit_lower_bound(&g.degrees(), t.window) >= floor);
+    }
+
+    #[test]
+    fn band_mask_claims_each_edge_once((g, cfg) in (arb_graph(), arb_config())) {
+        let t = traverse(&g, &cfg).unwrap();
+        let band = BandMask::from_traversal(&t);
+        let mut claimed = std::collections::HashSet::new();
+        for s in band.active_slots() {
+            prop_assert!(s.hi - s.lo >= 1 && s.hi - s.lo <= band.window());
+            prop_assert!(claimed.insert(s.edge));
+        }
+        prop_assert_eq!(claimed.len(), g.edge_count());
+    }
+
+    #[test]
+    fn band_slots_connect_true_endpoints((g, cfg) in (arb_graph(), arb_config())) {
+        let t = traverse(&g, &cfg).unwrap();
+        let band = BandMask::from_traversal(&t);
+        let pairs: Vec<(usize, usize)> = g.edges().collect();
+        for s in band.active_slots() {
+            let (a, b) = pairs[s.edge];
+            let (u, v) = (t.path[s.lo], t.path[s.hi]);
+            prop_assert!((u, v) == (a, b) || (u, v) == (b, a));
+        }
+    }
+
+    #[test]
+    fn partial_coverage_meets_theta(g in arb_graph(), theta in 0.2f64..1.0) {
+        let cfg = MegaConfig::default()
+            .with_window(WindowPolicy::Fixed(2))
+            .with_coverage(theta);
+        let t = traverse(&g, &cfg).unwrap();
+        if g.edge_count() > 0 {
+            prop_assert!(t.coverage() + 1e-12 >= theta);
+        }
+    }
+
+    #[test]
+    fn schedule_round_trips_scatter_gather((g, cfg) in (arb_graph(), arb_config())) {
+        let s = preprocess(&g, &cfg).unwrap();
+        for (v, positions) in s.scatter_index().iter().enumerate() {
+            prop_assert!(!positions.is_empty());
+            for &p in positions {
+                prop_assert_eq!(s.gather_index()[p], v);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_drop_keeps_subset(g in arb_graph(), drop in 0.0f64..0.9, seed in 0u64..50) {
+        prop_assume!(g.edge_count() > 0);
+        let d = mega_core::edge_drop::drop_edges(&g, drop, seed).unwrap();
+        for (s, t) in d.edges() {
+            prop_assert!(g.contains_edge(s, t));
+        }
+        prop_assert!(d.edge_count() >= 1);
+    }
+
+    #[test]
+    fn path_length_bounded(g in arb_graph()) {
+        // Full coverage paths never exceed n + 2m appearances in practice;
+        // assert the generous safety bound of the config is far from binding.
+        let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(1));
+        let t = traverse(&g, &cfg).unwrap();
+        prop_assert!(t.path.len() <= g.node_count() + 2 * g.edge_count() + 1);
+    }
+}

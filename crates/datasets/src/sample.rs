@@ -1,0 +1,186 @@
+//! Dataset container types.
+
+use mega_graph::{DatasetStats, Graph};
+
+/// The prediction target of one graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// A scalar regression target.
+    Regression(f32),
+    /// A class index.
+    Class(usize),
+}
+
+impl Target {
+    /// The regression value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on classification targets.
+    pub fn value(&self) -> f32 {
+        match self {
+            Target::Regression(v) => *v,
+            Target::Class(_) => panic!("classification target has no regression value"),
+        }
+    }
+
+    /// The class index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on regression targets.
+    pub fn class(&self) -> usize {
+        match self {
+            Target::Class(c) => *c,
+            Target::Regression(_) => panic!("regression target has no class"),
+        }
+    }
+}
+
+/// The task a dataset poses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Graph regression (L1/MAE loss).
+    Regression,
+    /// Graph classification with this many classes (cross-entropy loss).
+    Classification {
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+/// One labeled graph with categorical node and edge features.
+#[derive(Debug, Clone)]
+pub struct GraphSample {
+    /// The topology.
+    pub graph: Graph,
+    /// One categorical feature id per node.
+    pub node_features: Vec<usize>,
+    /// One categorical feature id per edge (indexed by edge id).
+    pub edge_features: Vec<usize>,
+    /// The prediction target.
+    pub target: Target,
+}
+
+impl GraphSample {
+    /// Validates internal consistency (feature lengths match the graph).
+    pub fn is_consistent(&self) -> bool {
+        self.node_features.len() == self.graph.node_count()
+            && self.edge_features.len() == self.graph.edge_count()
+    }
+}
+
+/// A generated dataset with splits.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name ("ZINC", "AQSOL", "CSL", "CYCLES").
+    pub name: String,
+    /// The task posed.
+    pub task: Task,
+    /// Size of the node-feature vocabulary.
+    pub node_vocab: usize,
+    /// Size of the edge-feature vocabulary.
+    pub edge_vocab: usize,
+    /// Training split.
+    pub train: Vec<GraphSample>,
+    /// Validation split.
+    pub val: Vec<GraphSample>,
+    /// Test split.
+    pub test: Vec<GraphSample>,
+}
+
+impl Dataset {
+    /// All samples across splits.
+    pub fn all_samples(&self) -> impl Iterator<Item = &GraphSample> {
+        self.train.iter().chain(&self.val).chain(&self.test)
+    }
+
+    /// Table II / III statistics over the whole dataset.
+    pub fn stats(&self, max_ks_pairs: usize) -> DatasetStats {
+        let graphs: Vec<Graph> = self.all_samples().map(|s| s.graph.clone()).collect();
+        DatasetStats::of(&graphs, max_ks_pairs)
+    }
+
+    /// Checks all samples for consistency and feature-vocabulary bounds.
+    pub fn validate(&self) -> bool {
+        self.all_samples().all(|s| {
+            s.is_consistent()
+                && s.node_features.iter().all(|&f| f < self.node_vocab)
+                && s.edge_features.iter().all(|&f| f < self.edge_vocab)
+                && match (self.task, s.target) {
+                    (Task::Regression, Target::Regression(v)) => v.is_finite(),
+                    (Task::Classification { classes }, Target::Class(c)) => c < classes,
+                    _ => false,
+                }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate;
+
+    fn sample() -> GraphSample {
+        let g = generate::cycle(4).unwrap();
+        GraphSample {
+            node_features: vec![0; 4],
+            edge_features: vec![0; 4],
+            target: Target::Regression(1.5),
+            graph: g,
+        }
+    }
+
+    #[test]
+    fn consistency_checks() {
+        let s = sample();
+        assert!(s.is_consistent());
+        let mut bad = s.clone();
+        bad.node_features.pop();
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn target_accessors() {
+        assert_eq!(Target::Regression(2.0).value(), 2.0);
+        assert_eq!(Target::Class(3).class(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no class")]
+    fn regression_target_has_no_class() {
+        let _ = Target::Regression(1.0).class();
+    }
+
+    #[test]
+    fn dataset_validate_catches_bad_vocab() {
+        let mut ds = Dataset {
+            name: "T".into(),
+            task: Task::Regression,
+            node_vocab: 1,
+            edge_vocab: 1,
+            train: vec![sample()],
+            val: vec![],
+            test: vec![],
+        };
+        assert!(ds.validate());
+        ds.train[0].node_features[0] = 7; // out of vocab
+        assert!(!ds.validate());
+    }
+
+    #[test]
+    fn dataset_validate_catches_task_mismatch() {
+        let mut ds = Dataset {
+            name: "T".into(),
+            task: Task::Classification { classes: 2 },
+            node_vocab: 1,
+            edge_vocab: 1,
+            train: vec![sample()],
+            val: vec![],
+            test: vec![],
+        };
+        assert!(!ds.validate()); // regression target under classification task
+        ds.train[0].target = Target::Class(1);
+        assert!(ds.validate());
+    }
+}

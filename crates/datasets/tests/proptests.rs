@@ -1,0 +1,74 @@
+//! Property-based tests for the dataset generators.
+
+use mega_datasets::{aqsol, csl, cycles, zinc, Dataset, DatasetSpec};
+use mega_graph::algo;
+use proptest::prelude::*;
+
+fn spec(seed: u64, train: usize) -> DatasetSpec {
+    DatasetSpec { train, val: 4, test: 4, seed }
+}
+
+fn check_common(ds: &Dataset) -> Result<(), TestCaseError> {
+    prop_assert!(ds.validate(), "{} failed validation", ds.name);
+    for s in ds.all_samples() {
+        prop_assert!(s.is_consistent());
+        prop_assert!(s.graph.node_count() > 0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generator validates for arbitrary seeds and split sizes.
+    #[test]
+    fn generators_always_validate(seed in 0u64..10_000, train in 4usize..24) {
+        check_common(&zinc(&spec(seed, train)))?;
+        check_common(&aqsol(&spec(seed, train)))?;
+        check_common(&csl(&spec(seed, train)))?;
+        check_common(&cycles(&spec(seed, train)))?;
+    }
+
+    /// Molecular graphs are connected (they model single molecules).
+    #[test]
+    fn molecular_graphs_connected(seed in 0u64..2_000) {
+        for ds in [zinc(&spec(seed, 6)), aqsol(&spec(seed, 6))] {
+            for s in ds.all_samples() {
+                prop_assert!(algo::is_connected(&s.graph), "{}", ds.name);
+            }
+        }
+    }
+
+    /// CSL graphs are always 4-regular and connected regardless of seed.
+    #[test]
+    fn csl_always_regular(seed in 0u64..2_000) {
+        let ds = csl(&spec(seed, 8));
+        for s in ds.all_samples() {
+            prop_assert!(s.graph.degrees().iter().all(|&d| d == 4));
+            prop_assert!(algo::is_connected(&s.graph));
+        }
+    }
+
+    /// CYCLES labels always match the structural ground truth.
+    #[test]
+    fn cycles_labels_truthful(seed in 0u64..2_000) {
+        let ds = cycles(&spec(seed, 8));
+        for s in ds.all_samples() {
+            prop_assert_eq!(
+                s.target.class() == 1,
+                mega_datasets::cycles::has_triangle(&s.graph)
+            );
+        }
+    }
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn deterministic_per_spec(seed in 0u64..2_000) {
+        let a = zinc(&spec(seed, 5));
+        let b = zinc(&spec(seed, 5));
+        for (x, y) in a.all_samples().zip(b.all_samples()) {
+            prop_assert_eq!(x.graph.edge_list(), y.graph.edge_list());
+            prop_assert_eq!(&x.node_features, &y.node_features);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Communication-volume accounting.
+
+use mega_core::AttentionSchedule;
+use mega_graph::Graph;
+use std::collections::BTreeSet;
+
+/// Communication requirements of one partitioned training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Distinct ordered partition pairs that must exchange data. The paper's
+    /// `O(k)` claim is about this number: a path partition communicates only
+    /// with its chain neighbors, while edge-cut partitions approach all-to-all.
+    pub comm_pairs: usize,
+    /// Rows (embeddings) crossing partition boundaries per aggregation round.
+    pub volume_rows: usize,
+    /// Extra replica rows MEGA stores because revisited nodes span segments
+    /// (0 for edge-cut partitioning).
+    pub replica_rows: usize,
+}
+
+/// Communication of conventional edge-cut partitioned aggregation: every edge
+/// whose endpoints live in different partitions moves one embedding row each
+/// direction, between that pair of partitions.
+///
+/// # Panics
+///
+/// Panics if `parts.len() != g.node_count()` or `k == 0`.
+pub fn edge_cut_volume(g: &Graph, parts: &[usize], k: usize) -> CommStats {
+    assert_eq!(parts.len(), g.node_count(), "one partition per node");
+    assert!(k > 0, "need at least one partition");
+    let mut pairs = BTreeSet::new();
+    let mut volume = 0usize;
+    for (a, b) in g.edges() {
+        let (pa, pb) = (parts[a], parts[b]);
+        if pa != pb {
+            pairs.insert((pa.min(pb), pa.max(pb)));
+            volume += 2; // one row each direction per aggregation round
+        }
+    }
+    CommStats { partitions: k, comm_pairs: pairs.len(), volume_rows: volume, replica_rows: 0 }
+}
+
+/// Communication of MEGA's path-segment partitioning: adjacent segments
+/// exchange their ω-row halos (two transfers per interior boundary), and
+/// nodes whose appearances span multiple segments are replicated and synced
+/// once per round.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn path_partition_volume(schedule: &AttentionSchedule, k: usize) -> CommStats {
+    assert!(k > 0, "need at least one partition");
+    let parts = crate::partition::path_segments(schedule, k);
+    let window = schedule.path().window();
+    let boundaries = parts.windows(2).filter(|w| w[0] != w[1]).count();
+    // Halo exchange: each boundary moves ω rows in each direction.
+    let halo_volume = boundaries * 2 * window;
+    // Replica sync: a node appearing in s > 1 segments syncs s - 1 rows.
+    let mut replica_rows = 0usize;
+    for positions in schedule.scatter_index() {
+        let mut segs = BTreeSet::new();
+        for &p in positions {
+            segs.insert(parts[p]);
+        }
+        replica_rows += segs.len().saturating_sub(1);
+    }
+    CommStats {
+        partitions: k,
+        comm_pairs: boundaries,
+        volume_rows: halo_volume + replica_rows,
+        replica_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{bfs_partition, hash_partition};
+    use mega_core::{preprocess, MegaConfig};
+    use mega_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_partition_needs_no_communication() {
+        let g = generate::complete(8).unwrap();
+        let parts = hash_partition(&g, 1);
+        let c = edge_cut_volume(&g, &parts, 1);
+        assert_eq!(c.comm_pairs, 0);
+        assert_eq!(c.volume_rows, 0);
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let p = path_partition_volume(&s, 1);
+        assert_eq!(p.comm_pairs, 0);
+        assert_eq!(p.volume_rows, 0);
+    }
+
+    #[test]
+    fn path_partition_pairs_are_linear_in_k() {
+        let g = generate::barabasi_albert(120, 3, &mut StdRng::seed_from_u64(2)).unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        for k in [2usize, 4, 8, 16] {
+            let p = path_partition_volume(&s, k);
+            assert_eq!(p.comm_pairs, k - 1, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn edge_cut_pairs_grow_superlinearly_for_hash() {
+        let g = generate::erdos_renyi(120, 0.2, &mut StdRng::seed_from_u64(3)).unwrap();
+        let k = 8;
+        let parts = hash_partition(&g, k);
+        let c = edge_cut_volume(&g, &parts, k);
+        // Dense-ish random graph + hash partition: essentially all-to-all.
+        assert!(c.comm_pairs > 2 * (k - 1), "pairs {}", c.comm_pairs);
+    }
+
+    #[test]
+    fn bfs_partition_cuts_fewer_edges_than_hash() {
+        let g = generate::barabasi_albert(150, 2, &mut StdRng::seed_from_u64(4)).unwrap();
+        let k = 6;
+        let hash = edge_cut_volume(&g, &hash_partition(&g, k), k);
+        let bfs = edge_cut_volume(&g, &bfs_partition(&g, k), k);
+        assert!(bfs.volume_rows <= hash.volume_rows);
+    }
+
+    #[test]
+    fn mega_volume_beats_edge_cut_on_sparse_graphs() {
+        let g = generate::barabasi_albert(200, 3, &mut StdRng::seed_from_u64(5)).unwrap();
+        let k = 8;
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let cut = edge_cut_volume(&g, &hash_partition(&g, k), k);
+        let path = path_partition_volume(&s, k);
+        assert!(path.volume_rows < cut.volume_rows, "path {} vs cut {}", path.volume_rows, cut.volume_rows);
+        assert!(path.comm_pairs < cut.comm_pairs);
+    }
+
+    #[test]
+    fn replicas_counted_once_per_extra_segment() {
+        let g = generate::complete(12).unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let p = path_partition_volume(&s, 4);
+        // Complete graphs revisit heavily; some replicas must exist.
+        assert!(p.replica_rows > 0);
+        assert!(p.volume_rows >= p.replica_rows);
+    }
+}

@@ -1,0 +1,117 @@
+//! Node and path partitioners.
+
+use mega_core::AttentionSchedule;
+use mega_graph::{algo, Graph};
+
+/// Hash partitioning: node `v` goes to partition `v mod k`. The classic
+/// locality-oblivious baseline.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn hash_partition(g: &Graph, k: usize) -> Vec<usize> {
+    assert!(k > 0, "need at least one partition");
+    (0..g.node_count()).map(|v| v % k).collect()
+}
+
+/// BFS-locality partitioning: nodes are assigned to `k` near-equal chunks in
+/// breadth-first discovery order, keeping neighborhoods together — a fairer
+/// baseline than hashing.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn bfs_partition(g: &Graph, k: usize) -> Vec<usize> {
+    assert!(k > 0, "need at least one partition");
+    let n = g.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let r = algo::bfs(g, start);
+        for v in r.order {
+            if !std::mem::replace(&mut seen[v], true) || v == start {
+                order.push(v);
+            }
+        }
+    }
+    // Deduplicate while preserving order (bfs from later starts only visits
+    // unseen components, but the start itself is pushed above).
+    let mut in_order = vec![false; n];
+    order.retain(|&v| !std::mem::replace(&mut in_order[v], true));
+    let chunk = n.div_ceil(k).max(1);
+    let mut parts = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        parts[v] = (i / chunk).min(k - 1);
+    }
+    parts
+}
+
+/// Splits a path representation into `k` contiguous segments of near-equal
+/// length; returns the partition of every path position.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn path_segments(schedule: &AttentionSchedule, k: usize) -> Vec<usize> {
+    assert!(k > 0, "need at least one partition");
+    let len = schedule.path().len();
+    let chunk = len.div_ceil(k).max(1);
+    (0..len).map(|i| (i / chunk).min(k - 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_core::{preprocess, MegaConfig};
+    use mega_graph::generate;
+
+    #[test]
+    fn hash_partition_balanced() {
+        let g = generate::cycle(12).unwrap();
+        let p = hash_partition(&g, 3);
+        for part in 0..3 {
+            assert_eq!(p.iter().filter(|&&x| x == part).count(), 4);
+        }
+    }
+
+    #[test]
+    fn bfs_partition_covers_all_nodes() {
+        let g = generate::barabasi_albert(
+            50,
+            2,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+        )
+        .unwrap();
+        let p = bfs_partition(&g, 5);
+        assert_eq!(p.len(), 50);
+        assert!(p.iter().all(|&x| x < 5));
+        // Near-balanced: each part within chunk bounds.
+        for part in 0..5 {
+            let c = p.iter().filter(|&&x| x == part).count();
+            assert!((1..=10).contains(&c), "part {part} has {c}");
+        }
+    }
+
+    #[test]
+    fn path_segments_are_contiguous() {
+        let g = generate::complete(10).unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let p = path_segments(&s, 3);
+        assert_eq!(p.len(), s.path().len());
+        for w in p.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1, "segments must be contiguous");
+        }
+        assert_eq!(*p.last().unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let g = generate::cycle(4).unwrap();
+        hash_partition(&g, 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for partitioning and communication accounting.
+
+use mega_core::{preprocess, MegaConfig};
+use mega_dist::{
+    bfs_partition, edge_cut_volume, epoch_scaling, hash_partition, path_partition_volume,
+    path_segments, ClusterConfig,
+};
+use mega_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..80).prop_map(move |pairs| {
+            let mut b = GraphBuilder::undirected(n);
+            b.dedup(true);
+            for v in 1..n {
+                b.edge(v - 1, v).unwrap();
+            }
+            for (a, c) in pairs {
+                b.edge(a, c).unwrap();
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partitioners produce valid, total assignments.
+    #[test]
+    fn partitions_are_total(g in arb_graph(), k in 1usize..8) {
+        for parts in [hash_partition(&g, k), bfs_partition(&g, k)] {
+            prop_assert_eq!(parts.len(), g.node_count());
+            prop_assert!(parts.iter().all(|&p| p < k));
+        }
+    }
+
+    /// Edge-cut volume counts exactly two rows per cut edge and pairs are
+    /// bounded by k(k-1)/2.
+    #[test]
+    fn edge_cut_accounting(g in arb_graph(), k in 1usize..8) {
+        let parts = hash_partition(&g, k);
+        let c = edge_cut_volume(&g, &parts, k);
+        let cut_edges = g.edges().filter(|&(a, b)| parts[a] != parts[b]).count();
+        prop_assert_eq!(c.volume_rows, 2 * cut_edges);
+        prop_assert!(c.comm_pairs <= k * k.saturating_sub(1) / 2);
+        prop_assert_eq!(c.replica_rows, 0);
+    }
+
+    /// Path segments are contiguous, total, and yield exactly
+    /// min(k, path_len) - 1 ... communicating pairs <= k - 1.
+    #[test]
+    fn path_partition_chain(g in arb_graph(), k in 1usize..8) {
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let segs = path_segments(&s, k);
+        prop_assert_eq!(segs.len(), s.path().len());
+        for w in segs.windows(2) {
+            prop_assert!(w[1] == w[0] || w[1] == w[0] + 1);
+        }
+        let p = path_partition_volume(&s, k);
+        prop_assert!(p.comm_pairs <= k.saturating_sub(1));
+        prop_assert!(p.volume_rows >= p.replica_rows);
+    }
+
+    /// Scaling predictions are physical: positive times, speedup ≤ k, and
+    /// communication grows with volume.
+    #[test]
+    fn scaling_is_physical(g in arb_graph(), k in 1usize..8) {
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let stats = path_partition_volume(&s, k);
+        let point = epoch_scaling(1.0, &stats, 10, 32, &ClusterConfig::ten_gbe());
+        prop_assert!(point.total_seconds > 0.0);
+        prop_assert!(point.speedup <= k as f64 + 1e-9);
+        prop_assert!((point.compute_seconds + point.comm_seconds - point.total_seconds).abs() < 1e-12);
+    }
+}

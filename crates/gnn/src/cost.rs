@@ -1,0 +1,78 @@
+//! Glue to the GPU cost model: stamps training epochs with simulated
+//! GTX 1080 wall-clock time.
+
+use crate::config::{EngineChoice, GnnConfig, ModelKind};
+use mega_core::AttentionSchedule;
+use mega_datasets::GraphSample;
+use mega_gpu_sim::{BatchTopology, DeviceConfig, EngineKind, EpochCost, GnnCostModel, ModelSpec};
+
+pub use mega_gpu_sim::model::BatchTopology as Topology;
+
+/// The Table I operator counts for a model configuration.
+pub fn model_spec(config: &GnnConfig) -> ModelSpec {
+    match config.kind {
+        ModelKind::GatedGcn => ModelSpec::gated_gcn(config.hidden_dim, config.layers),
+        ModelKind::GraphTransformer => {
+            ModelSpec::graph_transformer(config.hidden_dim, config.layers)
+        }
+        ModelKind::Gat => ModelSpec::gat(config.hidden_dim, config.layers),
+    }
+}
+
+/// Builds the simulator topology for a representative batch.
+pub fn topology(samples: &[GraphSample], schedules: Option<&[AttentionSchedule]>) -> BatchTopology {
+    let graphs: Vec<mega_graph::Graph> = samples.iter().map(|s| s.graph.clone()).collect();
+    match schedules {
+        Some(s) => BatchTopology::from_graphs_with_schedules(&graphs, s),
+        None => BatchTopology::from_graphs(&graphs),
+    }
+}
+
+/// Simulated cost of one epoch of `steps` batches shaped like `samples`.
+pub fn epoch_cost(
+    config: &GnnConfig,
+    engine: EngineChoice,
+    samples: &[GraphSample],
+    schedules: Option<&[AttentionSchedule]>,
+    steps: usize,
+) -> EpochCost {
+    let topo = topology(samples, schedules);
+    let kind = match engine {
+        EngineChoice::Baseline => EngineKind::DglBaseline,
+        EngineChoice::Mega => EngineKind::Mega,
+    };
+    GnnCostModel::new(DeviceConfig::gtx_1080(), model_spec(config), kind).epoch_cost(&topo, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_core::{preprocess, MegaConfig};
+    use mega_datasets::{zinc, DatasetSpec};
+
+    #[test]
+    fn spec_mapping() {
+        let cfg = GnnConfig::new(ModelKind::GatedGcn, 4, 4, 1).with_hidden(64).with_layers(3);
+        let spec = model_spec(&cfg);
+        assert_eq!(spec.scatter_calls, 1);
+        let cfg = GnnConfig::new(ModelKind::GraphTransformer, 4, 4, 1);
+        assert_eq!(model_spec(&cfg).scatter_calls, 5);
+    }
+
+    #[test]
+    fn mega_epoch_costs_less() {
+        let ds = zinc(&DatasetSpec::tiny(9));
+        let samples = &ds.train[..16];
+        let schedules: Vec<_> = samples
+            .iter()
+            .map(|s| preprocess(&s.graph, &MegaConfig::default()).unwrap())
+            .collect();
+        let cfg = GnnConfig::new(ModelKind::GraphTransformer, ds.node_vocab, ds.edge_vocab, 1)
+            .with_hidden(64)
+            .with_layers(2);
+        let base = epoch_cost(&cfg, EngineChoice::Baseline, samples, None, 5);
+        let mega = epoch_cost(&cfg, EngineChoice::Mega, samples, Some(&schedules), 5);
+        assert!(mega.epoch_seconds < base.epoch_seconds);
+        assert!(base.epoch_seconds > 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph attention layers.
+
+pub mod gat;
+pub mod gated_gcn;
+pub mod transformer;
+
+pub use gat::GatLayer;
+pub use gated_gcn::GatedGcnLayer;
+pub use transformer::GraphTransformerLayer;
+
+use crate::batch::EngineIndices;
+use crate::nn::Binder;
+use mega_tensor::{ParamStore, Tape, Var};
+
+/// One attention layer of either architecture.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Gated Graph ConvNet layer.
+    Gcn(GatedGcnLayer),
+    /// Graph Transformer layer.
+    Gt(GraphTransformerLayer),
+    /// Graph Attention Network layer (extension).
+    Gat(GatLayer),
+}
+
+impl Layer {
+    /// Applies the layer: `(node_states, edge_states) → (node_states,
+    /// edge_states)`. Node states have one row per node; edge states one row
+    /// per directed message.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        store: &ParamStore,
+        indices: &EngineIndices,
+        h: Var,
+        e: Var,
+    ) -> (Var, Var) {
+        match self {
+            Layer::Gcn(l) => l.forward(tape, binder, store, indices, h, e),
+            Layer::Gt(l) => l.forward(tape, binder, store, indices, h, e),
+            Layer::Gat(l) => l.forward(tape, binder, store, indices, h, e),
+        }
+    }
+}

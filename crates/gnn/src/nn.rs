@@ -1,0 +1,222 @@
+//! Neural building blocks: parameter binding, linear layers, norms, MLPs.
+
+use mega_tensor::{ParamId, ParamStore, Tape, Tensor, Var};
+use mega_tensor::init;
+use rand::Rng;
+
+/// Tracks which tape leaf corresponds to which stored parameter during one
+/// forward pass, and routes gradients back after `backward`.
+#[derive(Debug, Default)]
+pub struct Binder {
+    bound: Vec<(ParamId, Var)>,
+}
+
+impl Binder {
+    /// A fresh binder for one tape.
+    pub fn new() -> Self {
+        Binder::default()
+    }
+
+    /// Places parameter `p` on the tape and remembers the binding.
+    pub fn bind(&mut self, tape: &mut Tape, store: &ParamStore, p: ParamId) -> Var {
+        let v = store.leaf(tape, p);
+        self.bound.push((p, v));
+        v
+    }
+
+    /// Accumulates the gradients of every bound parameter into the store.
+    pub fn apply(&self, store: &mut ParamStore, grads: &mega_tensor::Gradients) {
+        for &(p, v) in &self.bound {
+            store.accumulate(p, grads.wrt(v));
+        }
+    }
+
+    /// Number of bindings recorded.
+    pub fn len(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// Whether no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bound.is_empty()
+    }
+}
+
+/// A dense layer `x·W + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    weight: ParamId,
+    bias: ParamId,
+}
+
+impl Linear {
+    /// Registers a `d_in × d_out` layer under `name`.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize, rng: &mut R) -> Self {
+        let weight = store.register(&format!("{name}.w"), init::xavier_uniform(d_in, d_out, rng));
+        let bias = store.register(&format!("{name}.b"), Tensor::zeros(1, d_out));
+        Linear { weight, bias }
+    }
+
+    /// Applies the layer on the tape.
+    pub fn forward(&self, tape: &mut Tape, binder: &mut Binder, store: &ParamStore, x: Var) -> Var {
+        let w = binder.bind(tape, store, self.weight);
+        let b = binder.bind(tape, store, self.bias);
+        let y = tape.matmul(x, w);
+        tape.add_row(y, b)
+    }
+}
+
+/// Learnable affine normalization parameters (shared by layer/batch norm).
+#[derive(Debug, Clone, Copy)]
+pub struct NormParams {
+    gamma: ParamId,
+    beta: ParamId,
+}
+
+impl NormParams {
+    /// Registers `gamma = 1`, `beta = 0` of width `d` under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, d: usize) -> Self {
+        let gamma = store.register(&format!("{name}.gamma"), Tensor::full(1, d, 1.0));
+        let beta = store.register(&format!("{name}.beta"), Tensor::zeros(1, d));
+        NormParams { gamma, beta }
+    }
+
+    /// Row-wise layer norm.
+    pub fn layer_norm(&self, tape: &mut Tape, binder: &mut Binder, store: &ParamStore, x: Var) -> Var {
+        let g = binder.bind(tape, store, self.gamma);
+        let b = binder.bind(tape, store, self.beta);
+        tape.layer_norm(x, g, b, 1e-5)
+    }
+
+    /// Column-wise batch norm (training statistics).
+    pub fn batch_norm(&self, tape: &mut Tape, binder: &mut Binder, store: &ParamStore, x: Var) -> Var {
+        let g = binder.bind(tape, store, self.gamma);
+        let b = binder.bind(tape, store, self.beta);
+        tape.batch_norm(x, g, b, 1e-5)
+    }
+}
+
+/// An embedding table: categorical ids → learnable rows.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    table: ParamId,
+}
+
+impl Embedding {
+    /// Registers a `vocab × d` table under `name`.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, vocab: usize, d: usize, rng: &mut R) -> Self {
+        let table = store.register(name, init::xavier_uniform(vocab, d, rng));
+        Embedding { table }
+    }
+
+    /// Looks up rows for `ids`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        store: &ParamStore,
+        ids: std::rc::Rc<Vec<usize>>,
+    ) -> Var {
+        let t = binder.bind(tape, store, self.table);
+        tape.gather_rows(t, ids)
+    }
+}
+
+/// A two-layer MLP with ReLU (`d_in → d_hidden → d_out`).
+#[derive(Debug, Clone, Copy)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl Mlp {
+    /// Registers the MLP under `name`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_hidden: usize,
+        d_out: usize,
+        rng: &mut R,
+    ) -> Self {
+        Mlp {
+            fc1: Linear::new(store, &format!("{name}.fc1"), d_in, d_hidden, rng),
+            fc2: Linear::new(store, &format!("{name}.fc2"), d_hidden, d_out, rng),
+        }
+    }
+
+    /// Applies `fc2(relu(fc1(x)))`.
+    pub fn forward(&self, tape: &mut Tape, binder: &mut Binder, store: &ParamStore, x: Var) -> Var {
+        let h = self.fc1.forward(tape, binder, store, x);
+        let h = tape.relu(h);
+        self.fc2.forward(tape, binder, store, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::rc::Rc;
+
+    #[test]
+    fn linear_shapes_and_grads_flow() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let x = tape.leaf(Tensor::full(4, 3, 1.0));
+        let y = lin.forward(&mut tape, &mut binder, &store, x);
+        assert_eq!(tape.value(y).shape(), (4, 2));
+        let loss = tape.sum(y);
+        let grads = tape.backward(loss);
+        binder.apply(&mut store, &grads);
+        let wid = store.id_of("l.w").unwrap();
+        assert!(store.grad(wid).norm() > 0.0);
+        assert_eq!(binder.len(), 2);
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let emb = Embedding::new(&mut store, "e", 5, 4, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let out = emb.forward(&mut tape, &mut binder, &store, Rc::new(vec![0, 4, 0]));
+        assert_eq!(tape.value(out).shape(), (3, 4));
+        // Row 0 repeated.
+        assert_eq!(tape.value(out).row(0), tape.value(out).row(2));
+    }
+
+    #[test]
+    fn mlp_forward_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut store, "m", 4, 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let x = tape.leaf(Tensor::full(5, 4, 0.5));
+        let y = mlp.forward(&mut tape, &mut binder, &store, x);
+        assert_eq!(tape.value(y).shape(), (5, 2));
+        assert_eq!(store.len(), 4); // two weights + two biases
+    }
+
+    #[test]
+    fn norm_params_normalize() {
+        let mut store = ParamStore::new();
+        let np = NormParams::new(&mut store, "n", 3);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let x = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 8.0, 12.0]]));
+        let y = np.layer_norm(&mut tape, &mut binder, &store, x);
+        // Each row has ~zero mean under gamma=1, beta=0.
+        for r in 0..2 {
+            let row = tape.value(y).row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Training loop with per-epoch metrics and simulated GPU wall clock.
+
+use crate::batch::Batch;
+use crate::config::{EngineChoice, GnnConfig};
+use crate::cost;
+use crate::metrics;
+use crate::model::Gnn;
+use crate::nn::Binder;
+use mega_core::{preprocess, AttentionSchedule, MegaConfig};
+use mega_datasets::{Dataset, GraphSample, Task};
+use mega_tensor::{Adam, Optimizer, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One epoch of the training history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f64,
+    /// Validation loss.
+    pub val_loss: f64,
+    /// Validation task metric (MAE for regression — lower is better;
+    /// accuracy for classification — higher is better).
+    pub val_metric: f64,
+    /// Cumulative *simulated GPU* seconds at the end of this epoch
+    /// (including MEGA's one-time preprocessing, charged up front).
+    pub sim_seconds: f64,
+    /// Cumulative host (real) seconds of the run.
+    pub real_seconds: f64,
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Engine label ("DGL" / "Mega").
+    pub engine: String,
+    /// Model label ("GCN" / "GT").
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-epoch records.
+    pub records: Vec<EpochRecord>,
+    /// CPU seconds spent in MEGA preprocessing (0 for the baseline).
+    pub preprocess_seconds: f64,
+    /// Simulated seconds for one epoch.
+    pub epoch_sim_seconds: f64,
+    /// Held-out test loss after the final epoch.
+    pub test_loss: f64,
+    /// Held-out test metric after the final epoch (MAE or accuracy).
+    pub test_metric: f64,
+}
+
+impl TrainingHistory {
+    /// The best (minimum) validation loss reached.
+    pub fn best_val_loss(&self) -> f64 {
+        self.records.iter().map(|r| r.val_loss).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The final validation metric.
+    pub fn final_metric(&self) -> f64 {
+        self.records.last().map_or(f64::NAN, |r| r.val_metric)
+    }
+
+    /// Simulated seconds needed to first reach `target` validation loss, if
+    /// ever reached (the paper's convergence-time measure).
+    pub fn sim_seconds_to_loss(&self, target: f64) -> Option<f64> {
+        self.records.iter().find(|r| r.val_loss <= target).map(|r| r.sim_seconds)
+    }
+}
+
+/// Trains a model on a dataset under one engine.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Graphs per batch.
+    pub batch_size: usize,
+    /// Epochs to run (upper bound when early stopping is enabled).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient-norm clip.
+    pub grad_clip: f32,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// MEGA preprocessing configuration (used when `engine` is Mega).
+    pub mega_config: MegaConfig,
+    /// Reduce-on-plateau: halve the learning rate after this many epochs
+    /// without validation-loss improvement (0 disables). The protocol of the
+    /// benchmark the paper builds on (Dwivedi et al.).
+    pub lr_patience: usize,
+    /// Early stopping: end the run after this many epochs without
+    /// validation-loss improvement (0 disables).
+    pub early_stop_patience: usize,
+    /// Reshuffle the sample-to-batch assignment every epoch with this seed
+    /// (`None` keeps the fixed dataset order). Batches are rebuilt per epoch,
+    /// which for the MEGA engine re-batches precomputed index structures —
+    /// preprocessing itself is not repeated conceptually, but this costs CPU
+    /// time in this implementation; benches keep it off.
+    pub shuffle_seed: Option<u64>,
+}
+
+impl Trainer {
+    /// A trainer with the defaults used across the benches.
+    pub fn new(engine: EngineChoice) -> Self {
+        Trainer {
+            batch_size: 32,
+            epochs: 10,
+            lr: 5e-3,
+            grad_clip: 5.0,
+            engine,
+            mega_config: MegaConfig::default(),
+            lr_patience: 0,
+            early_stop_patience: 0,
+            shuffle_seed: None,
+        }
+    }
+
+    /// Enables per-epoch batch shuffling.
+    pub fn with_shuffle(mut self, seed: u64) -> Self {
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Enables reduce-on-plateau LR halving with the given patience.
+    pub fn with_lr_patience(mut self, patience: usize) -> Self {
+        self.lr_patience = patience;
+        self
+    }
+
+    /// Enables early stopping with the given patience.
+    pub fn with_early_stop(mut self, patience: usize) -> Self {
+        self.early_stop_patience = patience;
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Sets the MEGA preprocessing configuration.
+    pub fn with_mega_config(mut self, cfg: MegaConfig) -> Self {
+        self.mega_config = cfg;
+        self
+    }
+
+    fn preprocess_all(&self, samples: &[GraphSample]) -> Vec<AttentionSchedule> {
+        samples
+            .iter()
+            .map(|s| {
+                preprocess(&s.graph, &self.mega_config)
+                    .expect("preprocessing of a valid graph cannot fail")
+            })
+            .collect()
+    }
+
+    fn build_batches(&self, samples: &[GraphSample]) -> Vec<Batch> {
+        let chunks: Vec<&[GraphSample]> = samples.chunks(self.batch_size).collect();
+        match self.engine {
+            EngineChoice::Baseline => chunks.into_iter().map(Batch::baseline).collect(),
+            EngineChoice::Mega => chunks
+                .into_iter()
+                .map(|c| {
+                    let schedules = self.preprocess_all(c);
+                    Batch::mega(c, &schedules)
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs training and returns the per-epoch history.
+    pub fn run(&self, dataset: &Dataset, config: GnnConfig) -> TrainingHistory {
+        let start = Instant::now();
+        let task = dataset.task;
+
+        // One-time preprocessing (CPU side, decoupled from training).
+        let pre_start = Instant::now();
+        let train_batches = self.build_batches(&dataset.train);
+        let val_batches = self.build_batches(&dataset.val);
+        let preprocess_seconds = if self.engine == EngineChoice::Mega {
+            pre_start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        };
+
+        // Simulated GPU epoch time from a representative batch.
+        let rep = &dataset.train[..dataset.train.len().min(self.batch_size)];
+        let rep_schedules = if self.engine == EngineChoice::Mega {
+            Some(self.preprocess_all(rep))
+        } else {
+            None
+        };
+        let epoch_sim_seconds = cost::epoch_cost(
+            &config,
+            self.engine,
+            rep,
+            rep_schedules.as_deref(),
+            train_batches.len(),
+        )
+        .epoch_seconds;
+
+        let mut store = ParamStore::new();
+        let model = Gnn::new(&mut store, config.clone());
+        let mut opt = Adam::new(self.lr);
+        let mut records = Vec::with_capacity(self.epochs);
+        let mut sim_clock = preprocess_seconds;
+        let mut best_val = f64::INFINITY;
+        let mut since_best = 0usize;
+        #[allow(unused_assignments)]
+        let mut shuffled_storage: Vec<Batch> = Vec::new();
+
+        let mut shuffle_rng = self.shuffle_seed.map(StdRng::seed_from_u64);
+        let mut shuffled_samples = dataset.train.clone();
+        for epoch in 1..=self.epochs {
+            // Optional per-epoch reshuffle of the sample order.
+            let epoch_batches: &[Batch] = match shuffle_rng.as_mut() {
+                Some(rng) if epoch > 1 => {
+                    shuffled_samples.shuffle(rng);
+                    shuffled_storage = self.build_batches(&shuffled_samples);
+                    &shuffled_storage
+                }
+                _ => &train_batches,
+            };
+            let mut loss_sum = 0.0f64;
+            for batch in epoch_batches {
+                let mut tape = Tape::new();
+                let mut binder = Binder::new();
+                let pred = model.forward(&mut tape, &mut binder, &store, batch);
+                let loss = model.loss(&mut tape, pred, batch, task);
+                loss_sum += tape.value(loss).at(0, 0) as f64;
+                let grads = tape.backward(loss);
+                binder.apply(&mut store, &grads);
+                store.clip_grad_norm(self.grad_clip);
+                opt.step(&mut store);
+            }
+            let train_loss = loss_sum / epoch_batches.len().max(1) as f64;
+            let (val_loss, val_metric) = self.evaluate(&model, &store, &val_batches, task);
+            sim_clock += epoch_sim_seconds;
+            records.push(EpochRecord {
+                epoch,
+                train_loss,
+                val_loss,
+                val_metric,
+                sim_seconds: sim_clock,
+                real_seconds: start.elapsed().as_secs_f64(),
+            });
+            // Plateau handling (the reference benchmark's protocol).
+            if val_loss < best_val - 1e-6 {
+                best_val = val_loss;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if self.lr_patience > 0 && since_best.is_multiple_of(self.lr_patience) {
+                    let lr = opt.learning_rate() * 0.5;
+                    opt.set_learning_rate(lr);
+                }
+                if self.early_stop_patience > 0 && since_best >= self.early_stop_patience {
+                    break;
+                }
+            }
+        }
+
+        // Final held-out evaluation.
+        let test_batches = self.build_batches(&dataset.test);
+        let (test_loss, test_metric) = self.evaluate(&model, &store, &test_batches, task);
+
+        TrainingHistory {
+            engine: self.engine.label().to_string(),
+            model: config.kind.label().to_string(),
+            dataset: dataset.name.clone(),
+            records,
+            preprocess_seconds,
+            epoch_sim_seconds,
+            test_loss,
+            test_metric,
+        }
+    }
+
+    /// Evaluates `(loss, metric)` over batches without updating parameters.
+    pub fn evaluate(
+        &self,
+        model: &Gnn,
+        store: &ParamStore,
+        batches: &[Batch],
+        task: Task,
+    ) -> (f64, f64) {
+        let mut loss_sum = 0.0f64;
+        let mut metric_sum = 0.0f64;
+        let mut graphs = 0usize;
+        for batch in batches {
+            let mut tape = Tape::new();
+            let mut binder = Binder::new();
+            let pred = model.forward(&mut tape, &mut binder, store, batch);
+            let loss = model.loss(&mut tape, pred, batch, task);
+            loss_sum += tape.value(loss).at(0, 0) as f64 * batch.n_graphs() as f64;
+            let pv = tape.value(pred);
+            let m = match task {
+                Task::Regression => metrics::mae(pv, &batch.regression_targets()),
+                Task::Classification { .. } => metrics::accuracy(pv, &batch.class_targets()),
+            };
+            metric_sum += m * batch.n_graphs() as f64;
+            graphs += batch.n_graphs();
+        }
+        let g = graphs.max(1) as f64;
+        (loss_sum / g, metric_sum / g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelKind;
+    use mega_datasets::{cycles, zinc, DatasetSpec};
+
+    fn tiny_config(ds: &Dataset, kind: ModelKind, out: usize) -> GnnConfig {
+        GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, out)
+            .with_hidden(16)
+            .with_layers(2)
+            .with_heads(2)
+    }
+
+    #[test]
+    fn regression_training_reduces_loss() {
+        let ds = zinc(&DatasetSpec::tiny(21));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        let hist = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(8)
+            .with_batch_size(8)
+            .run(&ds, cfg);
+        let first = hist.records.first().unwrap().train_loss;
+        let last = hist.records.last().unwrap().train_loss;
+        assert!(last < first * 0.8, "loss did not drop: {first} -> {last}");
+        assert_eq!(hist.records.len(), 8);
+    }
+
+    #[test]
+    fn mega_training_matches_baseline_quality() {
+        let ds = zinc(&DatasetSpec::tiny(22));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        let base = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(6)
+            .with_batch_size(8)
+            .run(&ds, cfg.clone());
+        let mega = Trainer::new(EngineChoice::Mega)
+            .with_epochs(6)
+            .with_batch_size(8)
+            .run(&ds, cfg);
+        // Same initialization and equivalent math: final losses comparable.
+        let b = base.records.last().unwrap().train_loss;
+        let m = mega.records.last().unwrap().train_loss;
+        assert!((b - m).abs() < 0.35 * b.max(m).max(0.1), "baseline {b} vs mega {m}");
+        // And the simulated clock runs faster for MEGA.
+        assert!(mega.epoch_sim_seconds < base.epoch_sim_seconds);
+    }
+
+    #[test]
+    fn classification_training_improves_accuracy() {
+        let spec = DatasetSpec { train: 48, val: 16, test: 8, seed: 23 };
+        let ds = cycles(&spec);
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 2);
+        let hist = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(12)
+            .with_batch_size(8)
+            .with_lr(5e-3)
+            .run(&ds, cfg);
+        let last = hist.records.last().unwrap();
+        assert!(last.val_metric >= 0.6, "accuracy {}", last.val_metric);
+        assert!(last.train_loss < hist.records[0].train_loss);
+    }
+
+    #[test]
+    fn early_stopping_cuts_the_run() {
+        let ds = zinc(&DatasetSpec::tiny(25));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        // Zero LR: validation loss cannot improve after epoch 1.
+        let hist = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(20)
+            .with_batch_size(8)
+            .with_lr(0.0)
+            .with_early_stop(2)
+            .run(&ds, cfg);
+        assert!(hist.records.len() <= 4, "ran {} epochs", hist.records.len());
+    }
+
+    #[test]
+    fn lr_patience_is_accepted() {
+        let ds = zinc(&DatasetSpec::tiny(26));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        let hist = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(4)
+            .with_batch_size(8)
+            .with_lr_patience(1)
+            .run(&ds, cfg);
+        assert_eq!(hist.records.len(), 4);
+        assert!(hist.records.iter().all(|r| r.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn shuffling_trains_and_differs_from_fixed_order() {
+        let ds = zinc(&DatasetSpec::tiny(27));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        let fixed = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(3)
+            .with_batch_size(8)
+            .run(&ds, cfg.clone());
+        let shuffled = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(3)
+            .with_batch_size(8)
+            .with_shuffle(99)
+            .run(&ds, cfg);
+        assert!(shuffled.records.iter().all(|r| r.train_loss.is_finite()));
+        // Epoch 1 is identical (shuffle starts at epoch 2); later epochs see
+        // different batch compositions, so losses diverge.
+        assert!((fixed.records[0].train_loss - shuffled.records[0].train_loss).abs() < 1e-9);
+        assert!((fixed.records[2].train_loss - shuffled.records[2].train_loss).abs() > 1e-9);
+    }
+
+    #[test]
+    fn test_split_is_evaluated() {
+        let ds = zinc(&DatasetSpec::tiny(28));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        let hist = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(2)
+            .with_batch_size(8)
+            .run(&ds, cfg);
+        assert!(hist.test_loss.is_finite());
+        assert!(hist.test_metric.is_finite());
+        // Regression metric is MAE, same scale as val metric.
+        let last = hist.records.last().unwrap();
+        assert!((hist.test_metric - last.val_metric).abs() < 1.0);
+    }
+
+    #[test]
+    fn history_helpers() {
+        let ds = zinc(&DatasetSpec::tiny(24));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        let hist = Trainer::new(EngineChoice::Baseline)
+            .with_epochs(3)
+            .with_batch_size(8)
+            .run(&ds, cfg);
+        assert!(hist.best_val_loss().is_finite());
+        assert!(hist.final_metric().is_finite());
+        let worst = hist.records.iter().map(|r| r.val_loss).fold(0.0, f64::max);
+        assert!(hist.sim_seconds_to_loss(worst + 1.0).is_some());
+        assert!(hist.sim_seconds_to_loss(-1.0).is_none());
+        // Sim clock is monotone.
+        for w in hist.records.windows(2) {
+            assert!(w[1].sim_seconds > w[0].sim_seconds);
+        }
+    }
+}

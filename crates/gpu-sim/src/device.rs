@@ -1,0 +1,163 @@
+//! Device configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of the simulated GPU.
+///
+/// The defaults model the paper's testbed, a GeForce GTX 1080 (Pascal GP104):
+/// 20 SMs, 2 MiB L2, 32-byte sectors, ~320 GB/s GDDR5X.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// CUDA cores per SM (FP32 lanes).
+    pub cores_per_sm: usize,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// Cache line size in bytes.
+    pub l2_line_bytes: usize,
+    /// Memory transaction (sector) granularity in bytes.
+    pub sector_bytes: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// DRAM bandwidth in bytes per second.
+    pub dram_bandwidth: f64,
+    /// L2 bandwidth in bytes per cycle (device-wide).
+    pub l2_bytes_per_cycle: f64,
+    /// Latency of a DRAM access in core cycles.
+    pub dram_latency_cycles: u64,
+    /// Latency of an L2 hit in core cycles.
+    pub l2_latency_cycles: u64,
+    /// Fixed kernel launch overhead in core cycles (driver + dispatch).
+    pub launch_overhead_cycles: u64,
+    /// Achievable memory-level parallelism for scattered (index-driven)
+    /// access streams; latency is amortized over this many in-flight
+    /// requests. Streaming access achieves effectively full overlap.
+    pub scattered_mlp: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's testbed: GeForce GTX 1080.
+    pub fn gtx_1080() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 1080".to_string(),
+            sm_count: 20,
+            warp_size: 32,
+            clock_ghz: 1.607,
+            cores_per_sm: 128,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_line_bytes: 128,
+            sector_bytes: 32,
+            l2_assoc: 16,
+            dram_bandwidth: 320.0e9,
+            l2_bytes_per_cycle: 512.0,
+            dram_latency_cycles: 400,
+            l2_latency_cycles: 80,
+            launch_overhead_cycles: 12000,
+            scattered_mlp: 80,
+        }
+    }
+
+    /// A modern high-end part (RTX 3080-class: 68 SMs, 5 MiB L2, GDDR6X).
+    /// Used by the device-sensitivity ablation: more bandwidth and cache
+    /// shrink — but do not erase — the gap between scattered and banded
+    /// access.
+    pub fn rtx_3080() -> Self {
+        DeviceConfig {
+            name: "RTX 3080 (class)".to_string(),
+            sm_count: 68,
+            warp_size: 32,
+            clock_ghz: 1.71,
+            cores_per_sm: 128,
+            l2_bytes: 5 * 1024 * 1024,
+            l2_line_bytes: 128,
+            sector_bytes: 32,
+            l2_assoc: 16,
+            dram_bandwidth: 760.0e9,
+            l2_bytes_per_cycle: 2048.0,
+            dram_latency_cycles: 450,
+            l2_latency_cycles: 90,
+            launch_overhead_cycles: 8000,
+            scattered_mlp: 160,
+        }
+    }
+
+    /// A low-end part (GTX 1050-class: 5 SMs, 1 MiB L2, 112 GB/s). The
+    /// scattered-access penalty is most punishing here.
+    pub fn gtx_1050() -> Self {
+        DeviceConfig {
+            name: "GTX 1050 (class)".to_string(),
+            sm_count: 5,
+            warp_size: 32,
+            clock_ghz: 1.35,
+            cores_per_sm: 128,
+            l2_bytes: 1024 * 1024,
+            l2_line_bytes: 128,
+            sector_bytes: 32,
+            l2_assoc: 16,
+            dram_bandwidth: 112.0e9,
+            l2_bytes_per_cycle: 256.0,
+            dram_latency_cycles: 380,
+            l2_latency_cycles: 70,
+            launch_overhead_cycles: 12000,
+            scattered_mlp: 48,
+        }
+    }
+
+    /// FP32 operations the whole device can retire per cycle (FMA = 2).
+    pub fn flops_per_cycle(&self) -> f64 {
+        (self.sm_count * self.cores_per_sm) as f64 * 2.0
+    }
+
+    /// DRAM bytes deliverable per core cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth / (self.clock_ghz * 1e9)
+    }
+
+    /// Converts core cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx_1080_headline_numbers() {
+        let d = DeviceConfig::gtx_1080();
+        assert_eq!(d.sm_count, 20);
+        assert_eq!(d.l2_bytes, 2 * 1024 * 1024);
+        // 2560 cores × 2 = 5120 flops/cycle ≈ 8.2 TFLOPS at 1.607 GHz.
+        assert_eq!(d.flops_per_cycle(), 5120.0);
+        let tflops = d.flops_per_cycle() * d.clock_ghz * 1e9 / 1e12;
+        assert!((tflops - 8.23).abs() < 0.1);
+        // ~199 bytes/cycle of DRAM bandwidth.
+        assert!((d.dram_bytes_per_cycle() - 199.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn device_family_ordering() {
+        let low = DeviceConfig::gtx_1050();
+        let mid = DeviceConfig::gtx_1080();
+        let high = DeviceConfig::rtx_3080();
+        assert!(low.flops_per_cycle() < mid.flops_per_cycle());
+        assert!(mid.flops_per_cycle() < high.flops_per_cycle());
+        assert!(low.dram_bandwidth < mid.dram_bandwidth);
+        assert!(mid.l2_bytes < high.l2_bytes);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let d = DeviceConfig::gtx_1080();
+        let s = d.cycles_to_seconds(1_607_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

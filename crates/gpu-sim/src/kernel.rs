@@ -1,0 +1,167 @@
+//! Kernel taxonomy and per-kernel counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The GPU kernels appearing in the paper's profiles (Figs. 4–6, 9, 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Dense matrix multiply (cuBLAS `sgemm`) — neural ops.
+    Sgemm,
+    /// DGL-style index-driven gather (edge/vertex aggregation reads).
+    DglGather,
+    /// DGL-style index-driven scatter (message writes with atomics).
+    DglScatter,
+    /// `cub` radix sort used to order embeddings by index.
+    CubSort,
+    /// Host↔device or device↔device copies.
+    Memcpy,
+    /// MEGA banded gather along the path (sequential reads).
+    MegaBandGather,
+    /// MEGA scatter of path positions back to nodes (near-sequential writes).
+    MegaBandScatter,
+    /// Elementwise neural ops (activations, norms) — minor, included for
+    /// completeness of time shares.
+    Elementwise,
+}
+
+impl KernelKind {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::Sgemm => "sgemm",
+            KernelKind::DglGather => "dgl-gather",
+            KernelKind::DglScatter => "dgl-scatter",
+            KernelKind::CubSort => "cub",
+            KernelKind::Memcpy => "memcpy",
+            KernelKind::MegaBandGather => "mega-band",
+            KernelKind::MegaBandScatter => "mega-scatter",
+            KernelKind::Elementwise => "eltwise",
+        }
+    }
+
+    /// Whether this kernel belongs to graph operations (vs neural ops).
+    pub fn is_graph_op(&self) -> bool {
+        matches!(
+            self,
+            KernelKind::DglGather
+                | KernelKind::DglScatter
+                | KernelKind::CubSort
+                | KernelKind::MegaBandGather
+                | KernelKind::MegaBandScatter
+        )
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counters accumulated for one kernel kind across launches.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Number of launches.
+    pub invocations: u64,
+    /// Global-memory transactions issued (32-byte sectors).
+    pub load_transactions: u64,
+    /// Transactions served by L2.
+    pub l2_hits: u64,
+    /// Transactions served by DRAM.
+    pub l2_misses: u64,
+    /// FP32 operations retired.
+    pub flops: u64,
+    /// Non-flop instructions retired (copies, address math).
+    pub instructions: u64,
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Cycles the SMs sat exposed to memory latency/bandwidth.
+    pub stall_cycles: u64,
+    /// Sum over launches of the per-launch workload-balance factor in
+    /// `(0, 1]` (1 = perfectly balanced); divide by `invocations` for the
+    /// mean.
+    pub balance_sum: f64,
+}
+
+impl KernelStats {
+    /// SM efficiency in `[0, 1]`: issue-slot utilization — the fraction of
+    /// cycles spent retiring instructions rather than stalled, derated by the
+    /// mean workload-balance factor.
+    pub fn sm_efficiency(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let busy = (self.cycles - self.stall_cycles) as f64 / self.cycles as f64;
+        busy * self.mean_balance()
+    }
+
+    /// Fraction of cycles stalled on memory.
+    pub fn stall_pct(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.stall_cycles as f64 / self.cycles as f64
+    }
+
+    /// Mean workload-balance factor across launches.
+    pub fn mean_balance(&self) -> f64 {
+        if self.invocations == 0 {
+            1.0
+        } else {
+            self.balance_sum / self.invocations as f64
+        }
+    }
+
+    /// L2 hit rate over this kernel's transactions.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let t = self.l2_hits + self.l2_misses;
+        if t == 0 {
+            1.0
+        } else {
+            self.l2_hits as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_classes() {
+        assert_eq!(KernelKind::Sgemm.label(), "sgemm");
+        assert!(!KernelKind::Sgemm.is_graph_op());
+        assert!(KernelKind::DglGather.is_graph_op());
+        assert!(KernelKind::MegaBandGather.is_graph_op());
+        assert!(!KernelKind::Memcpy.is_graph_op());
+        assert_eq!(format!("{}", KernelKind::CubSort), "cub");
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = KernelStats {
+            invocations: 2,
+            load_transactions: 100,
+            l2_hits: 80,
+            l2_misses: 20,
+            flops: 0,
+            instructions: 100,
+            cycles: 1000,
+            stall_cycles: 400,
+            balance_sum: 1.6,
+        };
+        assert!((s.sm_efficiency() - 0.6 * 0.8).abs() < 1e-12);
+        assert!((s.stall_pct() - 0.4).abs() < 1e-12);
+        assert!((s.l2_hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let s = KernelStats::default();
+        assert_eq!(s.sm_efficiency(), 0.0);
+        assert_eq!(s.stall_pct(), 0.0);
+        assert_eq!(s.l2_hit_rate(), 1.0);
+        assert_eq!(s.mean_balance(), 1.0);
+    }
+}

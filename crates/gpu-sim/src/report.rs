@@ -1,0 +1,225 @@
+//! nvprof-style profile reports.
+
+use crate::device::DeviceConfig;
+use crate::kernel::{KernelKind, KernelStats};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One row of the per-kernel table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRow {
+    /// Kernel kind.
+    pub kind: KernelKind,
+    /// Launches.
+    pub invocations: u64,
+    /// Cycles attributed to this kernel.
+    pub cycles: u64,
+    /// Share of total time in `[0, 1]`.
+    pub time_share: f64,
+    /// SM efficiency in `[0, 1]`.
+    pub sm_efficiency: f64,
+    /// Memory-stall share of cycles in `[0, 1]`.
+    pub stall_pct: f64,
+    /// Global-memory transactions (32-byte sectors).
+    pub load_transactions: u64,
+    /// Transactions served by L2.
+    pub l2_hits: u64,
+    /// Transactions served by DRAM.
+    pub l2_misses: u64,
+    /// Mean workload-balance factor.
+    pub balance: f64,
+}
+
+/// A complete profile snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileReport {
+    device: DeviceConfig,
+    rows: Vec<KernelRow>,
+    total_cycles: u64,
+}
+
+impl ProfileReport {
+    pub(crate) fn new(
+        device: DeviceConfig,
+        stats: BTreeMap<KernelKind, KernelStats>,
+        total_cycles: u64,
+    ) -> Self {
+        let rows = stats
+            .iter()
+            .map(|(&kind, s)| KernelRow {
+                kind,
+                invocations: s.invocations,
+                cycles: s.cycles,
+                time_share: if total_cycles == 0 {
+                    0.0
+                } else {
+                    s.cycles as f64 / total_cycles as f64
+                },
+                sm_efficiency: s.sm_efficiency(),
+                stall_pct: s.stall_pct(),
+                load_transactions: s.load_transactions,
+                l2_hits: s.l2_hits,
+                l2_misses: s.l2_misses,
+                balance: s.mean_balance(),
+            })
+            .collect();
+        ProfileReport { device, rows, total_cycles }
+    }
+
+    /// All kernel rows, ordered by kind.
+    pub fn kernels(&self) -> &[KernelRow] {
+        &self.rows
+    }
+
+    /// The row for one kernel kind, if it ran.
+    pub fn kernel(&self, kind: KernelKind) -> Option<&KernelRow> {
+        self.rows.iter().find(|r| r.kind == kind)
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total simulated seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.device.cycles_to_seconds(self.total_cycles)
+    }
+
+    /// The paper's aggregate metric (§IV-B2): the invocation-weighted mean of
+    /// a per-kernel metric, `Σ_k metric_k · n_k / Σ_k n_k`.
+    pub fn weighted_metric<F: Fn(&KernelRow) -> f64>(&self, metric: F) -> f64 {
+        let total_inv: u64 = self.rows.iter().map(|r| r.invocations).sum();
+        if total_inv == 0 {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(|r| metric(r) * r.invocations as f64)
+            .sum::<f64>()
+            / total_inv as f64
+    }
+
+    /// Invocation-weighted SM efficiency.
+    pub fn aggregate_sm_efficiency(&self) -> f64 {
+        self.weighted_metric(|r| r.sm_efficiency)
+    }
+
+    /// Invocation-weighted memory-stall percentage.
+    pub fn aggregate_stall_pct(&self) -> f64 {
+        self.weighted_metric(|r| r.stall_pct)
+    }
+
+    /// Share of time spent in `sgemm` (the paper uses this as the "useful
+    /// dense work" share in Figs. 5 and 10).
+    pub fn sgemm_time_share(&self) -> f64 {
+        self.kernel(KernelKind::Sgemm).map_or(0.0, |r| r.time_share)
+    }
+
+    /// Share of time spent in graph-operation kernels.
+    pub fn graph_op_time_share(&self) -> f64 {
+        self.rows.iter().filter(|r| r.kind.is_graph_op()).map(|r| r.time_share).sum()
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<13} {:>6} {:>8} {:>7} {:>7} {:>12} {:>9}",
+            "kernel", "calls", "time%", "sm_eff", "stall%", "ld_txns", "l2_hit%"
+        )?;
+        for r in &self.rows {
+            let hit = if r.load_transactions == 0 {
+                1.0
+            } else {
+                r.l2_hits as f64 / r.load_transactions as f64
+            };
+            writeln!(
+                f,
+                "{:<13} {:>6} {:>7.1}% {:>7.2} {:>6.1}% {:>12} {:>8.1}%",
+                r.kind.label(),
+                r.invocations,
+                r.time_share * 100.0,
+                r.sm_efficiency,
+                r.stall_pct * 100.0,
+                r.load_transactions,
+                hit * 100.0,
+            )?;
+        }
+        write!(
+            f,
+            "total: {:.3} ms | aggregate sm_eff {:.2} | aggregate stall {:.1}%",
+            self.total_seconds() * 1e3,
+            self.aggregate_sm_efficiency(),
+            self.aggregate_stall_pct() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::Profiler;
+
+    fn sample_report() -> ProfileReport {
+        let mut p = Profiler::new(DeviceConfig::gtx_1080());
+        let a = p.alloc(256 * 256 * 4);
+        let b = p.alloc(256 * 256 * 4);
+        let c = p.alloc(256 * 256 * 4);
+        p.launch_sgemm(a, b, c, 256, 256, 256);
+        let idx: Vec<usize> = (0..5000).map(|i| (i * 7919) % 5000).collect();
+        let src = p.alloc(5000 * 32 * 4);
+        p.launch_gather(src, &idx, 32, 5000);
+        p.report()
+    }
+
+    #[test]
+    fn time_shares_sum_to_one() {
+        let r = sample_report();
+        let total: f64 = r.kernels().iter().map(|k| k.time_share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_metric_matches_paper_formula() {
+        let r = sample_report();
+        let manual: f64 = {
+            let inv: u64 = r.kernels().iter().map(|k| k.invocations).sum();
+            r.kernels()
+                .iter()
+                .map(|k| k.sm_efficiency * k.invocations as f64)
+                .sum::<f64>()
+                / inv as f64
+        };
+        assert!((r.aggregate_sm_efficiency() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_lookup() {
+        let r = sample_report();
+        assert!(r.kernel(KernelKind::Sgemm).is_some());
+        assert!(r.kernel(KernelKind::CubSort).is_none());
+        assert!(r.sgemm_time_share() > 0.0);
+        assert!(r.graph_op_time_share() > 0.0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let r = sample_report();
+        let text = r.to_string();
+        assert!(text.contains("sgemm"));
+        assert!(text.contains("dgl-gather"));
+        assert!(text.contains("aggregate"));
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let p = Profiler::new(DeviceConfig::gtx_1080());
+        let r = p.report();
+        assert_eq!(r.aggregate_sm_efficiency(), 0.0);
+        assert_eq!(r.sgemm_time_share(), 0.0);
+        assert_eq!(r.total_cycles(), 0);
+    }
+}

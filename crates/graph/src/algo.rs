@@ -1,0 +1,251 @@
+//! Basic graph algorithms used by the traversal, statistics and test suites.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a breadth-first search from a source node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `dist[v]` is the hop distance from the source, or `usize::MAX` if `v`
+    /// is unreachable.
+    pub dist: Vec<usize>,
+    /// Nodes in the order they were first visited.
+    pub order: Vec<NodeId>,
+}
+
+/// Breadth-first search over `g` from `source`.
+///
+/// # Panics
+///
+/// Panics if `source >= g.node_count()`.
+///
+/// # Example
+///
+/// ```
+/// use mega_graph::{algo, GraphBuilder};
+///
+/// # fn main() -> Result<(), mega_graph::GraphError> {
+/// let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2)])?.build()?;
+/// let bfs = algo::bfs(&g, 0);
+/// assert_eq!(bfs.dist[2], 2);
+/// assert_eq!(bfs.dist[3], usize::MAX); // isolated
+/// # Ok(())
+/// # }
+/// ```
+pub fn bfs(g: &Graph, source: NodeId) -> BfsResult {
+    assert!(source < g.node_count(), "bfs source {source} out of range");
+    let n = g.node_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    BfsResult { dist, order }
+}
+
+/// Connected components of an undirected graph (weakly connected for directed
+/// graphs, since traversal follows stored out-neighbors only).
+///
+/// Returns `(component_of, component_count)` where `component_of[v]` labels the
+/// component of `v` with an id in `0..component_count`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0usize;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[start] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if comp[u] == usize::MAX {
+                    comp[u] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Whether the graph is connected (a single component covering all nodes).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).1 == 1
+}
+
+/// Number of nodes with odd degree — relevant to the paper's Eulerian-path
+/// discussion (§III-B): a connected graph admits an Eulerian path iff it has
+/// 0 or 2 odd-degree nodes, which is why MEGA relaxes full traversal with
+/// jumps and revisits.
+pub fn odd_degree_count(g: &Graph) -> usize {
+    (0..g.node_count()).filter(|&v| g.degree(v) % 2 == 1).count()
+}
+
+/// Number of triangles in the graph (each counted once).
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for v in 0..g.node_count() {
+        let nbrs = g.neighbors(v);
+        for (i, &a) in nbrs.iter().enumerate() {
+            if a <= v {
+                continue;
+            }
+            for &b in &nbrs[i + 1..] {
+                if b > a && g.contains_edge(a, b) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of `v`: the fraction of neighbor pairs that
+/// are themselves connected; 0 for degree < 2.
+///
+/// # Panics
+///
+/// Panics if `v >= g.node_count()`.
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.contains_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    links as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Average clustering coefficient — how clique-like neighborhoods are.
+/// High clustering is where Eq. 2's correlation objective has signal to
+/// exploit (see the `ablation_policy` bench).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+}
+
+/// Graph diameter via BFS from every node. `None` if the graph is
+/// disconnected. Intended for the small benchmark graphs (O(n·m)).
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let mut best = 0usize;
+    for v in 0..g.node_count() {
+        let r = bfs(g, v);
+        for &d in &r.dist {
+            if d == usize::MAX {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_triangles() -> Graph {
+        GraphBuilder::undirected(6)
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let g = GraphBuilder::undirected(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .unwrap()
+            .build()
+            .unwrap();
+        let r = bfs(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn components_found() {
+        let g = two_triangles();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn odd_degree_counting() {
+        // Path graph: endpoints odd.
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).unwrap().build().unwrap();
+        assert_eq!(odd_degree_count(&g), 2);
+        // Cycle: all even.
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(odd_degree_count(&g), 0);
+    }
+
+    #[test]
+    fn triangle_counting() {
+        // K4 has C(4,3) = 4 triangles.
+        let g = crate::generate::complete(4).unwrap();
+        assert_eq!(triangle_count(&g), 4);
+        let g = crate::generate::cycle(5).unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        let g = crate::generate::caveman(2, 3).unwrap();
+        assert_eq!(triangle_count(&g), 2);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        let g = crate::generate::complete(5).unwrap();
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        let g = crate::generate::star(5).unwrap();
+        assert_eq!(average_clustering(&g), 0.0);
+        // Triangle with a pendant: node 0 in the triangle clusters at 1 when
+        // degree 2.
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+        assert!(local_clustering(&g, 2) < 1.0);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn diameter_of_path_and_disconnected() {
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).unwrap().build().unwrap();
+        assert_eq!(diameter(&g), Some(3));
+        assert_eq!(diameter(&two_triangles()), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Dense adjacency matrix.
+//!
+//! Global attention (Fig. 1a of the paper) treats the graph as fully connected
+//! and operates on a dense `n × n` matrix. [`DenseAdjacency`] is that view; it
+//! is also used to visualize the banded structure of MEGA's path
+//! representation in tests and examples.
+
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A dense boolean adjacency matrix in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use mega_graph::{DenseAdjacency, GraphBuilder};
+///
+/// # fn main() -> Result<(), mega_graph::GraphError> {
+/// let g = GraphBuilder::undirected(3).edges([(0, 1), (1, 2)])?.build()?;
+/// let adj = DenseAdjacency::from_graph(&g);
+/// assert!(adj.get(0, 1) && adj.get(1, 0));
+/// assert!(!adj.get(0, 2));
+/// assert_eq!(adj.bandwidth(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseAdjacency {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl DenseAdjacency {
+    /// An `n × n` all-zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseAdjacency { n, bits: vec![false; n * n] }
+    }
+
+    /// Materializes the adjacency matrix of `g` (symmetric for undirected
+    /// graphs).
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut adj = DenseAdjacency::zeros(n);
+        for (s, d) in g.edges() {
+            adj.set(s, d, true);
+            if g.is_undirected() {
+                adj.set(d, s, true);
+            }
+        }
+        adj
+    }
+
+    /// Matrix dimension `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is 0×0.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Reads entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is `>= len()`.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of range for n={}", self.n);
+        self.bits[row * self.n + col]
+    }
+
+    /// Writes entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is `>= len()`.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of range for n={}", self.n);
+        self.bits[row * self.n + col] = value;
+    }
+
+    /// Number of set entries.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// The matrix bandwidth: the maximum `|row - col|` over set entries, or 0
+    /// for an empty matrix. A path representation with window ω has bandwidth
+    /// ≤ ω by construction — this is how tests assert MEGA's diagonal claim.
+    pub fn bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for r in 0..self.n {
+            for c in 0..self.n {
+                if self.bits[r * self.n + c] {
+                    bw = bw.max(r.abs_diff(c));
+                }
+            }
+        }
+        bw
+    }
+
+    /// Fraction of set entries that fall within `|row - col| <= window`.
+    /// Returns 1.0 for a matrix with no set entries.
+    pub fn band_coverage(&self, window: usize) -> f64 {
+        let total = self.count_ones();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut inside = 0usize;
+        for r in 0..self.n {
+            for c in 0..self.n {
+                if self.bits[r * self.n + c] && r.abs_diff(c) <= window {
+                    inside += 1;
+                }
+            }
+        }
+        inside as f64 / total as f64
+    }
+
+    /// Whether the matrix equals its transpose.
+    pub fn is_symmetric(&self) -> bool {
+        for r in 0..self.n {
+            for c in (r + 1)..self.n {
+                if self.bits[r * self.n + c] != self.bits[c * self.n + r] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn from_graph_symmetric_for_undirected() {
+        let g = GraphBuilder::undirected(4).edges([(0, 2), (1, 3)]).unwrap().build().unwrap();
+        let adj = DenseAdjacency::from_graph(&g);
+        assert!(adj.is_symmetric());
+        assert_eq!(adj.count_ones(), 4);
+    }
+
+    #[test]
+    fn directed_not_mirrored() {
+        let g = GraphBuilder::directed(2).edges([(0, 1)]).unwrap().build().unwrap();
+        let adj = DenseAdjacency::from_graph(&g);
+        assert!(adj.get(0, 1));
+        assert!(!adj.get(1, 0));
+        assert!(!adj.is_symmetric());
+    }
+
+    #[test]
+    fn bandwidth_and_coverage() {
+        // Path graph 0-1-2-3 has bandwidth 1.
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).unwrap().build().unwrap();
+        let adj = DenseAdjacency::from_graph(&g);
+        assert_eq!(adj.bandwidth(), 1);
+        assert!((adj.band_coverage(1) - 1.0).abs() < 1e-12);
+        // Add a long-range edge: bandwidth jumps, band coverage drops.
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap().build().unwrap();
+        let adj = DenseAdjacency::from_graph(&g);
+        assert_eq!(adj.bandwidth(), 3);
+        assert!((adj.band_coverage(1) - 6.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_conventions() {
+        let adj = DenseAdjacency::zeros(0);
+        assert!(adj.is_empty());
+        assert_eq!(adj.bandwidth(), 0);
+        assert!((adj.band_coverage(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let adj = DenseAdjacency::zeros(2);
+        adj.get(2, 0);
+    }
+}

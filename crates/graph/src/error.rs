@@ -1,0 +1,101 @@
+//! Error type shared by all fallible graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by graph construction and graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a node id that is out of range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was supplied to a structure that rejects them.
+    SelfLoop {
+        /// The node forming the loop.
+        node: usize,
+    },
+    /// A duplicate edge was supplied to a structure that rejects them.
+    DuplicateEdge {
+        /// Source endpoint.
+        src: usize,
+        /// Destination endpoint.
+        dst: usize,
+    },
+    /// The graph has no nodes, where at least one was required.
+    Empty,
+    /// Two structures had mismatched dimensions (e.g. a feature matrix whose
+    /// row count differs from the node count).
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was found.
+        found: usize,
+        /// Human-readable description of the mismatched quantity.
+        what: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node id {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge ({src}, {dst})")
+            }
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::DimensionMismatch { expected, found, what } => {
+                write!(f, "dimension mismatch for {what}: expected {expected}, found {found}")
+            }
+            GraphError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, node_count: 4 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('4'));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            GraphError::SelfLoop { node: 1 },
+            GraphError::SelfLoop { node: 1 }
+        );
+        assert_ne!(
+            GraphError::SelfLoop { node: 1 },
+            GraphError::SelfLoop { node: 2 }
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! Generic random-graph generators.
+//!
+//! These produce topologies spanning the degree-distribution spectrum the
+//! paper discusses (§III-B "uniform, normal, and predominantly power
+//! distributions"): Erdős–Rényi (binomial degrees), Barabási–Albert
+//! (power-law), regular cycles with skip links (CSL-style), and connected
+//! sparse "molecular" chains. Dataset-specific generators matched to the
+//! paper's benchmark statistics live in `mega-datasets` and build on these.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: every unordered pair becomes an edge independently
+/// with probability `p`.
+///
+/// # Errors
+///
+/// * [`GraphError::InvalidParameter`] if `p` is outside `[0, 1]`.
+/// * [`GraphError::Empty`] if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mega_graph::generate;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), mega_graph::GraphError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let g = generate::erdos_renyi(100, 0.05, &mut rng)?;
+/// assert_eq!(g.node_count(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            name: "p",
+            reason: format!("probability {p} not in [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::undirected(n);
+    for a in 0..n {
+        for c in (a + 1)..n {
+            if rng.gen_bool(p) {
+                b.edge(a, c)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `m` existing nodes with probability proportional
+/// to degree, yielding a power-law degree distribution.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter { name: "m", reason: "m must be >= 1".into() });
+    }
+    if n <= m {
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: format!("need n > m, got n={n}, m={m}"),
+        });
+    }
+    let mut b = GraphBuilder::undirected(n);
+    // Repeated-endpoint pool: each edge endpoint appears once, so sampling the
+    // pool uniformly is sampling nodes proportionally to degree.
+    let mut pool: Vec<usize> = Vec::new();
+    // Seed: clique over the first m+1 nodes.
+    for a in 0..=m {
+        for c in (a + 1)..=m {
+            b.edge(a, c)?;
+            pool.push(a);
+            pool.push(c);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen = std::collections::HashSet::new();
+        let mut guard = 0usize;
+        while chosen.len() < m && guard < 50 * m {
+            let &t = pool.choose(rng).expect("pool non-empty after seeding");
+            chosen.insert(t);
+            guard += 1;
+        }
+        // Fallback for pathological rng streaks: fill from lowest ids.
+        let mut fill = 0usize;
+        while chosen.len() < m {
+            chosen.insert(fill);
+            fill += 1;
+        }
+        for &t in &chosen {
+            b.edge(v, t)?;
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Circular skip-link graph (the CSL family, Murphy et al.): `n` nodes in a
+/// cycle, plus skip edges `v -> (v + skip) mod n` for every node.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `skip` is 0, 1, or ≥ n − 1, or if it
+/// would collide with cycle edges (`skip == n - 1`), or if `n < 4`.
+pub fn circular_skip_links(n: usize, skip: usize) -> Result<Graph, GraphError> {
+    if n < 4 {
+        return Err(GraphError::InvalidParameter { name: "n", reason: "need n >= 4".into() });
+    }
+    if skip < 2 || skip >= n - 1 {
+        return Err(GraphError::InvalidParameter {
+            name: "skip",
+            reason: format!("skip {skip} must be in 2..{}", n - 1),
+        });
+    }
+    let mut b = GraphBuilder::undirected(n);
+    b.dedup(true);
+    for v in 0..n {
+        b.edge(v, (v + 1) % n)?;
+        b.edge(v, (v + skip) % n)?;
+    }
+    b.build()
+}
+
+/// A connected sparse graph shaped like a small molecule: a random spanning
+/// tree with bounded branching plus `extra_edges` randomly placed ring-closing
+/// edges. Degree distribution is tight and low, like ZINC/AQSOL molecules.
+///
+/// # Errors
+///
+/// [`GraphError::Empty`] if `n == 0`.
+pub fn molecular_chain<R: Rng>(
+    n: usize,
+    extra_edges: usize,
+    max_branch: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::undirected(n);
+    b.dedup(true);
+    let mut child_count = vec![0usize; n];
+    // Random recursive tree with bounded branching: attach node v to a random
+    // earlier node that still has branching capacity; bias toward recent nodes
+    // to create chain-like (not star-like) molecules.
+    for v in 1..n {
+        let mut t;
+        let mut tries = 0;
+        loop {
+            // Prefer a recent node (chain growth), fall back to uniform.
+            let lo = v.saturating_sub(4);
+            t = if tries < 4 && lo < v {
+                rng.gen_range(lo..v)
+            } else {
+                rng.gen_range(0..v)
+            };
+            if child_count[t] < max_branch.max(1) || tries > 16 {
+                break;
+            }
+            tries += 1;
+        }
+        child_count[t] += 1;
+        b.edge(v, t)?;
+    }
+    // Ring closures.
+    let mut placed = 0usize;
+    let mut guard = 0usize;
+    while placed < extra_edges && guard < 100 * (extra_edges + 1) && n > 2 {
+        let a = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        guard += 1;
+        if a != c {
+            b.edge(a, c)?;
+            placed += 1;
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k` nearest neighbors (k even), with each edge rewired to a random
+/// target with probability `beta`. Produces the high-clustering,
+/// short-diameter topologies between the regular (CSL-like) and random (ER)
+/// extremes of the paper's degree-distribution spectrum.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `k` is odd, zero, or ≥ n, or `beta`
+/// is outside `[0, 1]`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    if k == 0 || !k.is_multiple_of(2) || k >= n {
+        return Err(GraphError::InvalidParameter {
+            name: "k",
+            reason: format!("need even 0 < k < n, got k={k}, n={n}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter {
+            name: "beta",
+            reason: format!("rewiring probability {beta} not in [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::undirected(n);
+    b.dedup(true);
+    for v in 0..n {
+        for j in 1..=k / 2 {
+            let mut target = (v + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform random non-self target.
+                let mut guard = 0;
+                loop {
+                    let t = rng.gen_range(0..n);
+                    if t != v || guard > 16 {
+                        target = t;
+                        break;
+                    }
+                    guard += 1;
+                }
+                if target == v {
+                    target = (v + j) % n;
+                }
+            }
+            if target != v {
+                b.edge(v, target)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// A 2-D grid graph of `rows × cols` nodes with 4-neighbor connectivity —
+/// the perfectly banded topology (a row-major ordering already has bandwidth
+/// `cols`), useful as a best-case reference for the traversal.
+///
+/// # Errors
+///
+/// [`GraphError::Empty`] if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::undirected(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.edge(v, v + 1)?;
+            }
+            if r + 1 < rows {
+                b.edge(v, v + cols)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// A connected-caveman-style graph: `cliques` fully connected groups of
+/// `clique_size` nodes, adjacent cliques joined by one bridge edge (and the
+/// last to the first). Maximal clustering with clear community structure —
+/// the friendliest case for Eq. 2's correlation objective.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if fewer than 2 cliques or cliques
+/// smaller than 2 nodes are requested.
+pub fn caveman(cliques: usize, clique_size: usize) -> Result<Graph, GraphError> {
+    if cliques < 2 || clique_size < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "cliques",
+            reason: format!("need >= 2 cliques of >= 2 nodes, got {cliques} x {clique_size}"),
+        });
+    }
+    let n = cliques * clique_size;
+    let mut b = GraphBuilder::undirected(n);
+    for q in 0..cliques {
+        let base = q * clique_size;
+        for a in 0..clique_size {
+            for c in (a + 1)..clique_size {
+                b.edge(base + a, base + c)?;
+            }
+        }
+        // Bridge to the next clique.
+        let next = ((q + 1) % cliques) * clique_size;
+        b.edge(base + clique_size - 1, next)?;
+    }
+    b.build()
+}
+
+/// A cycle graph `C_n`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter { name: "n", reason: "need n >= 3".into() });
+    }
+    let mut b = GraphBuilder::undirected(n);
+    for v in 0..n {
+        b.edge(v, (v + 1) % n)?;
+    }
+    b.build()
+}
+
+/// A path graph `P_n` (n nodes, n − 1 edges).
+///
+/// # Errors
+///
+/// [`GraphError::Empty`] if `n == 0`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::undirected(n);
+    for v in 1..n {
+        b.edge(v - 1, v)?;
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+///
+/// # Errors
+///
+/// [`GraphError::Empty`] if `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::undirected(n);
+    for a in 0..n {
+        for c in (a + 1)..n {
+            b.edge(a, c)?;
+        }
+    }
+    b.build()
+}
+
+/// A star graph: node 0 connected to all others.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter { name: "n", reason: "need n >= 2".into() });
+    }
+    let mut b = GraphBuilder::undirected(n);
+    for v in 1..n {
+        b.edge(0, v)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_respects_p_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(10, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        let g = erdos_renyi(10, 1.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 45);
+        assert!(erdos_renyi(10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(200, 2, &mut rng).unwrap();
+        assert!(algo::is_connected(&g));
+        let s = crate::stats::DegreeStats::of(&g);
+        // Power-law: max degree far above mean.
+        assert!(s.max as f64 > 3.0 * s.mean);
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(barabasi_albert(5, 0, &mut rng).is_err());
+        assert!(barabasi_albert(2, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn csl_is_4_regular() {
+        let g = circular_skip_links(16, 5).unwrap();
+        assert!(g.degrees().iter().all(|&d| d == 4));
+        assert!(algo::is_connected(&g));
+        assert!(circular_skip_links(16, 1).is_err());
+        assert!(circular_skip_links(3, 2).is_err());
+    }
+
+    #[test]
+    fn molecular_chain_connected_and_sparse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = molecular_chain(23, 4, 3, &mut rng).unwrap();
+        assert!(algo::is_connected(&g));
+        assert!(g.edge_count() >= 22); // spanning tree at minimum
+        assert!(g.max_degree() <= 23);
+    }
+
+    #[test]
+    fn deterministic_families() {
+        assert_eq!(cycle(5).unwrap().edge_count(), 5);
+        assert_eq!(path(5).unwrap().edge_count(), 4);
+        assert_eq!(complete(5).unwrap().edge_count(), 10);
+        assert_eq!(star(5).unwrap().degree(0), 4);
+        assert!(cycle(2).is_err());
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_degree_and_params() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // beta = 0: pure ring lattice, k-regular.
+        let g = watts_strogatz(20, 4, 0.0, &mut rng).unwrap();
+        assert!(g.degrees().iter().all(|&d| d == 4));
+        // beta = 1: still n*k/2 edges at most (dedup may merge collisions).
+        let g = watts_strogatz(30, 4, 1.0, &mut rng).unwrap();
+        assert!(g.edge_count() <= 60);
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng).is_err()); // odd k
+        assert!(watts_strogatz(10, 4, 1.5, &mut rng).is_err()); // bad beta
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+        assert_eq!(g.edge_count(), 17);
+        assert!(algo::is_connected(&g));
+        // Corner degree 2, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+        assert!(grid(0, 3).is_err());
+    }
+
+    #[test]
+    fn caveman_structure() {
+        let g = caveman(3, 4).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // 3 cliques of C(4,2)=6 edges + 3 bridges.
+        assert_eq!(g.edge_count(), 21);
+        assert!(algo::is_connected(&g));
+        assert!(caveman(1, 4).is_err());
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let g1 = erdos_renyi(50, 0.1, &mut StdRng::seed_from_u64(9)).unwrap();
+        let g2 = erdos_renyi(50, 0.1, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g1.edge_list(), g2.edge_list());
+    }
+}

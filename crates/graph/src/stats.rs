@@ -1,0 +1,195 @@
+//! Degree and sparsity statistics (paper Tables II and III).
+//!
+//! Table II reports per-dataset averages of node count, edge count and
+//! sparsity. Table III reports the *consistency* of degree distributions
+//! across the graphs of a dataset: the mean of per-graph degree standard
+//! deviations `μ(σ(d))`, the standard deviations across graphs of the
+//! per-graph min/max/mean degrees (`σ(d_min)`, `σ(d_max)`, `σ(d_mean)`), and
+//! the mean Kolmogorov–Smirnov similarity `μ(ε)` between degree
+//! distributions of graph pairs.
+
+use crate::graph::Graph;
+use crate::ks;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one graph's degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Population standard deviation of the degree sequence.
+    pub std_dev: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for `g`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mega_graph::{DegreeStats, GraphBuilder};
+    ///
+    /// # fn main() -> Result<(), mega_graph::GraphError> {
+    /// let g = GraphBuilder::undirected(3).edges([(0, 1), (1, 2)])?.build()?;
+    /// let s = DegreeStats::of(&g);
+    /// assert_eq!((s.min, s.max), (1, 2));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(g: &Graph) -> Self {
+        let degrees = g.degrees();
+        let n = degrees.len().max(1) as f64;
+        let mean = degrees.iter().sum::<usize>() as f64 / n;
+        let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
+        DegreeStats {
+            min: degrees.iter().copied().min().unwrap_or(0),
+            max: degrees.iter().copied().max().unwrap_or(0),
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Dataset-level statistics over a collection of graphs, reproducing the
+/// quantities in Tables II and III of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of graphs summarized.
+    pub graph_count: usize,
+    /// Mean node count per graph (Table II "nodes").
+    pub mean_nodes: f64,
+    /// Mean edge count per graph (Table II "edges").
+    pub mean_edges: f64,
+    /// Mean sparsity per graph (Table II "sparsity").
+    pub mean_sparsity: f64,
+    /// μ(σ(d)): mean over graphs of the degree standard deviation.
+    pub mean_degree_std: f64,
+    /// σ(d_min): standard deviation across graphs of the minimum degree.
+    pub std_min_degree: f64,
+    /// σ(d_max): standard deviation across graphs of the maximum degree.
+    pub std_max_degree: f64,
+    /// σ(d_mean): standard deviation across graphs of the mean degree.
+    pub std_mean_degree: f64,
+    /// μ(ε): mean KS similarity between degree distributions of sampled graph
+    /// pairs; values near 1 mean the distribution shape is shared.
+    pub mean_ks_similarity: f64,
+}
+
+fn std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt()
+}
+
+impl DatasetStats {
+    /// Computes dataset statistics over `graphs`.
+    ///
+    /// The KS similarity term averages the pairwise KS similarity over up to
+    /// `max_ks_pairs` consecutive graph pairs (the full quadratic pair set is
+    /// unnecessary for a stable estimate).
+    pub fn of(graphs: &[Graph], max_ks_pairs: usize) -> Self {
+        let gc = graphs.len();
+        let mut nodes = Vec::with_capacity(gc);
+        let mut edges = Vec::with_capacity(gc);
+        let mut sparsity = Vec::with_capacity(gc);
+        let mut d_std = Vec::with_capacity(gc);
+        let mut d_min = Vec::with_capacity(gc);
+        let mut d_max = Vec::with_capacity(gc);
+        let mut d_mean = Vec::with_capacity(gc);
+        for g in graphs {
+            let s = DegreeStats::of(g);
+            nodes.push(g.node_count() as f64);
+            edges.push(g.edge_count() as f64);
+            sparsity.push(g.sparsity());
+            d_std.push(s.std_dev);
+            d_min.push(s.min as f64);
+            d_max.push(s.max as f64);
+            d_mean.push(s.mean);
+        }
+        let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+
+        let mut ks_scores = Vec::new();
+        for pair in graphs.windows(2).take(max_ks_pairs) {
+            let a: Vec<f64> = pair[0].degrees().iter().map(|&d| d as f64).collect();
+            let b: Vec<f64> = pair[1].degrees().iter().map(|&d| d as f64).collect();
+            ks_scores.push(ks::similarity(&a, &b));
+        }
+
+        DatasetStats {
+            graph_count: gc,
+            mean_nodes: mean(&nodes),
+            mean_edges: mean(&edges),
+            mean_sparsity: mean(&sparsity),
+            mean_degree_std: mean(&d_std),
+            std_min_degree: std_dev(&d_min),
+            std_max_degree: std_dev(&d_max),
+            std_mean_degree: std_dev(&d_mean),
+            mean_ks_similarity: if ks_scores.is_empty() { 1.0 } else { mean(&ks_scores) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::undirected(n);
+        for v in 0..n {
+            b.edge(v, (v + 1) % n).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degree_stats_of_regular_graph() {
+        let s = DegreeStats::of(&cycle(6));
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.std_dev.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_of_identical_regular_graphs_is_fully_consistent() {
+        // Mirrors the CSL row of Table III: all-zero variance terms, μ(ε)=1.
+        let graphs: Vec<Graph> = (0..5).map(|_| cycle(8)).collect();
+        let st = DatasetStats::of(&graphs, 10);
+        assert!(st.mean_degree_std.abs() < 1e-12);
+        assert!(st.std_min_degree.abs() < 1e-12);
+        assert!(st.std_max_degree.abs() < 1e-12);
+        assert!(st.std_mean_degree.abs() < 1e-12);
+        assert!((st.mean_ks_similarity - 1.0).abs() < 1e-12);
+        assert!((st.mean_nodes - 8.0).abs() < 1e-12);
+        assert!((st.mean_edges - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_of_heterogeneous_graphs_shows_variance() {
+        let star = GraphBuilder::undirected(5)
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+            .unwrap()
+            .build()
+            .unwrap();
+        let graphs = vec![cycle(5), star];
+        let st = DatasetStats::of(&graphs, 10);
+        assert!(st.std_max_degree > 0.0);
+        assert!(st.mean_ks_similarity < 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_well_defined() {
+        let st = DatasetStats::of(&[], 10);
+        assert_eq!(st.graph_count, 0);
+        assert_eq!(st.mean_nodes, 0.0);
+        assert_eq!(st.mean_ks_similarity, 1.0);
+    }
+}

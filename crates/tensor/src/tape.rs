@@ -1,0 +1,1001 @@
+//! Reverse-mode autograd tape.
+//!
+//! A [`Tape`] records a computation as a sequence of nodes; every op method
+//! returns a [`Var`] handle. [`Tape::backward`] walks the nodes in reverse,
+//! producing a gradient tensor per node. The op set is tailored to GNN
+//! training: dense linear algebra, activations, normalizations, losses, and
+//! the index-driven graph ops (row gather, scatter-add, segment softmax)
+//! that express both the DGL-style baseline and MEGA's banded attention.
+
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    AddRow(Var, Var),
+    Scale(Var, f32),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Dropout(Var, Rc<Vec<bool>>, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Sum(Var),
+    Mean(Var),
+    DivEps(Var, Var, f32),
+    RowDot(Var, Var),
+    MulColBroadcast(Var, Var),
+    ConcatCols(Rc<Vec<Var>>),
+    GatherRows(Var, Rc<Vec<usize>>),
+    ScatterAddRows(Var, Rc<Vec<usize>>),
+    ScaleRows(Var, Rc<Vec<f32>>),
+    SegmentSoftmax(Var, Rc<Vec<usize>>, usize),
+    LayerNorm(Var, Var, Var, f32),
+    BatchNorm(Var, Var, Var, f32),
+    L1Loss(Var, Rc<Tensor>),
+    CrossEntropy(Var, Rc<Vec<usize>>),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Gradients of one backward pass, indexed by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Tensor>,
+}
+
+impl Gradients {
+    /// The gradient with respect to `v` (zeros when `v` has no influence on
+    /// the loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` came from a different tape (index out of range).
+    pub fn wrt(&self, v: Var) -> &Tensor {
+        &self.grads[v.0]
+    }
+}
+
+/// Reverse-mode autograd tape. Build values with the op methods, then call
+/// [`Tape::backward`] on a scalar node.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// A fresh, empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value held at `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records an input tensor (parameter or constant); gradients are
+    /// computed for every leaf reachable from the loss.
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum of same-shape tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Adds a `1 × c` bias row to every row of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × a.cols()`.
+    pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
+        let (x, b) = (self.value(a), self.value(bias));
+        assert_eq!(b.rows(), 1, "bias must be a single row");
+        assert_eq!(b.cols(), x.cols(), "bias width mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &bb) in row.iter_mut().zip(b.as_slice()) {
+                *o += bb;
+            }
+        }
+        self.push(out, Op::AddRow(a, bias))
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).scale(k);
+        self.push(v, Op::Scale(a, k))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky rectified linear unit: `x` if positive, else `slope * x`.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a, slope))
+    }
+
+    /// Inverted dropout with a precomputed keep-mask: kept elements are
+    /// scaled by `1 / keep_prob`, dropped elements become zero. The caller
+    /// supplies the mask so training loops control the randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from the element count or
+    /// `keep_prob` is not in `(0, 1]`.
+    pub fn dropout(&mut self, a: Var, mask: Rc<Vec<bool>>, keep_prob: f32) -> Var {
+        let x = self.value(a);
+        assert_eq!(mask.len(), x.rows() * x.cols(), "one mask bit per element");
+        assert!(keep_prob > 0.0 && keep_prob <= 1.0, "keep_prob must be in (0, 1]");
+        let inv = 1.0 / keep_prob;
+        let mut out = x.clone();
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = if mask[i] { *o * inv } else { 0.0 };
+        }
+        self.push(out, Op::Dropout(a, mask, keep_prob))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Sum of all elements (scalar `1 × 1`).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(v, Op::Sum(a))
+    }
+
+    /// Mean of all elements (scalar `1 × 1`).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(v, Op::Mean(a))
+    }
+
+    /// Elementwise `a / (b + eps)` for same-shape tensors (the paper's gated
+    /// aggregation normalizer).
+    pub fn div_eps(&mut self, a: Var, b: Var, eps: f32) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x / (y + eps));
+        self.push(v, Op::DivEps(a, b, eps))
+    }
+
+    /// Row-wise dot product of same-shape tensors: output is `r × 1` with
+    /// `out[i] = Σ_c a[i,c]·b[i,c]` (attention scores).
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "row_dot shape mismatch");
+        let mut out = Tensor::zeros(x.rows(), 1);
+        for r in 0..x.rows() {
+            let s: f32 = x.row(r).iter().zip(y.row(r)).map(|(&p, &q)| p * q).sum();
+            out.set(r, 0, s);
+        }
+        self.push(out, Op::RowDot(a, b))
+    }
+
+    /// Broadcast-multiplies each row of `a` (`r × c`) by the matching scalar
+    /// in `w` (`r × 1`) — applying attention weights to values.
+    pub fn mul_col_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let (x, y) = (self.value(a), self.value(w));
+        assert_eq!(y.cols(), 1, "weights must be a column");
+        assert_eq!(x.rows(), y.rows(), "row count mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let k = y.at(r, 0);
+            for o in out.row_mut(r) {
+                *o *= k;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(a, w))
+    }
+
+    /// Horizontally concatenates tensors with equal row counts (multi-head
+    /// attention heads → model width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut out = Tensor::zeros(rows, total);
+        let mut offset = 0usize;
+        for &p in parts {
+            let t = self.value(p);
+            assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                let src = t.row(r).to_vec();
+                out.row_mut(r)[offset..offset + src.len()].copy_from_slice(&src);
+            }
+            offset += t.cols();
+        }
+        self.push(out, Op::ConcatCols(Rc::new(parts.to_vec())))
+    }
+
+    /// Gathers rows of `a` by `index` (e.g. node features → per-edge source
+    /// features, or node features → path positions).
+    pub fn gather_rows(&mut self, a: Var, index: Rc<Vec<usize>>) -> Var {
+        let v = self.value(a).gather_rows(&index);
+        self.push(v, Op::GatherRows(a, index))
+    }
+
+    /// Scatter-adds rows of `a` into `out_rows` buckets by `index` (e.g.
+    /// per-edge messages → destination nodes, or path positions → nodes).
+    pub fn scatter_add_rows(&mut self, a: Var, index: Rc<Vec<usize>>, out_rows: usize) -> Var {
+        let v = self.value(a).scatter_add_rows(&index, out_rows);
+        self.push(v, Op::ScatterAddRows(a, index))
+    }
+
+    /// Scales row `i` by `factors[i]` (segment means, appearance averaging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != a.rows()`.
+    pub fn scale_rows(&mut self, a: Var, factors: Rc<Vec<f32>>) -> Var {
+        let x = self.value(a);
+        assert_eq!(factors.len(), x.rows(), "one factor per row required");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let k = factors[r];
+            for o in out.row_mut(r) {
+                *o *= k;
+            }
+        }
+        self.push(out, Op::ScaleRows(a, factors))
+    }
+
+    /// Column-wise softmax within row segments: rows sharing `segments[i]`
+    /// form one softmax group per column (attention over a node's incident
+    /// edges). `n_segments` bounds the segment ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments.len() != a.rows()` or an id is out of range.
+    pub fn segment_softmax(&mut self, a: Var, segments: Rc<Vec<usize>>, n_segments: usize) -> Var {
+        let x = self.value(a);
+        assert_eq!(segments.len(), x.rows(), "one segment id per row required");
+        let (r, c) = x.shape();
+        let mut maxes = vec![f32::NEG_INFINITY; n_segments * c];
+        for i in 0..r {
+            let s = segments[i];
+            assert!(s < n_segments, "segment id {s} out of range");
+            for j in 0..c {
+                let m = &mut maxes[s * c + j];
+                *m = m.max(x.at(i, j));
+            }
+        }
+        let mut out = Tensor::zeros(r, c);
+        let mut sums = vec![0.0f32; n_segments * c];
+        for i in 0..r {
+            let s = segments[i];
+            for j in 0..c {
+                let e = (x.at(i, j) - maxes[s * c + j]).exp();
+                out.set(i, j, e);
+                sums[s * c + j] += e;
+            }
+        }
+        for i in 0..r {
+            let s = segments[i];
+            for j in 0..c {
+                let denom = sums[s * c + j].max(f32::MIN_POSITIVE);
+                out.set(i, j, out.at(i, j) / denom);
+            }
+        }
+        self.push(out, Op::SegmentSoftmax(a, segments, n_segments))
+    }
+
+    /// Row-wise layer normalization with learnable `gamma`, `beta` (each
+    /// `1 × c`).
+    pub fn layer_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let x = self.value(a).clone();
+        let g = self.value(gamma).clone();
+        let b = self.value(beta).clone();
+        assert_eq!(g.shape(), (1, x.cols()), "gamma shape");
+        assert_eq!(b.shape(), (1, x.cols()), "beta shape");
+        let mut out = Tensor::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / row.len() as f32;
+            let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / row.len() as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (cix, &xv) in row.iter().enumerate() {
+                let xhat = (xv - mean) * inv;
+                out.set(r, cix, g.at(0, cix) * xhat + b.at(0, cix));
+            }
+        }
+        self.push(out, Op::LayerNorm(a, gamma, beta, eps))
+    }
+
+    /// Column-wise batch normalization (statistics over rows) with learnable
+    /// `gamma`, `beta` (each `1 × c`). Training-mode statistics only.
+    pub fn batch_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let x = self.value(a).clone();
+        let g = self.value(gamma).clone();
+        let b = self.value(beta).clone();
+        assert_eq!(g.shape(), (1, x.cols()), "gamma shape");
+        assert_eq!(b.shape(), (1, x.cols()), "beta shape");
+        let (r, c) = x.shape();
+        let rn = r.max(1) as f32;
+        let mut out = Tensor::zeros(r, c);
+        for j in 0..c {
+            let mut mean = 0.0f32;
+            for i in 0..r {
+                mean += x.at(i, j);
+            }
+            mean /= rn;
+            let mut var = 0.0f32;
+            for i in 0..r {
+                var += (x.at(i, j) - mean).powi(2);
+            }
+            var /= rn;
+            let inv = 1.0 / (var + eps).sqrt();
+            for i in 0..r {
+                let xhat = (x.at(i, j) - mean) * inv;
+                out.set(i, j, g.at(0, j) * xhat + b.at(0, j));
+            }
+        }
+        self.push(out, Op::BatchNorm(a, gamma, beta, eps))
+    }
+
+    /// Mean absolute error against a constant target (scalar output).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn l1_loss(&mut self, pred: Var, target: Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "l1 target shape mismatch");
+        let n = (p.rows() * p.cols()).max(1) as f32;
+        let loss = p
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::L1Loss(pred, Rc::new(target)))
+    }
+
+    /// Softmax cross-entropy over rows of `logits` against integer class
+    /// labels (scalar mean output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()` or a label is out of range.
+    pub fn cross_entropy(&mut self, logits: Var, labels: Rc<Vec<usize>>) -> Var {
+        let x = self.value(logits);
+        assert_eq!(labels.len(), x.rows(), "one label per row required");
+        let mut loss = 0.0f32;
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            assert!(labels[i] < x.cols(), "label {} out of range", labels[i]);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let logsum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            loss += logsum - row[labels[i]];
+        }
+        loss /= x.rows().max(1) as f32;
+        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::CrossEntropy(logits, labels))
+    }
+
+    /// Runs the backward pass from the scalar node `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward needs a scalar loss");
+        let mut grads: Vec<Tensor> = self
+            .nodes
+            .iter()
+            .map(|n| Tensor::zeros(n.value.rows(), n.value.cols()))
+            .collect();
+        grads[loss.0].set(0, 0, 1.0);
+
+        for idx in (0..=loss.0).rev() {
+            if grads[idx].as_slice().iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let g = grads[idx].clone();
+            match &self.nodes[idx].op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let da = g.matmul(&vb.transpose());
+                    let db = va.transpose().matmul(&g);
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::Add(a, b) => {
+                    grads[a.0].add_assign(&g);
+                    grads[b.0].add_assign(&g);
+                }
+                Op::Sub(a, b) => {
+                    grads[a.0].add_assign(&g);
+                    let neg = g.scale(-1.0);
+                    grads[b.0].add_assign(&neg);
+                }
+                Op::Mul(a, b) => {
+                    let da = g.mul(&self.nodes[b.0].value);
+                    let db = g.mul(&self.nodes[a.0].value);
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::AddRow(a, bias) => {
+                    grads[a.0].add_assign(&g);
+                    let mut db = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            db.set(0, c, db.at(0, c) + g.at(r, c));
+                        }
+                    }
+                    grads[bias.0].add_assign(&db);
+                }
+                Op::Scale(a, k) => {
+                    let da = g.scale(*k);
+                    grads[a.0].add_assign(&da);
+                }
+                Op::Relu(a) => {
+                    let da = g.zip_map(&self.nodes[a.0].value, |gg, x| if x > 0.0 { gg } else { 0.0 });
+                    grads[a.0].add_assign(&da);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let da = g.zip_map(&self.nodes[a.0].value, |gg, x| {
+                        if x > 0.0 {
+                            gg
+                        } else {
+                            gg * slope
+                        }
+                    });
+                    grads[a.0].add_assign(&da);
+                }
+                Op::Dropout(a, mask, keep_prob) => {
+                    let inv = 1.0 / keep_prob;
+                    let mut da = g.clone();
+                    for (i, o) in da.as_mut_slice().iter_mut().enumerate() {
+                        *o = if mask[i] { *o * inv } else { 0.0 };
+                    }
+                    grads[a.0].add_assign(&da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let da = g.zip_map(y, |gg, s| gg * s * (1.0 - s));
+                    grads[a.0].add_assign(&da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let da = g.zip_map(y, |gg, t| gg * (1.0 - t * t));
+                    grads[a.0].add_assign(&da);
+                }
+                Op::Sum(a) => {
+                    let va = &self.nodes[a.0].value;
+                    let da = Tensor::full(va.rows(), va.cols(), g.at(0, 0));
+                    grads[a.0].add_assign(&da);
+                }
+                Op::Mean(a) => {
+                    let va = &self.nodes[a.0].value;
+                    let n = (va.rows() * va.cols()).max(1) as f32;
+                    let da = Tensor::full(va.rows(), va.cols(), g.at(0, 0) / n);
+                    grads[a.0].add_assign(&da);
+                }
+                Op::DivEps(a, b, eps) => {
+                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let da = g.zip_map(vb, |gg, y| gg / (y + eps));
+                    let mut db = Tensor::zeros(vb.rows(), vb.cols());
+                    for i in 0..db.as_slice().len() {
+                        let y = vb.as_slice()[i] + eps;
+                        db.as_mut_slice()[i] = -g.as_slice()[i] * va.as_slice()[i] / (y * y);
+                    }
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::RowDot(a, b) => {
+                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let mut da = Tensor::zeros(va.rows(), va.cols());
+                    let mut db = Tensor::zeros(vb.rows(), vb.cols());
+                    for r in 0..va.rows() {
+                        let gr = g.at(r, 0);
+                        for c in 0..va.cols() {
+                            da.set(r, c, gr * vb.at(r, c));
+                            db.set(r, c, gr * va.at(r, c));
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::MulColBroadcast(a, w) => {
+                    let (va, vw) = (&self.nodes[a.0].value, &self.nodes[w.0].value);
+                    let mut da = Tensor::zeros(va.rows(), va.cols());
+                    let mut dw = Tensor::zeros(vw.rows(), 1);
+                    for r in 0..va.rows() {
+                        let k = vw.at(r, 0);
+                        let mut acc = 0.0f32;
+                        for c in 0..va.cols() {
+                            da.set(r, c, g.at(r, c) * k);
+                            acc += g.at(r, c) * va.at(r, c);
+                        }
+                        dw.set(r, 0, acc);
+                    }
+                    grads[a.0].add_assign(&da);
+                    grads[w.0].add_assign(&dw);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0usize;
+                    for &p in parts.iter() {
+                        let w = self.nodes[p.0].value.cols();
+                        let mut dp = Tensor::zeros(g.rows(), w);
+                        for r in 0..g.rows() {
+                            for c in 0..w {
+                                dp.set(r, c, g.at(r, offset + c));
+                            }
+                        }
+                        grads[p.0].add_assign(&dp);
+                        offset += w;
+                    }
+                }
+                Op::GatherRows(a, index) => {
+                    let da = g.scatter_add_rows(index, self.nodes[a.0].value.rows());
+                    grads[a.0].add_assign(&da);
+                }
+                Op::ScatterAddRows(a, index) => {
+                    let da = g.gather_rows(index);
+                    grads[a.0].add_assign(&da);
+                }
+                Op::ScaleRows(a, factors) => {
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        let k = factors[r];
+                        for v in da.row_mut(r) {
+                            *v *= k;
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                }
+                Op::SegmentSoftmax(a, segments, n_segments) => {
+                    let p = &self.nodes[idx].value;
+                    let (r, c) = p.shape();
+                    // dx = p ⊙ (g - Σ_seg (g ⊙ p)) per column.
+                    let mut dots = vec![0.0f32; n_segments * c];
+                    for i in 0..r {
+                        let s = segments[i];
+                        for j in 0..c {
+                            dots[s * c + j] += g.at(i, j) * p.at(i, j);
+                        }
+                    }
+                    let mut da = Tensor::zeros(r, c);
+                    for i in 0..r {
+                        let s = segments[i];
+                        for j in 0..c {
+                            da.set(i, j, p.at(i, j) * (g.at(i, j) - dots[s * c + j]));
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                }
+                Op::LayerNorm(a, gamma, beta, eps) => {
+                    let x = &self.nodes[a.0].value;
+                    let gm = &self.nodes[gamma.0].value;
+                    let (r, c) = x.shape();
+                    let cn = c as f32;
+                    let mut da = Tensor::zeros(r, c);
+                    let mut dgamma = Tensor::zeros(1, c);
+                    let mut dbeta = Tensor::zeros(1, c);
+                    for i in 0..r {
+                        let row = x.row(i);
+                        let mean = row.iter().sum::<f32>() / cn;
+                        let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / cn;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv).collect();
+                        let dxhat: Vec<f32> =
+                            (0..c).map(|j| g.at(i, j) * gm.at(0, j)).collect();
+                        let mean_dxhat = dxhat.iter().sum::<f32>() / cn;
+                        let mean_dxhat_xhat =
+                            dxhat.iter().zip(&xhat).map(|(&d, &h)| d * h).sum::<f32>() / cn;
+                        for j in 0..c {
+                            da.set(i, j, inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat));
+                            dgamma.set(0, j, dgamma.at(0, j) + g.at(i, j) * xhat[j]);
+                            dbeta.set(0, j, dbeta.at(0, j) + g.at(i, j));
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                    grads[gamma.0].add_assign(&dgamma);
+                    grads[beta.0].add_assign(&dbeta);
+                }
+                Op::BatchNorm(a, gamma, beta, eps) => {
+                    let x = &self.nodes[a.0].value;
+                    let gm = &self.nodes[gamma.0].value;
+                    let (r, c) = x.shape();
+                    let rn = r.max(1) as f32;
+                    let mut da = Tensor::zeros(r, c);
+                    let mut dgamma = Tensor::zeros(1, c);
+                    let mut dbeta = Tensor::zeros(1, c);
+                    for j in 0..c {
+                        let mut mean = 0.0f32;
+                        for i in 0..r {
+                            mean += x.at(i, j);
+                        }
+                        mean /= rn;
+                        let mut var = 0.0f32;
+                        for i in 0..r {
+                            var += (x.at(i, j) - mean).powi(2);
+                        }
+                        var /= rn;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let xhat: Vec<f32> = (0..r).map(|i| (x.at(i, j) - mean) * inv).collect();
+                        let dxhat: Vec<f32> = (0..r).map(|i| g.at(i, j) * gm.at(0, j)).collect();
+                        let mean_dxhat = dxhat.iter().sum::<f32>() / rn;
+                        let mean_dxhat_xhat =
+                            dxhat.iter().zip(&xhat).map(|(&d, &h)| d * h).sum::<f32>() / rn;
+                        for i in 0..r {
+                            da.set(i, j, inv * (dxhat[i] - mean_dxhat - xhat[i] * mean_dxhat_xhat));
+                            dgamma.set(0, j, dgamma.at(0, j) + g.at(i, j) * xhat[i]);
+                            dbeta.set(0, j, dbeta.at(0, j) + g.at(i, j));
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                    grads[gamma.0].add_assign(&dgamma);
+                    grads[beta.0].add_assign(&dbeta);
+                }
+                Op::L1Loss(pred, target) => {
+                    let p = &self.nodes[pred.0].value;
+                    let n = (p.rows() * p.cols()).max(1) as f32;
+                    let scale = g.at(0, 0) / n;
+                    let dp = p.zip_map(target, |a, b| {
+                        if a > b {
+                            scale
+                        } else if a < b {
+                            -scale
+                        } else {
+                            0.0
+                        }
+                    });
+                    grads[pred.0].add_assign(&dp);
+                }
+                Op::CrossEntropy(logits, labels) => {
+                    let x = &self.nodes[logits.0].value;
+                    let (r, c) = x.shape();
+                    let scale = g.at(0, 0) / r.max(1) as f32;
+                    let mut dx = Tensor::zeros(r, c);
+                    for i in 0..r {
+                        let row = x.row(i);
+                        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let sum: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+                        for (j, &logit) in row.iter().enumerate() {
+                            let p = (logit - max).exp() / sum;
+                            let y = if labels[i] == j { 1.0 } else { 0.0 };
+                            dx.set(i, j, scale * (p - y));
+                        }
+                    }
+                    grads[logits.0].add_assign(&dx);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference gradient check of a scalar function of one
+    /// leaf tensor.
+    fn check_grad<F>(input: Tensor, f: F, tol: f32)
+    where
+        F: Fn(&mut Tape, Var) -> Var,
+    {
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = f(&mut tape, x);
+        let analytic = tape.backward(loss).wrt(x).clone();
+
+        let h = 1e-3f32;
+        for i in 0..input.as_slice().len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += h;
+            let mut tp = Tape::new();
+            let xp = tp.leaf(plus);
+            let lp = f(&mut tp, xp);
+            let fp = tp.value(lp).at(0, 0);
+
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= h;
+            let mut tm = Tape::new();
+            let xm = tm.leaf(minus);
+            let lm = f(&mut tm, xm);
+            let fm = tm.value(lm).at(0, 0);
+
+            let numeric = (fp - fm) / (2.0 * h);
+            let got = analytic.as_slice()[i];
+            assert!(
+                (numeric - got).abs() < tol,
+                "element {i}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    fn sample(rows: usize, cols: usize, seed: u32) -> Tensor {
+        // Deterministic pseudo-random values in (-1, 1), away from relu kinks.
+        let mut v = Vec::with_capacity(rows * cols);
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let x = ((state >> 8) as f32 / (1u32 << 24) as f32) * 1.6 - 0.8;
+            v.push(if x.abs() < 0.05 { x + 0.1 } else { x });
+        }
+        Tensor::from_vec(rows, cols, v)
+    }
+
+    #[test]
+    fn grad_matmul() {
+        check_grad(sample(3, 4, 1), |t, x| {
+            let w = t.leaf(sample(4, 2, 2));
+            let y = t.matmul(x, w);
+            t.sum(y)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_elementwise_chain() {
+        check_grad(sample(2, 3, 3), |t, x| {
+            let y = t.mul(x, x);
+            let z = t.scale(y, 0.5);
+            t.mean(z)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_activations() {
+        check_grad(sample(2, 3, 4), |t, x| {
+            let y = t.sigmoid(x);
+            t.sum(y)
+        }, 1e-2);
+        check_grad(sample(2, 3, 5), |t, x| {
+            let y = t.tanh(x);
+            t.sum(y)
+        }, 1e-2);
+        check_grad(sample(2, 3, 6), |t, x| {
+            let y = t.relu(x);
+            t.sum(y)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        check_grad(sample(1, 3, 7), |t, bias| {
+            let a = t.leaf(sample(4, 3, 8));
+            let y = t.add_row(a, bias);
+            let z = t.mul(y, y);
+            t.sum(z)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_div_eps() {
+        check_grad(sample(2, 2, 9), |t, x| {
+            let d = t.leaf(Tensor::full(2, 2, 2.0));
+            let y = t.div_eps(x, d, 1e-3);
+            t.sum(y)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_row_dot_and_broadcast() {
+        check_grad(sample(3, 4, 10), |t, x| {
+            let other = t.leaf(sample(3, 4, 11));
+            let w = t.row_dot(x, other);
+            let y = t.mul_col_broadcast(other, w);
+            t.sum(y)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        let idx = Rc::new(vec![0usize, 2, 2, 1]);
+        check_grad(sample(3, 2, 12), move |t, x| {
+            let g = t.gather_rows(x, idx.clone());
+            let sq = t.mul(g, g);
+            let s = t.scatter_add_rows(sq, Rc::new(vec![0, 0, 1, 1]), 2);
+            t.sum(s)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_segment_softmax() {
+        let segs = Rc::new(vec![0usize, 0, 1, 1, 1]);
+        check_grad(sample(5, 2, 13), move |t, x| {
+            let p = t.segment_softmax(x, segs.clone(), 2);
+            let w = t.leaf(sample(5, 2, 14));
+            let y = t.mul(p, w);
+            t.sum(y)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        check_grad(sample(3, 4, 15), |t, x| {
+            let gamma = t.leaf(Tensor::full(1, 4, 1.2));
+            let beta = t.leaf(Tensor::full(1, 4, 0.1));
+            let y = t.layer_norm(x, gamma, beta, 1e-5);
+            let w = t.leaf(sample(3, 4, 16));
+            let z = t.mul(y, w);
+            t.sum(z)
+        }, 3e-2);
+    }
+
+    #[test]
+    fn grad_batch_norm() {
+        check_grad(sample(4, 3, 17), |t, x| {
+            let gamma = t.leaf(Tensor::full(1, 3, 0.9));
+            let beta = t.leaf(Tensor::full(1, 3, -0.2));
+            let y = t.batch_norm(x, gamma, beta, 1e-5);
+            let w = t.leaf(sample(4, 3, 18));
+            let z = t.mul(y, w);
+            t.sum(z)
+        }, 3e-2);
+    }
+
+    #[test]
+    fn grad_leaky_relu() {
+        check_grad(sample(2, 3, 27), |t, x| {
+            let y = t.leaky_relu(x, 0.2);
+            t.sum(y)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn dropout_forward_and_grad() {
+        let mask = Rc::new(vec![true, false, true, true]);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_rows(&[&[2.0, 2.0], &[2.0, 2.0]]));
+        let y = tape.dropout(x, mask.clone(), 0.5);
+        assert_eq!(tape.value(y).as_slice(), &[4.0, 0.0, 4.0, 4.0]);
+        let loss = tape.sum(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.wrt(x).as_slice(), &[2.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one mask bit per element")]
+    fn dropout_mask_length_checked() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(2, 2));
+        tape.dropout(x, Rc::new(vec![true]), 0.5);
+    }
+
+    #[test]
+    fn grad_losses() {
+        let target = sample(3, 1, 19);
+        check_grad(sample(3, 1, 20), move |t, x| t.l1_loss(x, target.clone()), 1e-2);
+        let labels = Rc::new(vec![0usize, 2, 1]);
+        check_grad(sample(3, 3, 21), move |t, x| t.cross_entropy(x, labels.clone()), 1e-2);
+    }
+
+    #[test]
+    fn grad_concat_cols() {
+        check_grad(sample(2, 2, 22), |t, x| {
+            let other = t.leaf(sample(2, 3, 23));
+            let y = t.concat_cols(&[x, other]);
+            let w = t.leaf(sample(2, 5, 24));
+            let z = t.mul(y, w);
+            t.sum(z)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_scale_rows_and_sub() {
+        let f = Rc::new(vec![0.5f32, 2.0, -1.0]);
+        check_grad(sample(3, 2, 25), move |t, x| {
+            let y = t.scale_rows(x, f.clone());
+            let o = t.leaf(sample(3, 2, 26));
+            let d = t.sub(y, o);
+            let sq = t.mul(d, d);
+            t.mean(sq)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn unused_leaf_gets_zero_grad() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(2, 2, 1.0));
+        let unused = tape.leaf(Tensor::full(3, 1, 5.0));
+        let loss = tape.sum(x);
+        let grads = tape.backward(loss);
+        assert!(grads.wrt(unused).as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn grad_accumulates_over_shared_use() {
+        // loss = sum(x + x) -> dx = 2.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(2, 2, 1.0));
+        let y = tape.add(x, x);
+        let loss = tape.sum(y);
+        let grads = tape.backward(loss);
+        assert!(grads.wrt(x).as_slice().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(2, 2));
+        tape.backward(x);
+    }
+
+    #[test]
+    fn segment_softmax_rows_sum_to_one_per_segment() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(sample(6, 2, 30));
+        let segs = Rc::new(vec![0usize, 1, 0, 1, 2, 2]);
+        let p = tape.segment_softmax(x, segs.clone(), 3);
+        let v = tape.value(p);
+        for seg in 0..3 {
+            for col in 0..2 {
+                let s: f32 = (0..6).filter(|&i| segs[i] == seg).map(|i| v.at(i, col)).sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Weisfeiler-Lehman testing and aggregation-similarity scoring.
+//!
+//! The paper (§III-B, §IV-B1) uses the WL method for two purposes, both
+//! implemented here:
+//!
+//! * [`labels`] — classic WL **color refinement**: repeatedly relabel every
+//!   vertex with a canonical hash of its own label and the multiset of its
+//!   neighbors' labels. Two graphs whose refined label multisets differ are
+//!   certainly non-isomorphic.
+//! * [`receptive`] and [`similarity`] — the **aggregation similarity** of
+//!   Fig. 8: how much of each node's true k-hop receptive field is preserved
+//!   by (a) MEGA's path representation (banded attention over path
+//!   positions, merged per node only at readout) and (b) global attention
+//!   (every node attends to every node). Path attention is exact at 1 hop
+//!   and degrades gracefully with hop count; global attention destroys
+//!   locality on sparse graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use mega_core::{preprocess, MegaConfig};
+//! use mega_graph::generate;
+//! use mega_wl::similarity;
+//!
+//! # fn main() -> Result<(), mega_core::MegaError> {
+//! let g = generate::cycle(12).unwrap();
+//! let s = preprocess(&g, &MegaConfig::default())?;
+//! // 1-hop aggregation is preserved exactly.
+//! assert!((similarity::path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod labels;
+pub mod receptive;
+pub mod similarity;
+
+pub use labels::{refine, wl_indistinguishable, RefinementHistory};
+pub use similarity::{global_similarity, path_similarity, path_similarity_merged, subtree_similarity};

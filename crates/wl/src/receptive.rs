@@ -1,0 +1,183 @@
+//! k-hop receptive fields of graphs and path representations.
+//!
+//! The receptive field `A_k(v)` is the set of nodes whose input features can
+//! influence `v`'s embedding after `k` rounds of 1-hop aggregation. For the
+//! original graph this is the k-ball around `v`. For MEGA's path
+//! representation, aggregation flows along *band slots between path
+//! positions*; a node's multiple appearances each accumulate their own
+//! receptive field and are merged only at readout, which is exactly where
+//! multi-hop information can fall short of the original graph (Fig. 8).
+
+use mega_core::AttentionSchedule;
+use mega_graph::Graph;
+use std::collections::BTreeSet;
+
+/// `A_k(v)` for every node of `g`: the k-ball around each vertex, including
+/// the vertex itself.
+pub fn khop_sets(g: &Graph, hops: usize) -> Vec<BTreeSet<usize>> {
+    let n = g.node_count();
+    let mut sets: Vec<BTreeSet<usize>> = (0..n).map(|v| BTreeSet::from([v])).collect();
+    for _ in 0..hops {
+        let prev = sets.clone();
+        for (v, set) in sets.iter_mut().enumerate() {
+            for &u in g.neighbors(v) {
+                // v aggregates u's previous-round field.
+                set.extend(prev[u].iter().copied());
+            }
+        }
+    }
+    sets
+}
+
+/// Receptive fields of a MEGA path representation after `hops` rounds of
+/// banded aggregation over path positions, merged per node at readout.
+///
+/// Position `i` aggregates from every position it shares an active band slot
+/// with; node `v`'s field is the union over its appearances.
+pub fn path_khop_sets(schedule: &AttentionSchedule, hops: usize) -> Vec<BTreeSet<usize>> {
+    let path = schedule.path();
+    let band = schedule.band();
+    let len = path.len();
+    // Adjacency between positions: active band slots only.
+    let mut pos_adj: Vec<Vec<usize>> = vec![Vec::new(); len];
+    for s in band.active_slots() {
+        pos_adj[s.lo].push(s.hi);
+        pos_adj[s.hi].push(s.lo);
+    }
+    let mut pos_sets: Vec<BTreeSet<usize>> =
+        (0..len).map(|i| BTreeSet::from([path.node_at(i)])).collect();
+    for _ in 0..hops {
+        let prev = pos_sets.clone();
+        for i in 0..len {
+            for &j in &pos_adj[i] {
+                let add: Vec<usize> = prev[j].iter().copied().collect();
+                pos_sets[i].extend(add);
+            }
+        }
+    }
+    let n = path.node_count();
+    let mut node_sets: Vec<BTreeSet<usize>> = (0..n).map(|v| BTreeSet::from([v])).collect();
+    for (i, set) in pos_sets.into_iter().enumerate() {
+        let v = path.node_at(i);
+        node_sets[v].extend(set);
+    }
+    node_sets
+}
+
+/// Receptive fields of a MEGA path representation when node appearances are
+/// **merged after every hop** (scatter to nodes, re-gather to positions each
+/// layer) — the flow model of the trained banded engine in `mega-gnn`. With
+/// full edge coverage this is exact at every hop: the banded layer then
+/// computes the same neighbor sums as true message passing.
+pub fn path_khop_sets_merged(schedule: &AttentionSchedule, hops: usize) -> Vec<BTreeSet<usize>> {
+    let path = schedule.path();
+    let band = schedule.band();
+    let n = path.node_count();
+    // Node-level adjacency induced by active band slots.
+    let mut node_adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for s in band.active_slots() {
+        let (u, v) = (path.node_at(s.lo), path.node_at(s.hi));
+        node_adj[u].insert(v);
+        node_adj[v].insert(u);
+    }
+    let mut sets: Vec<BTreeSet<usize>> = (0..n).map(|v| BTreeSet::from([v])).collect();
+    for _ in 0..hops {
+        let prev = sets.clone();
+        for v in 0..n {
+            for &u in &node_adj[v] {
+                let add: Vec<usize> = prev[u].iter().copied().collect();
+                sets[v].extend(add);
+            }
+        }
+    }
+    sets
+}
+
+/// Jaccard index of two sets; 1.0 when both are empty.
+pub fn jaccard(a: &BTreeSet<usize>, b: &BTreeSet<usize>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_core::{preprocess, MegaConfig};
+    use mega_graph::generate;
+
+    #[test]
+    fn zero_hop_fields_are_singletons() {
+        let g = generate::cycle(5).unwrap();
+        let sets = khop_sets(&g, 0);
+        for (v, s) in sets.iter().enumerate() {
+            assert_eq!(s.len(), 1);
+            assert!(s.contains(&v));
+        }
+    }
+
+    #[test]
+    fn one_hop_field_is_closed_neighborhood() {
+        let g = generate::star(5).unwrap();
+        let sets = khop_sets(&g, 1);
+        assert_eq!(sets[0].len(), 5); // hub sees everything
+        assert_eq!(sets[1].len(), 2); // leaf sees itself and hub
+    }
+
+    #[test]
+    fn fields_grow_monotonically() {
+        let g = generate::path(8).unwrap();
+        let mut prev = khop_sets(&g, 0);
+        for k in 1..4 {
+            let cur = khop_sets(&g, k);
+            for v in 0..8 {
+                assert!(cur[v].is_superset(&prev[v]));
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn path_one_hop_equals_graph_one_hop() {
+        let g = generate::complete(6).unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let truth = khop_sets(&g, 1);
+        let approx = path_khop_sets(&s, 1);
+        assert_eq!(truth, approx);
+    }
+
+    #[test]
+    fn path_fields_subset_of_graph_fields() {
+        let g = generate::barabasi_albert(
+            30,
+            2,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+        )
+        .unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        for k in 1..4 {
+            let truth = khop_sets(&g, k);
+            let approx = path_khop_sets(&s, k);
+            for v in 0..g.node_count() {
+                assert!(
+                    approx[v].is_subset(&truth[v]),
+                    "hop {k}, node {v}: path field not a subset"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        let a: BTreeSet<usize> = [1, 2, 3].into();
+        let b: BTreeSet<usize> = [2, 3, 4].into();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        let empty = BTreeSet::new();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+}

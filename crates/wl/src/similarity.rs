@@ -1,0 +1,187 @@
+//! Similarity scores between aggregation structures (paper Fig. 8).
+
+use crate::labels::refine_pair;
+use crate::receptive::{jaccard, khop_sets, path_khop_sets};
+use mega_core::AttentionSchedule;
+use mega_graph::Graph;
+use std::collections::BTreeMap;
+
+/// Mean Jaccard similarity between each node's true k-hop receptive field in
+/// `g` and its receptive field under MEGA's path representation. Equals 1.0
+/// at `hops = 1` with full edge coverage ("the path representation
+/// consistently ensures identity in 1-hop aggregation"), and degrades
+/// gracefully as `hops` grows.
+///
+/// # Example
+///
+/// ```
+/// use mega_core::{preprocess, MegaConfig};
+/// use mega_graph::generate;
+/// use mega_wl::path_similarity;
+///
+/// # fn main() -> Result<(), mega_core::MegaError> {
+/// let g = generate::complete(8).unwrap();
+/// let s = preprocess(&g, &MegaConfig::default())?;
+/// let one_hop = path_similarity(&g, &s, 1);
+/// assert!((one_hop - 1.0).abs() < 1e-12);
+/// let three_hop = path_similarity(&g, &s, 3);
+/// assert!(three_hop <= 1.0 + 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn path_similarity(g: &Graph, schedule: &AttentionSchedule, hops: usize) -> f64 {
+    let truth = khop_sets(g, hops);
+    let approx = path_khop_sets(schedule, hops);
+    mean_jaccard(&truth, &approx)
+}
+
+/// Like [`path_similarity`], but with node appearances merged after every
+/// hop (the flow model of the trained banded engine). With full edge
+/// coverage this is 1.0 at every hop.
+pub fn path_similarity_merged(g: &Graph, schedule: &AttentionSchedule, hops: usize) -> f64 {
+    let truth = khop_sets(g, hops);
+    let approx = crate::receptive::path_khop_sets_merged(schedule, hops);
+    mean_jaccard(&truth, &approx)
+}
+
+/// Mean Jaccard similarity between each node's true k-hop receptive field and
+/// the *global attention* field (every node attends to every node, the "full
+/// labels set" of Fig. 8). Low on sparse graphs, approaching 1 as density or
+/// hop count makes k-balls cover the graph.
+pub fn global_similarity(g: &Graph, hops: usize) -> f64 {
+    let truth = khop_sets(g, hops);
+    let all: std::collections::BTreeSet<usize> = (0..g.node_count()).collect();
+    if truth.is_empty() {
+        return 1.0;
+    }
+    truth.iter().map(|t| jaccard(t, &all)).sum::<f64>() / truth.len() as f64
+}
+
+fn mean_jaccard(
+    a: &[std::collections::BTreeSet<usize>],
+    b: &[std::collections::BTreeSet<usize>],
+) -> f64 {
+    assert_eq!(a.len(), b.len(), "receptive field vectors must align");
+    if a.is_empty() {
+        return 1.0;
+    }
+    a.iter().zip(b).map(|(x, y)| jaccard(x, y)).sum::<f64>() / a.len() as f64
+}
+
+/// Normalized WL subtree-kernel similarity between two graphs: the histogram
+/// intersection of their refined color multisets, averaged over rounds and
+/// normalized by node count. 1.0 for WL-indistinguishable graphs of equal
+/// size.
+pub fn subtree_similarity(a: &Graph, b: &Graph, iterations: usize) -> f64 {
+    let (ha, hb) = refine_pair(a, b, iterations);
+    let rounds = iterations + 1;
+    let mut total = 0.0;
+    for k in 0..rounds {
+        let ma = histogram(&ha.rounds[k]);
+        let mb = histogram(&hb.rounds[k]);
+        let inter: usize = ma
+            .iter()
+            .map(|(color, &ca)| ca.min(mb.get(color).copied().unwrap_or(0)))
+            .sum();
+        let denom = ha.rounds[k].len().max(hb.rounds[k].len()).max(1);
+        total += inter as f64 / denom as f64;
+    }
+    total / rounds as f64
+}
+
+fn histogram(colors: &[u64]) -> BTreeMap<u64, usize> {
+    let mut h = BTreeMap::new();
+    for &c in colors {
+        *h.entry(c).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_core::{preprocess, MegaConfig, WindowPolicy};
+    use mega_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_similarity_is_one_at_one_hop() {
+        for seed in 0..3u64 {
+            let g = generate::erdos_renyi(25, 0.15, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let s = preprocess(&g, &MegaConfig::default()).unwrap();
+            assert!((path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn path_similarity_monotone_decreasing_in_hops() {
+        let g = generate::barabasi_albert(40, 2, &mut StdRng::seed_from_u64(7)).unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let s1 = path_similarity(&g, &s, 1);
+        let s3 = path_similarity(&g, &s, 3);
+        assert!(s1 >= s3 - 1e-12);
+        assert!(s3 > 0.1, "multi-hop similarity collapsed: {s3}");
+    }
+
+    #[test]
+    fn merged_flow_is_exact_at_every_hop() {
+        let g = generate::barabasi_albert(40, 2, &mut StdRng::seed_from_u64(7)).unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        for hops in 1..=4 {
+            assert!(
+                (path_similarity_merged(&g, &s, hops) - 1.0).abs() < 1e-12,
+                "hops {hops}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_beats_global_on_sparse_graphs() {
+        // The headline claim of Fig. 8.
+        let g = generate::erdos_renyi(60, 0.05, &mut StdRng::seed_from_u64(3)).unwrap();
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        for hops in 1..=2 {
+            assert!(
+                path_similarity(&g, &s, hops) > global_similarity(&g, hops),
+                "hops {hops}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_similarity_grows_with_hops() {
+        let g = generate::cycle(16).unwrap();
+        assert!(global_similarity(&g, 3) > global_similarity(&g, 1));
+    }
+
+    #[test]
+    fn global_similarity_is_one_on_complete_graph() {
+        let g = generate::complete(10).unwrap();
+        assert!((global_similarity(&g, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_similarity_self_is_one() {
+        let g = generate::barabasi_albert(20, 2, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert!((subtree_similarity(&g, &g, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_similarity_detects_difference() {
+        let star = generate::star(10).unwrap();
+        let path = generate::path(10).unwrap();
+        let s = subtree_similarity(&star, &path, 3);
+        assert!(s < 0.8, "expected structural difference, got {s}");
+    }
+
+    #[test]
+    fn larger_window_preserves_no_less_one_hop() {
+        let g = generate::complete(9).unwrap();
+        for w in [1usize, 2, 4] {
+            let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(w));
+            let s = preprocess(&g, &cfg).unwrap();
+            assert!((path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12, "window {w}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for WL refinement and similarity scores.
+
+use mega_core::{preprocess, MegaConfig, WindowPolicy};
+use mega_graph::{Graph, GraphBuilder};
+use mega_wl::{
+    global_similarity, labels, path_similarity, path_similarity_merged, subtree_similarity,
+    wl_indistinguishable,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..40).prop_map(move |pairs| {
+            let mut b = GraphBuilder::undirected(n);
+            b.dedup(true);
+            for v in 1..n {
+                b.edge(v - 1, v).unwrap();
+            }
+            for (a, c) in pairs {
+                b.edge(a, c).unwrap();
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A graph is always WL-indistinguishable from itself.
+    #[test]
+    fn self_indistinguishable(g in arb_graph()) {
+        prop_assert!(wl_indistinguishable(&g, &g, 3));
+        prop_assert!((subtree_similarity(&g, &g, 3) - 1.0).abs() < 1e-12);
+    }
+
+    /// Relabeling nodes (an explicit isomorphism) never distinguishes.
+    #[test]
+    fn isomorphic_relabeling_indistinguishable(g in arb_graph(), seed in 0u64..500) {
+        let n = g.node_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut b = GraphBuilder::undirected(n);
+        for (a, c) in g.edges() {
+            b.edge(perm[a], perm[c]).unwrap();
+        }
+        let h = b.build().unwrap();
+        prop_assert!(wl_indistinguishable(&g, &h, 3));
+    }
+
+    /// Refinement colors only ever split (distinct-color count is
+    /// non-decreasing over rounds).
+    #[test]
+    fn refinement_monotone(g in arb_graph()) {
+        let h = labels::refine(&g, 4);
+        let distinct = |round: &Vec<u64>| {
+            let mut r = round.clone();
+            r.sort_unstable();
+            r.dedup();
+            r.len()
+        };
+        for w in h.rounds.windows(2) {
+            prop_assert!(distinct(&w[1]) >= distinct(&w[0]));
+        }
+    }
+
+    /// Similarity scores stay in [0, 1]; 1-hop path similarity is exactly 1
+    /// at full coverage; merged-flow similarity is 1 at every hop.
+    #[test]
+    fn similarity_ranges(g in arb_graph(), window in 1usize..4) {
+        let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(window));
+        let s = preprocess(&g, &cfg).unwrap();
+        prop_assert!((path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12);
+        for hops in 1..=3 {
+            let p = path_similarity(&g, &s, hops);
+            let q = global_similarity(&g, hops);
+            let m = path_similarity_merged(&g, &s, hops);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&q));
+            prop_assert!((m - 1.0).abs() < 1e-12, "hops {hops}");
+        }
+    }
+
+    /// Subtree similarity is symmetric.
+    #[test]
+    fn subtree_similarity_symmetric(a in arb_graph(), b in arb_graph()) {
+        let ab = subtree_similarity(&a, &b, 3);
+        let ba = subtree_similarity(&b, &a, 3);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+    }
+}

@@ -1,0 +1,43 @@
+//! GPU profiling: nvprof-style comparison of the DGL baseline and the MEGA
+//! engine on the simulated GTX 1080.
+//!
+//! Run with: `cargo run --release --example attention_profile`
+//!
+//! Reproduces the paper's profiling methodology (§III-A / §IV-B2) at example
+//! scale: build a batch of molecular graphs, expand one Graph Transformer
+//! training step into its kernel launches under both engines, and print the
+//! per-kernel tables plus the invocation-weighted aggregate metrics.
+
+use mega::core::{preprocess, MegaConfig};
+use mega::datasets::{zinc, DatasetSpec};
+use mega::gpu_sim::{BatchTopology, DeviceConfig, EngineKind, GnnCostModel, ModelSpec, Profiler};
+
+fn main() {
+    let ds = zinc(&DatasetSpec { train: 64, val: 8, test: 8, seed: 9 });
+    let graphs: Vec<_> = ds.train.iter().map(|s| s.graph.clone()).collect();
+    let schedules: Vec<_> = graphs
+        .iter()
+        .map(|g| preprocess(g, &MegaConfig::default()).expect("valid graph"))
+        .collect();
+    let topo = BatchTopology::from_graphs_with_schedules(&graphs, &schedules);
+    println!(
+        "batch: {} graphs | {} nodes | {} adjacency slots | path length {} (window {})",
+        graphs.len(),
+        topo.n_nodes,
+        topo.n_slots,
+        topo.path_len,
+        topo.window
+    );
+
+    let spec = ModelSpec::graph_transformer(128, 2);
+    for engine in [EngineKind::DglBaseline, EngineKind::Mega] {
+        let model = GnnCostModel::new(DeviceConfig::gtx_1080(), spec.clone(), engine);
+        let mut profiler = Profiler::new(DeviceConfig::gtx_1080());
+        model.simulate_step(&mut profiler, &topo);
+        let report = profiler.report();
+        println!("\n=== {:?} — one GT training step (batch 64, hidden 128) ===", engine);
+        println!("{report}");
+    }
+    println!("\nThe dgl kernels stall on scattered loads; the mega band kernels stream.");
+    println!("Compare the aggregate sm_eff / stall lines — the paper's Fig. 9.");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: preprocess a graph with MEGA and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Builds the demonstration graph of the paper's Fig. 3a, runs the objective
+//! traversal (Algorithm 1), and prints the path representation, the band
+//! mask, and the Weisfeiler-Lehman similarity scores that show 1-hop
+//! aggregation is preserved exactly.
+
+use mega::core::{preprocess, MegaConfig, WindowPolicy};
+use mega::graph::GraphBuilder;
+use mega::wl::{global_similarity, path_similarity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 7-node demonstration graph of Fig. 3a.
+    let g = GraphBuilder::undirected(7)
+        .edges([(0, 1), (0, 5), (1, 2), (1, 5), (2, 3), (2, 6), (3, 6), (3, 4), (4, 6), (5, 6)])?
+        .build()?;
+    println!("input graph: {} nodes, {} edges, mean degree {:.2}", g.node_count(), g.edge_count(), g.mean_degree());
+
+    // Preprocess: traverse and build the attention schedule.
+    let config = MegaConfig::default().with_window(WindowPolicy::Fixed(1));
+    let schedule = preprocess(&g, &config)?;
+    let stats = schedule.stats();
+
+    println!("\npath representation (window = {}):", stats.window);
+    let path = schedule.path();
+    let steps: Vec<String> = (0..path.len())
+        .map(|i| {
+            let v = path.node_at(i);
+            if i > 0 && path.is_virtual_step(i) {
+                format!("~>{v}") // virtual edge (jump)
+            } else if i > 0 {
+                format!("->{v}")
+            } else {
+                format!("{v}")
+            }
+        })
+        .collect();
+    println!("  {}", steps.join(" "));
+    println!(
+        "  length {} ({} revisits, {} virtual edges, expansion {:.2}x)",
+        stats.path_len, stats.revisits, stats.virtual_edges, stats.expansion
+    );
+
+    println!("\nband mask: {} active slots covering {:.0}% of edges, density {:.2}",
+        schedule.band().covered_edge_count(),
+        stats.coverage * 100.0,
+        stats.band_density,
+    );
+    for slot in schedule.band().active_slots() {
+        println!(
+            "  positions ({:2}, {:2})  carry edge {:2} = ({}, {})",
+            slot.lo,
+            slot.hi,
+            slot.edge,
+            g.edge_list().pairs()[slot.edge].0,
+            g.edge_list().pairs()[slot.edge].1,
+        );
+    }
+
+    println!("\naggregation similarity vs the original graph:");
+    for hops in 1..=3 {
+        println!(
+            "  {hops}-hop: path {:.3}  |  global attention {:.3}",
+            path_similarity(&g, &schedule, hops),
+            global_similarity(&g, hops)
+        );
+    }
+    println!("\n1-hop similarity is exactly 1.0: banded attention over the path computes");
+    println!("the same neighbor sums as true graph attention, with sequential memory access.");
+    Ok(())
+}

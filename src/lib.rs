@@ -1,0 +1,24 @@
+//! MEGA: More Efficient Graph Attention for GNNs — facade crate.
+//!
+//! Re-exports the workspace crates under one roof. See the individual crates
+//! for detailed documentation:
+//!
+//! * [`graph`] — graph data structures, statistics, generators.
+//! * [`core`] — the MEGA contribution: objective traversal, path
+//!   representation, adaptive window, banded attention layout.
+//! * [`wl`] — Weisfeiler-Lehman isomorphism scoring.
+//! * [`tensor`] — dense tensors with reverse-mode autograd and optimizers.
+//! * [`gnn`] — GatedGCN and Graph Transformer models with baseline
+//!   (scatter/gather) and MEGA (banded) execution engines.
+//! * [`datasets`] — synthetic ZINC/AQSOL/CSL/CYCLES-like dataset generators.
+//! * [`gpu_sim`] — GPU memory-system simulator and nvprof-style profiler.
+//! * [`dist`] — distributed partitioning and communication-volume analysis.
+
+pub use mega_core as core;
+pub use mega_datasets as datasets;
+pub use mega_dist as dist;
+pub use mega_gnn as gnn;
+pub use mega_gpu_sim as gpu_sim;
+pub use mega_graph as graph;
+pub use mega_tensor as tensor;
+pub use mega_wl as wl;

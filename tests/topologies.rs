@@ -1,0 +1,119 @@
+//! Traversal behaviour across the topology spectrum the paper discusses
+//! (§III-B: "uniform, normal, and predominantly power distributions"), plus
+//! the geometric extremes: stars (one hub), grids (already banded), caveman
+//! graphs (max clustering), and small-world rewirings.
+
+use mega::core::{preprocess, traverse, MegaConfig, WindowPolicy};
+use mega::graph::{generate, Graph};
+use mega::wl::path_similarity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn full(w: usize) -> MegaConfig {
+    MegaConfig::default().with_window(WindowPolicy::Fixed(w))
+}
+
+fn assert_complete_schedule(g: &Graph, w: usize) {
+    let s = preprocess(g, &full(w)).unwrap();
+    assert_eq!(s.band().covered_edge_count(), g.edge_count(), "window {w}");
+    assert!((path_similarity(g, &s, 1) - 1.0).abs() < 1e-12, "window {w}");
+    for positions in s.scatter_index() {
+        assert!(!positions.is_empty());
+    }
+}
+
+/// A star forces maximal revisiting at ω=1: the hub must reappear between
+/// leaves. The path alternates hub/leaf, and the revisit count hits the
+/// paper's lower bound exactly.
+#[test]
+fn star_traversal_is_hub_alternating() {
+    let n = 12;
+    let g = generate::star(n).unwrap();
+    let t = traverse(&g, &full(1)).unwrap();
+    assert_eq!(t.covered_edges, n - 1);
+    // Path length: each of the n-1 edges needs a hub appearance next to a
+    // leaf appearance; optimal is 2(n-1) positions, one leaf each.
+    assert!(t.path.len() <= 2 * (n - 1) + 1);
+    // Hub (node 0) dominates appearances.
+    let hub_appearances = t.path.iter().filter(|&&v| v == 0).count();
+    assert!(hub_appearances >= (n - 1) / 2, "hub appeared {hub_appearances} times");
+    // Algorithm 1's pool priority (open neighbors -> stack -> jump) returns
+    // to the hub after every leaf regardless of omega, so larger windows
+    // cannot make a star worse -- and, faithfully to the paper's greedy
+    // policy, they do not reach the sum-ceil(d/omega)-n bound either.
+    let t4 = traverse(&g, &full(4)).unwrap();
+    assert!(t4.revisits <= t.revisits);
+}
+
+/// A grid is already nearly banded; the traversal should produce a short
+/// path (small expansion) with few virtual edges.
+#[test]
+fn grid_traversal_is_nearly_linear() {
+    let g = generate::grid(8, 8).unwrap();
+    let t = traverse(&g, &full(2)).unwrap();
+    assert_eq!(t.covered_edges, g.edge_count());
+    assert!(
+        t.expansion_factor() < 2.5,
+        "grid expansion {} unexpectedly high",
+        t.expansion_factor()
+    );
+    assert!(t.virtual_edge_count <= g.node_count() / 8);
+}
+
+/// Caveman graphs are the friendliest case for Eq. 2: cliques are traversed
+/// densely before moving on, so the window covers many edges per step.
+#[test]
+fn caveman_traversal_exploits_clustering() {
+    let g = generate::caveman(5, 5).unwrap();
+    let t = traverse(&g, &full(4)).unwrap();
+    assert_eq!(t.covered_edges, g.edge_count());
+    // A window of 4 covers each 5-clique in about one sweep: expansion stays
+    // below 2.
+    assert!(t.expansion_factor() < 2.0, "expansion {}", t.expansion_factor());
+    assert_eq!(t.virtual_edge_count, 0, "bridged cliques need no jumps");
+}
+
+/// Small-world rewiring adds shortcuts; coverage must remain exact across
+/// the rewiring spectrum.
+#[test]
+fn watts_strogatz_coverage_across_beta() {
+    for (i, &beta) in [0.0f64, 0.1, 0.5, 1.0].iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(i as u64);
+        let g = generate::watts_strogatz(60, 4, beta, &mut rng).unwrap();
+        assert_complete_schedule(&g, 2);
+    }
+}
+
+/// Dense and sparse ER extremes, several windows.
+#[test]
+fn erdos_renyi_extremes() {
+    for &(p, seed) in &[(0.02f64, 1u64), (0.3, 2), (0.8, 3)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::erdos_renyi(40, p, &mut rng).unwrap();
+        for w in [1usize, 3, 8] {
+            assert_complete_schedule(&g, w);
+        }
+    }
+}
+
+/// The adaptive window picks larger ω for denser graphs, and the resulting
+/// expansion factor is lower than forcing ω=1.
+#[test]
+fn adaptive_window_helps_dense_graphs() {
+    let g = generate::complete(24).unwrap();
+    let adaptive = traverse(&g, &MegaConfig::default()).unwrap();
+    let narrow = traverse(&g, &full(1)).unwrap();
+    assert!(adaptive.window > 1);
+    assert!(adaptive.path.len() < narrow.path.len());
+    assert_eq!(adaptive.covered_edges, g.edge_count());
+}
+
+/// Directed graphs traverse too: every stored arc gets a band slot.
+#[test]
+fn directed_graph_coverage() {
+    let mut b = mega::graph::GraphBuilder::directed(6);
+    b.edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (2, 5)]).unwrap();
+    let g = b.build().unwrap();
+    let s = preprocess(&g, &full(2)).unwrap();
+    assert_eq!(s.band().covered_edge_count(), g.edge_count());
+}

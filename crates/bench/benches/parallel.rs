@@ -1,0 +1,41 @@
+//! Criterion benches of the parallel band-execution engine: serial banded
+//! aggregation versus the chunked engine at 1/2/4/8 worker threads on a
+//! 10k-node synthetic graph. The chunked results are bit-identical to
+//! serial at every setting — this bench measures only the scheduling cost
+//! and (on multi-core hosts) the scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mega_core::parallel::{banded_aggregate, banded_aggregate_serial, Parallelism};
+use mega_core::{preprocess, MegaConfig};
+use mega_graph::generate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 10_000;
+const FEAT: usize = 64;
+
+fn bench_banded_aggregate(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = generate::barabasi_albert(NODES, 4, &mut rng).unwrap();
+    let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
+    let band = schedule.band();
+    let len = band.len();
+    let x: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let weights: Vec<f32> =
+        (0..schedule.working_graph().edge_count()).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+
+    let mut group = c.benchmark_group("banded_aggregate");
+    group.bench_function(BenchmarkId::new("serial", format!("ba-{NODES}")), |b| {
+        b.iter(|| banded_aggregate_serial(band, &x, FEAT, &weights))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let par = Parallelism::with_threads(threads);
+        group.bench_function(BenchmarkId::new("chunked", format!("{threads}t")), |b| {
+            b.iter(|| banded_aggregate(band, &x, FEAT, &weights, &par))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_banded_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Parallel band-engine scaling on a 10k-node synthetic graph.
+//!
+//! Measures the serial banded-aggregation kernel, then for each thread
+//! count builds the real [`ChunkPlan`] and derives the engine's speedup two
+//! ways:
+//!
+//! * **model** — the work-division speedup implied by the plan: per-chunk
+//!   work (slot visits × feature dim, including the ±ω overlap reads) is
+//!   replayed through the engine's dynamic pull schedule (workers take the
+//!   next chunk as they free up), and the makespan is compared against the
+//!   serial total. This is host-independent, like the GPU cost model used
+//!   throughout `bench_results/`.
+//! * **host** — measured wall time of the chunked kernel on this machine
+//!   (only meaningful on multi-core hosts; the chunked results are
+//!   bit-identical to serial either way).
+
+use mega_bench::{fmt, save_json, TableWriter};
+use mega_core::parallel::{banded_aggregate, banded_aggregate_serial, ChunkPlan, Parallelism};
+use mega_core::{preprocess, MegaConfig};
+use mega_graph::generate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const NODES: usize = 10_000;
+const FEAT: usize = 64;
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    chunks: usize,
+    model_speedup: f64,
+    model_efficiency: f64,
+    host_ms: f64,
+    host_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    graph: String,
+    nodes: usize,
+    edges: usize,
+    path_len: usize,
+    window: usize,
+    feature_dim: usize,
+    host_cores: usize,
+    serial_ms: f64,
+    rows: Vec<Row>,
+}
+
+/// Slot-visit work units of one chunk: the chunked kernel scans up to 2ω
+/// band offsets per owned row and touches `dim` lanes per active slot.
+fn chunk_work(plan: &ChunkPlan, band: &mega_core::BandMask, idx: usize) -> u64 {
+    let c = plan.chunks()[idx];
+    let w = plan.window();
+    let mut units = 0u64;
+    for r in c.start..c.end {
+        for lo in r.saturating_sub(w)..r {
+            units += 1; // offset scan
+            if band.slot(lo, r - lo).is_some() {
+                units += FEAT as u64;
+            }
+        }
+        for k in 1..=w {
+            units += 1;
+            if band.slot(r, k).is_some() {
+                units += FEAT as u64;
+            }
+        }
+    }
+    units
+}
+
+/// Makespan of the engine's dynamic schedule: `threads` workers repeatedly
+/// pull the next chunk index, exactly like the atomic-counter pool.
+fn makespan(work: &[u64], threads: usize) -> u64 {
+    let mut finish = vec![0u64; threads.max(1)];
+    for &w in work {
+        let earliest = (0..finish.len()).min_by_key(|&i| finish[i]).unwrap();
+        finish[earliest] += w;
+    }
+    finish.into_iter().max().unwrap_or(0)
+}
+
+fn median_ms<F: FnMut() -> Vec<f32>>(mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            let out = f();
+            std::hint::black_box(&out);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = generate::barabasi_albert(NODES, 4, &mut rng).unwrap();
+    let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
+    let band = schedule.band();
+    let len = band.len();
+    let x: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let weights: Vec<f32> =
+        (0..schedule.working_graph().edge_count()).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+
+    let serial_ms = median_ms(|| banded_aggregate_serial(band, &x, FEAT, &weights));
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "graph: ba-{NODES} | path {len} | window {} | dim {FEAT} | serial {:.3} ms | {host_cores} host core(s)\n",
+        band.window(),
+        serial_ms
+    );
+
+    let mut table =
+        TableWriter::new(&["threads", "chunks", "model speedup", "model eff", "host(ms)", "host speedup"]);
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let par = Parallelism::with_threads(threads);
+        let plan = ChunkPlan::for_band(band, &par);
+        let work: Vec<u64> = (0..plan.chunks().len()).map(|i| chunk_work(&plan, band, i)).collect();
+        let span = makespan(&work, threads);
+        // The serial kernel walks active slots directly (2 row updates of
+        // `dim` lanes per slot, no offset scan); the chunked engine pays its
+        // full scan cost, so the model charges it against serial honestly.
+        let serial_units: u64 = 2 * FEAT as u64 * band.active_slots().len() as u64;
+        // At one worker the engine dispatches straight to the serial kernel.
+        let model_speedup =
+            if threads <= 1 { 1.0 } else { serial_units as f64 / span.max(1) as f64 };
+        let host_ms = median_ms(|| banded_aggregate(band, &x, FEAT, &weights, &par));
+        let row = Row {
+            threads,
+            chunks: plan.chunks().len(),
+            model_speedup,
+            model_efficiency: model_speedup / threads as f64,
+            host_ms,
+            host_speedup: serial_ms / host_ms,
+        };
+        table.row(&[
+            fmt(threads as f64, 0),
+            fmt(row.chunks as f64, 0),
+            fmt(row.model_speedup, 2),
+            fmt(row.model_efficiency, 2),
+            fmt(row.host_ms, 3),
+            fmt(row.host_speedup, 2),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    save_json(
+        "parallel_scaling",
+        &Report {
+            graph: format!("ba-{NODES}"),
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            path_len: len,
+            window: band.window(),
+            feature_dim: FEAT,
+            host_cores,
+            serial_ms,
+            rows,
+        },
+    );
+}

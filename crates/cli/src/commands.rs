@@ -148,15 +148,20 @@ pub fn train(args: &Args) -> Result<(), String> {
         .with_hidden(args.get_or("hidden", 32usize)?)
         .with_layers(args.get_or("layers", 2usize)?)
         .with_heads(4);
+    // --threads 0 = auto (RAYON_NUM_THREADS, then hardware); parallel paths
+    // are bit-deterministic, so the history is identical for every value.
+    let threads = args.get_or("threads", 1usize)?;
     let trainer = Trainer::new(engine)
         .with_epochs(args.get_or("epochs", 5usize)?)
         .with_batch_size(args.get_or("batch", 32usize)?)
-        .with_lr(args.get_or("lr", 5e-3f32)?);
+        .with_lr(args.get_or("lr", 5e-3f32)?)
+        .with_parallelism(mega_core::Parallelism::with_threads(threads));
     println!(
-        "training {} on {} with the {} engine...",
+        "training {} on {} with the {} engine ({} threads)...",
         kind.label(),
         ds.name,
-        engine.label()
+        engine.label(),
+        mega_core::Parallelism::with_threads(threads).effective_threads()
     );
     let hist = trainer.run(&ds, cfg);
     println!("simulated GPU epoch: {:.3} ms", hist.epoch_sim_seconds * 1e3);

@@ -35,6 +35,10 @@ COMMANDS:
         --engine NAME         dgl | mega (default mega)
         --epochs N            (default 5)   --batch N   (default 32)
         --hidden N            (default 32)  --lr F      (default 0.005)
+        --threads N           CPU worker threads for preprocessing, batching
+                              and tape matmuls; 0 = auto from
+                              RAYON_NUM_THREADS or the hardware (default 1).
+                              Results are bit-identical for every value.
     profile                   Simulated GTX 1080 kernel profile, both engines
         --dataset NAME        (default zinc)  --model NAME (default gt)
         --batch N             (default 64)    --hidden N   (default 64)

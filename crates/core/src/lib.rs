@@ -52,6 +52,7 @@ pub mod config;
 pub mod edge_drop;
 pub mod error;
 pub mod hetero;
+pub mod parallel;
 pub mod path;
 pub mod persist;
 pub mod schedule;
@@ -62,9 +63,10 @@ pub use band::BandMask;
 pub use config::{CandidatePolicy, MegaConfig, WindowPolicy};
 pub use error::MegaError;
 pub use hetero::{preprocess_hetero, HeteroGraph, MultiPathSchedule};
+pub use parallel::{Chunk, ChunkPlan, Parallelism};
 pub use path::PathRepresentation;
 pub use schedule::AttentionSchedule;
-pub use traversal::{traverse, Traversal};
+pub use traversal::{traverse, traverse_parallel, Traversal};
 pub use window::{adaptive_window, revisit_lower_bound};
 
 use mega_graph::Graph;

@@ -1,0 +1,512 @@
+//! Parallel band execution: chunked, deterministic banded aggregation.
+//!
+//! The width-ω band makes attention *local in path position*: every pair
+//! `(i, j)` with an active slot satisfies `|i - j| ≤ ω`. This module exploits
+//! that locality to split the path into `ceil(L / chunk)` segments whose read
+//! extents overlap by exactly ω positions, so **no in-band pair straddles a
+//! cut**: every active [`BandSlot`] relevant to a chunk's owned rows is fully
+//! visible inside that chunk's extent.
+//!
+//! # Determinism guarantee
+//!
+//! Each chunk *owns* a disjoint range of output rows and computes them by
+//! folding slot contributions in the same ascending `(lo, offset)` order the
+//! serial kernel uses. Because row accumulators are per-row and never shared
+//! across chunks, the parallel result is **bit-identical** to the serial
+//! result for every thread count and every chunk size — there is no
+//! cross-chunk floating-point re-association at all. The reduction step is a
+//! plain in-order concatenation of owned row ranges.
+//!
+//! Worker threads are plain `std::thread::scope` workers pulling chunk
+//! indices from an atomic counter; results land in their slot of a
+//! pre-allocated vector, so scheduling order cannot affect output order.
+
+use crate::band::BandMask;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread-count and chunking knobs for the parallel band engine.
+///
+/// `threads == 0` means "auto": use `RAYON_NUM_THREADS` when set (the
+/// conventional env var, honored for CI compatibility even though the pool is
+/// std-based), otherwise [`std::thread::available_parallelism`]. An explicit
+/// non-zero `threads` always wins over the environment.
+///
+/// `chunk_size == 0` means "auto": size chunks so each worker gets several,
+/// with a floor of the band window ω.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Parallelism {
+    /// Worker thread count; 0 = auto (env, then hardware).
+    pub threads: usize,
+    /// Owned rows per chunk; 0 = auto.
+    pub chunk_size: usize,
+}
+
+impl Parallelism {
+    /// A config pinned to `threads` workers (0 = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism { threads, chunk_size: 0 }
+    }
+
+    /// Sets the owned-rows-per-chunk size (0 = auto).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Resolves the worker count actually used.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Resolves the owned-rows-per-chunk size for a path of length `len`
+    /// under window ω.
+    pub fn effective_chunk_size(&self, len: usize, window: usize) -> usize {
+        if self.chunk_size > 0 {
+            return self.chunk_size.max(1);
+        }
+        let workers = self.effective_threads();
+        // Several chunks per worker for load balance, floored at ω so the
+        // overlap stays a small fraction of each chunk.
+        (len / (4 * workers).max(1)).max(window).max(1)
+    }
+}
+
+/// One segment of the path: owns rows `[start, end)` exclusively and reads
+/// rows/slots from the extended range `[read_lo, read_hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First owned row.
+    pub start: usize,
+    /// One past the last owned row.
+    pub end: usize,
+    /// First readable row (`start` minus ω, clamped to 0).
+    pub read_lo: usize,
+    /// One past the last readable row (`end` plus ω, clamped to the length).
+    pub read_hi: usize,
+}
+
+impl Chunk {
+    /// Number of owned rows.
+    pub fn owned_len(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// The chunk decomposition of a path of length `len` under window ω.
+///
+/// Invariants (property-tested in `crates/core/tests/proptests.rs`):
+///
+/// * owned ranges partition `[0, len)` in order (cover, no gaps, no overlap);
+/// * each read extent extends the owned range by exactly ω on both sides,
+///   clamped at the path boundaries;
+/// * every active [`BandSlot`] is *owned* by exactly one chunk — the one
+///   whose owned range contains `slot.lo` — and both its endpoints lie
+///   inside that chunk's read extent (`hi ≤ lo + ω < end + ω`).
+///
+/// [`BandSlot`]: crate::band::BandSlot
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    len: usize,
+    window: usize,
+    chunks: Vec<Chunk>,
+}
+
+impl ChunkPlan {
+    /// Splits `[0, len)` into `ceil(len / chunk_size)` chunks with ω-overlap
+    /// read extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn build(len: usize, window: usize, chunk_size: usize) -> Self {
+        assert!(chunk_size >= 1, "chunk_size must be >= 1");
+        let mut chunks = Vec::with_capacity(len / chunk_size + 1);
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk_size).min(len);
+            chunks.push(Chunk {
+                start,
+                end,
+                read_lo: start.saturating_sub(window),
+                read_hi: (end + window).min(len),
+            });
+            start = end;
+        }
+        if len == 0 {
+            // A single empty chunk keeps downstream map/reduce uniform.
+            chunks.push(Chunk { start: 0, end: 0, read_lo: 0, read_hi: 0 });
+        }
+        ChunkPlan { len, window, chunks }
+    }
+
+    /// The plan a `Parallelism` config resolves to for this band geometry.
+    pub fn for_band(band: &BandMask, par: &Parallelism) -> Self {
+        Self::build(band.len(), band.window(), par.effective_chunk_size(band.len(), band.window()))
+    }
+
+    /// Path length covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the covered path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The window ω the plan was built with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The chunks in path order.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Index of the chunk owning row (or slot `lo`) `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn owner_of(&self, pos: usize) -> usize {
+        assert!(pos < self.len, "position {pos} outside path of length {}", self.len);
+        self.chunks
+            .partition_point(|c| c.end <= pos)
+    }
+}
+
+/// Maps `f` over `items` on a scoped worker pool, preserving input order.
+///
+/// Workers pull indices from an atomic counter; each result lands in its own
+/// pre-allocated slot, so the output `Vec` is index-ordered regardless of
+/// scheduling. With `threads <= 1` (or one item) the map runs inline.
+pub fn ordered_map<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed index")
+        })
+        .collect()
+}
+
+/// Serial reference kernel: masked banded aggregation.
+///
+/// `x` is row-major `L × dim` (one row per path position), `weights` has one
+/// entry per working-graph edge. Every active slot `(lo, hi, e)` contributes
+/// `w[e] · x[hi]` to row `lo` and `w[e] · x[lo]` to row `hi` — the symmetric
+/// weighted 1-hop neighbor sum of banded attention, applied in ascending
+/// `(lo, offset)` slot order.
+///
+/// # Panics
+///
+/// Panics if `x.len() != band.len() * dim`.
+pub fn banded_aggregate_serial(
+    band: &BandMask,
+    x: &[f32],
+    dim: usize,
+    weights: &[f32],
+) -> Vec<f32> {
+    assert_eq!(x.len(), band.len() * dim, "x must be L x dim");
+    let mut out = vec![0.0f32; x.len()];
+    for s in band.active_slots() {
+        let w = weights[s.edge];
+        for d in 0..dim {
+            out[s.lo * dim + d] += w * x[s.hi * dim + d];
+            out[s.hi * dim + d] += w * x[s.lo * dim + d];
+        }
+    }
+    out
+}
+
+/// Contributions to owned rows of `chunk`, folded in serial slot order.
+///
+/// For each owned row `r`, the serial kernel's contributions arrive in
+/// ascending slot order: first slots `(lo, r)` with `lo` ascending in
+/// `[r - ω, r)` (row `r` is the `hi` side), then slots `(r, r + k)` with `k`
+/// ascending (row `r` is the `lo` side). Replaying exactly that order makes
+/// each owned row bit-identical to the serial result.
+fn aggregate_chunk(
+    band: &BandMask,
+    chunk: &Chunk,
+    x: &[f32],
+    dim: usize,
+    weights: &[f32],
+) -> Vec<f32> {
+    let w_max = band.window();
+    let mut out = vec![0.0f32; chunk.owned_len() * dim];
+    for r in chunk.start..chunk.end {
+        let row = &mut out[(r - chunk.start) * dim..(r - chunk.start + 1) * dim];
+        for lo in r.saturating_sub(w_max)..r {
+            if let Some(e) = band.slot(lo, r - lo) {
+                let w = weights[e];
+                for d in 0..dim {
+                    row[d] += w * x[lo * dim + d];
+                }
+            }
+        }
+        for k in 1..=w_max {
+            if let Some(e) = band.slot(r, k) {
+                let w = weights[e];
+                for d in 0..dim {
+                    row[d] += w * x[(r + k) * dim + d];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parallel chunked banded aggregation — bit-identical to
+/// [`banded_aggregate_serial`] for every thread count and chunk size.
+///
+/// The reduction concatenates owned row ranges in chunk order; no partial is
+/// ever summed across chunks.
+///
+/// # Panics
+///
+/// Panics if `x.len() != band.len() * dim`.
+pub fn banded_aggregate(
+    band: &BandMask,
+    x: &[f32],
+    dim: usize,
+    weights: &[f32],
+    par: &Parallelism,
+) -> Vec<f32> {
+    assert_eq!(x.len(), band.len() * dim, "x must be L x dim");
+    // One worker cannot benefit from the per-row scan layout; the serial
+    // slot-walk produces the identical bits at a fraction of the cost.
+    if par.effective_threads() <= 1 {
+        return banded_aggregate_serial(band, x, dim, weights);
+    }
+    let plan = ChunkPlan::for_band(band, par);
+    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
+        aggregate_chunk(band, chunk, x, dim, weights)
+    });
+    let mut out = Vec::with_capacity(x.len());
+    for partial in partials {
+        out.extend_from_slice(&partial);
+    }
+    out
+}
+
+/// Backward pass through the aggregation, with respect to the inputs.
+///
+/// The aggregation is `out = A·x` with `A` the symmetric banded slot-weight
+/// matrix, so `dx = A·d_out` — the same kernel applied to the upstream
+/// gradient, inheriting the bit-identical chunking guarantee.
+pub fn banded_aggregate_backward_x(
+    band: &BandMask,
+    d_out: &[f32],
+    dim: usize,
+    weights: &[f32],
+    par: &Parallelism,
+) -> Vec<f32> {
+    banded_aggregate(band, d_out, dim, weights, par)
+}
+
+/// Backward pass with respect to the per-edge weights (serial reference).
+///
+/// `dw[e] = ⟨d_out[lo], x[hi]⟩ + ⟨d_out[hi], x[lo]⟩` for the slot claimed by
+/// edge `e`.
+pub fn banded_weight_grad_serial(
+    band: &BandMask,
+    x: &[f32],
+    d_out: &[f32],
+    dim: usize,
+    edge_count: usize,
+) -> Vec<f32> {
+    let mut dw = vec![0.0f32; edge_count];
+    for s in band.active_slots() {
+        let mut acc = 0.0f32;
+        for d in 0..dim {
+            acc += d_out[s.lo * dim + d] * x[s.hi * dim + d];
+            acc += d_out[s.hi * dim + d] * x[s.lo * dim + d];
+        }
+        dw[s.edge] = acc;
+    }
+    dw
+}
+
+/// Parallel weight gradient: slots are partitioned by their owning chunk
+/// (the chunk whose owned rows contain `slot.lo`); each edge claims exactly
+/// one slot, so writes never collide and each `dw[e]` is computed by a single
+/// chunk exactly as the serial kernel would — bit-identical by construction.
+pub fn banded_weight_grad(
+    band: &BandMask,
+    x: &[f32],
+    d_out: &[f32],
+    dim: usize,
+    edge_count: usize,
+    par: &Parallelism,
+) -> Vec<f32> {
+    if par.effective_threads() <= 1 {
+        return banded_weight_grad_serial(band, x, d_out, dim, edge_count);
+    }
+    let plan = ChunkPlan::for_band(band, par);
+    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
+        let mut local: Vec<(usize, f32)> = Vec::new();
+        for s in band.active_slots() {
+            if s.lo < chunk.start || s.lo >= chunk.end {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for d in 0..dim {
+                acc += d_out[s.lo * dim + d] * x[s.hi * dim + d];
+                acc += d_out[s.hi * dim + d] * x[s.lo * dim + d];
+            }
+            local.push((s.edge, acc));
+        }
+        local
+    });
+    let mut dw = vec![0.0f32; edge_count];
+    for partial in partials {
+        for (e, v) in partial {
+            dw[e] = v;
+        }
+    }
+    dw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MegaConfig, WindowPolicy};
+    use crate::traversal::traverse;
+    use mega_graph::generate;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn band_fixture(n: usize, w: usize) -> BandMask {
+        let g = generate::erdos_renyi(n, 0.2, &mut StdRng::seed_from_u64(n as u64)).unwrap();
+        let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(w));
+        BandMask::from_traversal(&traverse(&g, &cfg).unwrap())
+    }
+
+    fn random_rows(len: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn chunk_plan_partitions_and_overlaps() {
+        let plan = ChunkPlan::build(103, 4, 10);
+        let chunks = plan.chunks();
+        assert_eq!(chunks.first().unwrap().start, 0);
+        assert_eq!(chunks.last().unwrap().end, 103);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            // Read extents overlap by exactly 2ω across a cut (ω each side).
+            assert_eq!(w[0].read_hi, (w[0].end + 4).min(103));
+            assert_eq!(w[1].read_lo, w[1].start - 4);
+        }
+    }
+
+    #[test]
+    fn owner_of_matches_owned_ranges() {
+        let plan = ChunkPlan::build(57, 3, 8);
+        for (ci, c) in plan.chunks().iter().enumerate() {
+            for r in c.start..c.end {
+                assert_eq!(plan.owner_of(r), ci);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_has_one_empty_chunk() {
+        let plan = ChunkPlan::build(0, 2, 8);
+        assert!(plan.is_empty());
+        assert_eq!(plan.chunks().len(), 1);
+        assert_eq!(plan.chunks()[0].owned_len(), 0);
+    }
+
+    #[test]
+    fn parallel_aggregation_bit_identical_to_serial() {
+        let band = band_fixture(40, 3);
+        let dim = 5;
+        let x = random_rows(band.len(), dim, 7);
+        let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let weights: Vec<f32> = (0..edges).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let serial = banded_aggregate_serial(&band, &x, dim, &weights);
+        for threads in [1usize, 2, 4, 8] {
+            for chunk in [band.window(), 4 * band.window(), band.len().max(1)] {
+                let par = Parallelism::with_threads(threads).with_chunk_size(chunk);
+                let got = banded_aggregate(&band, &x, dim, &weights, &par);
+                assert_eq!(serial.len(), got.len());
+                for (a, b) in serial.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_grad_bit_identical_to_serial() {
+        let band = band_fixture(30, 2);
+        let dim = 4;
+        let x = random_rows(band.len(), dim, 3);
+        let d_out = random_rows(band.len(), dim, 4);
+        let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
+        let serial = banded_weight_grad_serial(&band, &x, &d_out, dim, edges);
+        for threads in [1usize, 3, 8] {
+            let par = Parallelism::with_threads(threads).with_chunk_size(5);
+            let got = banded_weight_grad(&band, &x, &d_out, dim, edges, &par);
+            for (a, b) in serial.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = ordered_map(&items, 8, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(doubled, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_threads_prefers_explicit() {
+        assert_eq!(Parallelism::with_threads(3).effective_threads(), 3);
+        assert!(Parallelism::default().effective_threads() >= 1);
+    }
+}

@@ -241,15 +241,30 @@ pub fn traverse(g: &Graph, config: &MegaConfig) -> Result<Traversal, MegaError> 
     } else {
         g.clone()
     };
-    let window = resolve_window(&working, config.window);
-    let n = working.node_count();
-    let m = working.edge_count();
-    let needed = (config.coverage * m as f64).ceil() as usize;
-    let cap = config.max_path_factor * (n + 2 * m + 1);
+    traverse_working(working, config)
+}
 
+/// Runs the walk over an already-prepared working graph (post edge-drop).
+fn traverse_working(working: Graph, config: &MegaConfig) -> Result<Traversal, MegaError> {
+    let window = resolve_window(&working, config.window);
+    let m = working.edge_count();
     let mut st = State::new(&working, window, config.policy, config.seed);
     st.append(start_node(&working));
+    complete_walk(&mut st, config)?;
+    let out = st.into_output();
+    finish(out, window, m, working)
+}
 
+/// The main loop of Algorithm 1: extends the walk until every node is
+/// visited and the coverage target is met. Also used to finish a stitched
+/// multi-agent path (see [`traverse_parallel`]), where it covers whatever
+/// the independent agents left open — in particular edges crossing
+/// partition cuts.
+fn complete_walk(st: &mut State<'_>, config: &MegaConfig) -> Result<(), MegaError> {
+    let n = st.g.node_count();
+    let m = st.g.edge_count();
+    let needed = (config.coverage * m as f64).ceil() as usize;
+    let cap = config.max_path_factor * (n + 2 * m + 1);
     while st.unvisited_count > 0 || st.covered_count < needed {
         if st.path.len() >= cap {
             return Err(MegaError::CoverageUnreachable {
@@ -281,19 +296,141 @@ pub fn traverse(g: &Graph, config: &MegaConfig) -> Result<Traversal, MegaError> 
         };
         st.append(next);
     }
+    Ok(())
+}
 
-    let covered_count = st.covered_count;
-    let virtual_edge_count = st.virtual_step.iter().filter(|&&b| b).count();
+/// The owned results of a finished walk, extracted so the borrowed working
+/// graph can be moved into the returned [`Traversal`].
+struct WalkOutput {
+    path: Vec<usize>,
+    virtual_step: Vec<bool>,
+    covered_count: usize,
+    revisits: usize,
+}
+
+impl State<'_> {
+    fn into_output(self) -> WalkOutput {
+        WalkOutput {
+            path: self.path,
+            virtual_step: self.virtual_step,
+            covered_count: self.covered_count,
+            revisits: self.revisits,
+        }
+    }
+}
+
+fn finish(
+    out: WalkOutput,
+    window: usize,
+    working_edges: usize,
+    working: Graph,
+) -> Result<Traversal, MegaError> {
+    let virtual_edge_count = out.virtual_step.iter().filter(|&&b| b).count();
     Ok(Traversal {
-        path: st.path,
-        virtual_step: st.virtual_step,
+        path: out.path,
+        virtual_step: out.virtual_step,
         window,
-        covered_edges: covered_count,
-        working_edges: m,
-        revisits: st.revisits,
+        covered_edges: out.covered_count,
+        working_edges,
+        revisits: out.revisits,
         virtual_edge_count,
         working_graph: working,
     })
+}
+
+/// Multi-seed objective traversal: `agents` independent walks on contiguous
+/// node partitions, stitched back into one path.
+///
+/// Each agent runs Algorithm 1 on the subgraph induced by its node range
+/// (with an agent-specific seed), in parallel on `par`'s worker pool. The
+/// local paths are then *replayed* in agent order into a single global walk:
+/// junction steps that do not ride an original edge become virtual edges, and
+/// every appended node re-scores coverage against the last ω global path
+/// entries (Eq. 2's window-overlap condition), so edges coincidentally
+/// brought in-band across a stitch count as covered. A final serial
+/// completion pass covers what no agent could see — edges crossing partition
+/// cuts — and tops coverage up to θ.
+///
+/// The result is a function of `(g, config, agents)` only: worker threads
+/// compute independent pure walks collected in agent order, so the output is
+/// **independent of the thread count**. With `agents <= 1` this is exactly
+/// [`traverse`].
+///
+/// # Errors
+///
+/// Same conditions as [`traverse`].
+pub fn traverse_parallel(
+    g: &Graph,
+    config: &MegaConfig,
+    agents: usize,
+    par: &crate::parallel::Parallelism,
+) -> Result<Traversal, MegaError> {
+    config.validate()?;
+    let working = if config.edge_drop > 0.0 {
+        drop_edges(g, config.edge_drop, config.seed)?
+    } else {
+        g.clone()
+    };
+    let n = working.node_count();
+    let agents = agents.clamp(1, n.max(1));
+    if agents == 1 {
+        return traverse_working(working, config);
+    }
+    let window = resolve_window(&working, config.window);
+    let m = working.edge_count();
+
+    // Contiguous node partitions of near-equal size.
+    let bounds: Vec<(usize, usize)> = (0..agents)
+        .map(|a| (a * n / agents, (a + 1) * n / agents))
+        .filter(|(lo, hi)| hi > lo)
+        .collect();
+
+    // Local config: the working graph already has edges dropped, and every
+    // agent uses the globally resolved window so coverage semantics match.
+    let local_base = config
+        .clone()
+        .with_window(crate::config::WindowPolicy::Fixed(window))
+        .with_edge_drop(0.0);
+
+    let local_paths = crate::parallel::ordered_map(
+        &bounds,
+        par.effective_threads(),
+        |a, &(lo, hi)| -> Result<Vec<usize>, MegaError> {
+            let mut b = if working.is_undirected() {
+                mega_graph::GraphBuilder::undirected(hi - lo)
+            } else {
+                mega_graph::GraphBuilder::directed(hi - lo)
+            };
+            for (s, d) in working.edges() {
+                if (lo..hi).contains(&s) && (lo..hi).contains(&d) {
+                    b.edge(s - lo, d - lo).expect("induced edge ids are in range");
+                }
+            }
+            let sub = b.build().expect("induced subgraph is well-formed");
+            let local = traverse_working(
+                sub,
+                &local_base.clone().with_seed(
+                    config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a as u64 + 1)),
+                ),
+            )?;
+            Ok(local.path.iter().map(|&v| v + lo).collect())
+        },
+    );
+
+    // Replay the stitched path through one global walk state, then let the
+    // standard loop finish the job (cross-partition edges, coverage top-up).
+    let mut st = State::new(&working, window, config.policy, config.seed);
+    for segment in local_paths {
+        for v in segment? {
+            st.append(v);
+        }
+    }
+    if st.path.is_empty() {
+        st.append(start_node(&working));
+    }
+    complete_walk(&mut st, config)?;
+    let out = st.into_output();
+    finish(out, window, m, working)
 }
 
 #[cfg(test)]
@@ -461,6 +598,68 @@ mod tests {
         // Star: all leaves odd (degree 1), hub even when n-1 even.
         let g = generate::star(5).unwrap();
         assert_eq!(start_node(&g), 1);
+    }
+
+    #[test]
+    fn parallel_one_agent_matches_serial() {
+        let g = generate::erdos_renyi(50, 0.12, &mut StdRng::seed_from_u64(11)).unwrap();
+        let cfg = full_cfg(2);
+        let serial = traverse(&g, &cfg).unwrap();
+        let par = crate::parallel::Parallelism::with_threads(4);
+        let p = traverse_parallel(&g, &cfg, 1, &par).unwrap();
+        assert_eq!(serial.path, p.path);
+        assert_eq!(serial.virtual_step, p.virtual_step);
+        assert_eq!(serial.covered_edges, p.covered_edges);
+    }
+
+    #[test]
+    fn parallel_output_independent_of_thread_count() {
+        let g = generate::erdos_renyi(64, 0.1, &mut StdRng::seed_from_u64(12)).unwrap();
+        let cfg = full_cfg(2);
+        let reference =
+            traverse_parallel(&g, &cfg, 4, &crate::parallel::Parallelism::with_threads(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let t = traverse_parallel(
+                &g,
+                &cfg,
+                4,
+                &crate::parallel::Parallelism::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(reference.path, t.path, "threads={threads}");
+            assert_eq!(reference.virtual_step, t.virtual_step);
+            assert_eq!(reference.revisits, t.revisits);
+        }
+    }
+
+    #[test]
+    fn parallel_agents_reach_full_coverage() {
+        let g = generate::erdos_renyi(80, 0.08, &mut StdRng::seed_from_u64(13)).unwrap();
+        let cfg = full_cfg(3);
+        for agents in [2usize, 4, 7] {
+            let t = traverse_parallel(&g, &cfg, agents, &crate::parallel::Parallelism::default())
+                .unwrap();
+            assert_eq!(t.covered_edges, g.edge_count(), "agents={agents}");
+            let mut seen = vec![false; g.node_count()];
+            for &v in &t.path {
+                seen[v] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+            for i in 1..t.path.len() {
+                if !t.virtual_step[i] {
+                    assert!(g.contains_edge(t.path[i - 1], t.path[i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_agents_clamped_to_node_count() {
+        let g = generate::cycle(5).unwrap();
+        let t =
+            traverse_parallel(&g, &full_cfg(1), 64, &crate::parallel::Parallelism::with_threads(2))
+                .unwrap();
+        assert_eq!(t.covered_edges, 5);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use mega_core::{
     preprocess, revisit_lower_bound, traverse, window::revisit_floor_two_sided, BandMask,
-    CandidatePolicy, MegaConfig, WindowPolicy,
+    CandidatePolicy, ChunkPlan, MegaConfig, WindowPolicy,
 };
 use mega_graph::{Graph, GraphBuilder};
 use proptest::prelude::*;
@@ -140,5 +140,51 @@ proptest! {
         let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(1));
         let t = traverse(&g, &cfg).unwrap();
         prop_assert!(t.path.len() <= g.node_count() + 2 * g.edge_count() + 1);
+    }
+
+    // --- Chunk-splitter invariants of the parallel band engine ---
+
+    #[test]
+    fn chunks_partition_the_full_path(len in 0usize..400, window in 1usize..8, chunk in 1usize..64) {
+        let plan = ChunkPlan::build(len, window, chunk);
+        // Owned ranges are contiguous, ordered, and cover [0, len) exactly.
+        let mut expected_start = 0usize;
+        for c in plan.chunks() {
+            prop_assert_eq!(c.start, expected_start);
+            prop_assert!(c.end >= c.start);
+            expected_start = c.end;
+        }
+        prop_assert_eq!(expected_start, len.max(0));
+        let covered: usize = plan.chunks().iter().map(|c| c.owned_len()).sum();
+        prop_assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn chunk_overlap_is_exactly_omega(len in 1usize..400, window in 1usize..8, chunk in 1usize..64) {
+        let plan = ChunkPlan::build(len, window, chunk);
+        for c in plan.chunks() {
+            // Read extent extends the owned range by exactly ω on each side,
+            // clamped at the path boundary — so no in-band pair (distance
+            // ≤ ω) straddles a cut unseen.
+            prop_assert_eq!(c.read_lo, c.start.saturating_sub(window));
+            prop_assert_eq!(c.read_hi, (c.end + window).min(len));
+        }
+    }
+
+    #[test]
+    fn every_active_slot_owned_by_exactly_one_chunk((g, cfg) in (arb_graph(), arb_config()), chunk in 1usize..32) {
+        let s = preprocess(&g, &cfg).unwrap();
+        let band = s.band();
+        let plan = ChunkPlan::build(band.len(), band.window(), chunk);
+        for slot in band.active_slots() {
+            // Ownership = the chunk whose owned rows contain slot.lo; both
+            // endpoints must sit inside that chunk's read extent.
+            let owner = plan.owner_of(slot.lo);
+            let c = plan.chunks()[owner];
+            prop_assert!(c.start <= slot.lo && slot.lo < c.end);
+            prop_assert!(c.read_lo <= slot.lo && slot.hi < c.read_hi);
+            let owners = plan.chunks().iter().filter(|k| k.start <= slot.lo && slot.lo < k.end).count();
+            prop_assert_eq!(owners, 1);
+        }
     }
 }

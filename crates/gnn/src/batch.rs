@@ -16,7 +16,7 @@
 use crate::config::EngineChoice;
 use mega_core::AttentionSchedule;
 use mega_datasets::{GraphSample, Target};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Message routing for one batch under one engine.
 #[derive(Debug, Clone)]
@@ -30,15 +30,15 @@ pub struct EngineIndices {
     pub work_rows: usize,
     /// For each work row, the node whose embedding it carries (identity for
     /// baseline).
-    pub node_to_work: Rc<Vec<usize>>,
+    pub node_to_work: Arc<Vec<usize>>,
     /// Message source work row.
-    pub msg_src_work: Rc<Vec<usize>>,
+    pub msg_src_work: Arc<Vec<usize>>,
     /// Message destination work row.
-    pub msg_dst_work: Rc<Vec<usize>>,
+    pub msg_dst_work: Arc<Vec<usize>>,
     /// Message destination *node* row (softmax segments and aggregation).
-    pub msg_dst_node: Rc<Vec<usize>>,
+    pub msg_dst_node: Arc<Vec<usize>>,
     /// Edge-feature vocabulary id per message.
-    pub msg_edge_feat: Rc<Vec<usize>>,
+    pub msg_edge_feat: Arc<Vec<usize>>,
 }
 
 impl EngineIndices {
@@ -48,13 +48,61 @@ impl EngineIndices {
     }
 }
 
+/// One sample's contribution to a MEGA batch, in sample-local indices.
+/// Built independently per sample (so batches can fan construction out
+/// across threads) and stitched with running offsets afterwards.
+struct MegaSegment {
+    node_feats: Vec<usize>,
+    /// Sample-local node id per path position.
+    node_to_work: Vec<usize>,
+    /// `(src_pos, dst_pos, dst_node, edge_feat)` per directed message.
+    msgs: Vec<(usize, usize, usize, usize)>,
+    n_nodes: usize,
+    path_len: usize,
+}
+
+impl MegaSegment {
+    fn build(s: &GraphSample, sched: &AttentionSchedule) -> Self {
+        let g = &s.graph;
+        let path = sched.path();
+        let node_feats = (0..g.node_count()).map(|v| s.node_features[v]).collect();
+        let node_to_work = sched.gather_index().to_vec();
+        // Edge ids of the schedule refer to the *working* graph; when no
+        // edge dropping is configured that equals the sample graph. Its
+        // edge list order matches the sample's edge_features indexing.
+        let working_pairs: Vec<(usize, usize)> = sched.working_graph().edges().collect();
+        let sample_pairs: Vec<(usize, usize)> = g.edges().collect();
+        let mut msgs = Vec::new();
+        for slot in sched.band().active_slots() {
+            let (a, b) = working_pairs[slot.edge];
+            // Map the working-graph edge back to the sample edge id for
+            // its feature (identical when nothing was dropped).
+            let feat = match sample_pairs.iter().position(|&p| p == (a, b) || p == (b, a)) {
+                Some(eid) => s.edge_features[eid],
+                None => 0,
+            };
+            let (lo_node, hi_node) = (path.node_at(slot.lo), path.node_at(slot.hi));
+            // Two directed messages per band slot.
+            msgs.push((slot.lo, slot.hi, hi_node, feat));
+            msgs.push((slot.hi, slot.lo, lo_node, feat));
+        }
+        MegaSegment {
+            node_feats,
+            node_to_work,
+            msgs,
+            n_nodes: g.node_count(),
+            path_len: path.len(),
+        }
+    }
+}
+
 /// A merged batch of graphs ready for a forward pass.
 #[derive(Debug, Clone)]
 pub struct Batch {
     /// Node-feature vocabulary id per node.
-    pub node_feats: Rc<Vec<usize>>,
+    pub node_feats: Arc<Vec<usize>>,
     /// Graph index per node (readout segments).
-    pub graph_of_node: Rc<Vec<usize>>,
+    pub graph_of_node: Arc<Vec<usize>>,
     /// Node count per graph.
     pub graph_sizes: Vec<usize>,
     /// Per-graph targets.
@@ -93,21 +141,21 @@ impl Batch {
         }
         let n_nodes = offset;
         let identity: Vec<usize> = (0..n_nodes).collect();
-        let msg_dst_rc = Rc::new(msg_dst);
+        let msg_dst_rc = Arc::new(msg_dst);
         Batch {
-            node_feats: Rc::new(node_feats),
-            graph_of_node: Rc::new(graph_of_node),
+            node_feats: Arc::new(node_feats),
+            graph_of_node: Arc::new(graph_of_node),
             graph_sizes,
             targets,
             indices: EngineIndices {
                 engine: EngineChoice::Baseline,
                 n_nodes,
                 work_rows: n_nodes,
-                node_to_work: Rc::new(identity),
-                msg_src_work: Rc::new(msg_src),
+                node_to_work: Arc::new(identity),
+                msg_src_work: Arc::new(msg_src),
                 msg_dst_work: msg_dst_rc.clone(),
                 msg_dst_node: msg_dst_rc,
-                msg_edge_feat: Rc::new(msg_edge),
+                msg_edge_feat: Arc::new(msg_edge),
             },
         }
     }
@@ -119,7 +167,34 @@ impl Batch {
     ///
     /// Panics if `schedules.len() != samples.len()`.
     pub fn mega(samples: &[GraphSample], schedules: &[AttentionSchedule]) -> Self {
+        Self::mega_with(samples, schedules, &mega_core::Parallelism::with_threads(1))
+    }
+
+    /// Builds a MEGA batch with per-sample index construction fanned out
+    /// across the thread budget of `par`.
+    ///
+    /// Each sample's segment is built independently (sample-local indices),
+    /// then stitched serially in sample order with running node/position
+    /// offsets — the result is identical to [`Batch::mega`] for every thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedules.len() != samples.len()`.
+    pub fn mega_with(
+        samples: &[GraphSample],
+        schedules: &[AttentionSchedule],
+        par: &mega_core::Parallelism,
+    ) -> Self {
         assert_eq!(samples.len(), schedules.len(), "one schedule per sample");
+        let pairs: Vec<(&GraphSample, &AttentionSchedule)> =
+            samples.iter().zip(schedules).collect();
+        let segments = mega_core::parallel::ordered_map(
+            &pairs,
+            par.effective_threads(),
+            |_, &(s, sched)| MegaSegment::build(s, sched),
+        );
+
         let mut node_feats = Vec::new();
         let mut graph_of_node = Vec::new();
         let mut graph_sizes = Vec::new();
@@ -131,61 +206,35 @@ impl Batch {
         let mut msg_edge = Vec::new();
         let mut node_offset = 0usize;
         let mut pos_offset = 0usize;
-        for (gi, (s, sched)) in samples.iter().zip(schedules).enumerate() {
-            let g = &s.graph;
-            for v in 0..g.node_count() {
-                node_feats.push(s.node_features[v]);
-                graph_of_node.push(gi);
-            }
-            let path = sched.path();
-            for &v in sched.gather_index() {
-                node_to_work.push(node_offset + v);
-            }
-            // Edge ids of the schedule refer to the *working* graph; when no
-            // edge dropping is configured that equals the sample graph. Its
-            // edge list order matches the sample's edge_features indexing.
-            let working_pairs: Vec<(usize, usize)> = sched.working_graph().edges().collect();
-            let sample_pairs: Vec<(usize, usize)> = g.edges().collect();
-            for slot in sched.band().active_slots() {
-                let (a, b) = working_pairs[slot.edge];
-                // Map the working-graph edge back to the sample edge id for
-                // its feature (identical when nothing was dropped).
-                let feat = match sample_pairs.iter().position(|&p| p == (a, b) || p == (b, a)) {
-                    Some(eid) => s.edge_features[eid],
-                    None => 0,
-                };
-                let (lo, hi) = (pos_offset + slot.lo, pos_offset + slot.hi);
-                let (lo_node, hi_node) =
-                    (node_offset + path.node_at(slot.lo), node_offset + path.node_at(slot.hi));
-                // Two directed messages per band slot.
-                msg_src.push(lo);
-                msg_dst.push(hi);
-                msg_dst_node.push(hi_node);
-                msg_edge.push(feat);
-                msg_src.push(hi);
-                msg_dst.push(lo);
-                msg_dst_node.push(lo_node);
+        for (gi, (seg, s)) in segments.into_iter().zip(samples).enumerate() {
+            node_feats.extend_from_slice(&seg.node_feats);
+            graph_of_node.extend(std::iter::repeat(gi).take(seg.n_nodes));
+            node_to_work.extend(seg.node_to_work.iter().map(|&v| node_offset + v));
+            for &(src, dst, dst_node, feat) in &seg.msgs {
+                msg_src.push(pos_offset + src);
+                msg_dst.push(pos_offset + dst);
+                msg_dst_node.push(node_offset + dst_node);
                 msg_edge.push(feat);
             }
-            graph_sizes.push(g.node_count());
+            graph_sizes.push(seg.n_nodes);
             targets.push(s.target);
-            node_offset += g.node_count();
-            pos_offset += path.len();
+            node_offset += seg.n_nodes;
+            pos_offset += seg.path_len;
         }
         Batch {
-            node_feats: Rc::new(node_feats),
-            graph_of_node: Rc::new(graph_of_node),
+            node_feats: Arc::new(node_feats),
+            graph_of_node: Arc::new(graph_of_node),
             graph_sizes,
             targets,
             indices: EngineIndices {
                 engine: EngineChoice::Mega,
                 n_nodes: node_offset,
                 work_rows: pos_offset,
-                node_to_work: Rc::new(node_to_work),
-                msg_src_work: Rc::new(msg_src),
-                msg_dst_work: Rc::new(msg_dst),
-                msg_dst_node: Rc::new(msg_dst_node),
-                msg_edge_feat: Rc::new(msg_edge),
+                node_to_work: Arc::new(node_to_work),
+                msg_src_work: Arc::new(msg_src),
+                msg_dst_work: Arc::new(msg_dst),
+                msg_dst_node: Arc::new(msg_dst_node),
+                msg_edge_feat: Arc::new(msg_edge),
             },
         }
     }
@@ -274,6 +323,27 @@ mod tests {
         // Baseline work rows are node rows (identity), so node_to_work maps
         // sources correctly for both.
         assert_eq!(collect(&base), collect(&mega));
+    }
+
+    #[test]
+    fn parallel_batch_construction_matches_serial() {
+        let ss = samples();
+        let schedules: Vec<_> =
+            ss.iter().map(|s| preprocess(&s.graph, &MegaConfig::default()).unwrap()).collect();
+        let serial = Batch::mega(&ss, &schedules);
+        for threads in [1, 2, 4, 8] {
+            let par = mega_core::Parallelism::with_threads(threads);
+            let p = Batch::mega_with(&ss, &schedules, &par);
+            assert_eq!(p.node_feats, serial.node_feats, "threads={threads}");
+            assert_eq!(p.graph_of_node, serial.graph_of_node);
+            assert_eq!(p.graph_sizes, serial.graph_sizes);
+            assert_eq!(p.indices.node_to_work, serial.indices.node_to_work);
+            assert_eq!(p.indices.msg_src_work, serial.indices.msg_src_work);
+            assert_eq!(p.indices.msg_dst_work, serial.indices.msg_dst_work);
+            assert_eq!(p.indices.msg_dst_node, serial.indices.msg_dst_node);
+            assert_eq!(p.indices.msg_edge_feat, serial.indices.msg_edge_feat);
+            assert_eq!(p.indices.work_rows, serial.indices.work_rows);
+        }
     }
 
     #[test]

@@ -34,9 +34,11 @@ pub mod layers;
 pub mod metrics;
 pub mod model;
 pub mod nn;
+pub mod parallel;
 pub mod train;
 
 pub use batch::{Batch, EngineIndices};
 pub use config::{EngineChoice, GnnConfig, ModelKind};
 pub use model::Gnn;
+pub use parallel::{preprocess_samples, BandScheduler};
 pub use train::{EpochRecord, Trainer, TrainingHistory};

@@ -8,7 +8,7 @@ use mega_datasets::Task;
 use mega_tensor::{ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A complete graph-prediction model.
 ///
@@ -100,7 +100,7 @@ impl Gnn {
         let sums = tape.scatter_add_rows(h, batch.graph_of_node.clone(), batch.n_graphs());
         let inv_sizes: Vec<f32> =
             batch.graph_sizes.iter().map(|&s| 1.0 / s.max(1) as f32).collect();
-        let means = tape.scale_rows(sums, Rc::new(inv_sizes));
+        let means = tape.scale_rows(sums, Arc::new(inv_sizes));
         self.head.forward(tape, binder, store, means)
     }
 
@@ -109,7 +109,7 @@ impl Gnn {
         match task {
             Task::Regression => tape.l1_loss(pred, batch.regression_targets()),
             Task::Classification { .. } => {
-                tape.cross_entropy(pred, Rc::new(batch.class_targets()))
+                tape.cross_entropy(pred, Arc::new(batch.class_targets()))
             }
         }
     }

@@ -115,7 +115,7 @@ impl Embedding {
         tape: &mut Tape,
         binder: &mut Binder,
         store: &ParamStore,
-        ids: std::rc::Rc<Vec<usize>>,
+        ids: std::sync::Arc<Vec<usize>>,
     ) -> Var {
         let t = binder.bind(tape, store, self.table);
         tape.gather_rows(t, ids)
@@ -158,7 +158,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn linear_shapes_and_grads_flow() {
@@ -185,7 +185,7 @@ mod tests {
         let emb = Embedding::new(&mut store, "e", 5, 4, &mut rng);
         let mut tape = Tape::new();
         let mut binder = Binder::new();
-        let out = emb.forward(&mut tape, &mut binder, &store, Rc::new(vec![0, 4, 0]));
+        let out = emb.forward(&mut tape, &mut binder, &store, Arc::new(vec![0, 4, 0]));
         assert_eq!(tape.value(out).shape(), (3, 4));
         // Row 0 repeated.
         assert_eq!(tape.value(out).row(0), tape.value(out).row(2));

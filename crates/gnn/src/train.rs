@@ -6,7 +6,7 @@ use crate::cost;
 use crate::metrics;
 use crate::model::Gnn;
 use crate::nn::Binder;
-use mega_core::{preprocess, AttentionSchedule, MegaConfig};
+use mega_core::{AttentionSchedule, MegaConfig, Parallelism};
 use mega_datasets::{Dataset, GraphSample, Task};
 use mega_tensor::{Adam, Optimizer, ParamStore, Tape};
 use rand::rngs::StdRng;
@@ -101,6 +101,11 @@ pub struct Trainer {
     /// preprocessing itself is not repeated conceptually, but this costs CPU
     /// time in this implementation; benches keep it off.
     pub shuffle_seed: Option<u64>,
+    /// Thread budget for CPU-side work: per-sample preprocessing, batch
+    /// index construction, and the tape's matrix products. All parallel
+    /// paths are bit-deterministic, so training histories are identical for
+    /// every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Trainer {
@@ -116,6 +121,7 @@ impl Trainer {
             lr_patience: 0,
             early_stop_patience: 0,
             shuffle_seed: None,
+            parallelism: Parallelism::with_threads(1),
         }
     }
 
@@ -161,14 +167,16 @@ impl Trainer {
         self
     }
 
+    /// Sets the CPU thread budget (preprocessing, batching, tape matmuls).
+    /// Results are bit-identical for every setting.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
     fn preprocess_all(&self, samples: &[GraphSample]) -> Vec<AttentionSchedule> {
-        samples
-            .iter()
-            .map(|s| {
-                preprocess(&s.graph, &self.mega_config)
-                    .expect("preprocessing of a valid graph cannot fail")
-            })
-            .collect()
+        crate::parallel::preprocess_samples(samples, &self.mega_config, &self.parallelism)
+            .expect("preprocessing of a valid graph cannot fail")
     }
 
     fn build_batches(&self, samples: &[GraphSample]) -> Vec<Batch> {
@@ -179,7 +187,7 @@ impl Trainer {
                 .into_iter()
                 .map(|c| {
                     let schedules = self.preprocess_all(c);
-                    Batch::mega(c, &schedules)
+                    Batch::mega_with(c, &schedules, &self.parallelism)
                 })
                 .collect(),
         }
@@ -241,6 +249,8 @@ impl Trainer {
             let mut loss_sum = 0.0f64;
             for batch in epoch_batches {
                 let mut tape = Tape::new();
+            tape.set_parallelism(self.parallelism);
+                tape.set_parallelism(self.parallelism);
                 let mut binder = Binder::new();
                 let pred = model.forward(&mut tape, &mut binder, &store, batch);
                 let loss = model.loss(&mut tape, pred, batch, task);
@@ -306,6 +316,7 @@ impl Trainer {
         let mut graphs = 0usize;
         for batch in batches {
             let mut tape = Tape::new();
+            tape.set_parallelism(self.parallelism);
             let mut binder = Binder::new();
             let pred = model.forward(&mut tape, &mut binder, store, batch);
             let loss = model.loss(&mut tape, pred, batch, task);
@@ -372,7 +383,7 @@ mod tests {
 
     #[test]
     fn classification_training_improves_accuracy() {
-        let spec = DatasetSpec { train: 48, val: 16, test: 8, seed: 23 };
+        let spec = DatasetSpec { train: 96, val: 16, test: 8, seed: 23 };
         let ds = cycles(&spec);
         let cfg = tiny_config(&ds, ModelKind::GatedGcn, 2);
         let hist = Trainer::new(EngineChoice::Baseline)

@@ -8,7 +8,7 @@
 //! that express both the DGL-style baseline and MEGA's banded attention.
 
 use crate::tensor::Tensor;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,7 +25,7 @@ enum Op {
     Scale(Var, f32),
     Relu(Var),
     LeakyRelu(Var, f32),
-    Dropout(Var, Rc<Vec<bool>>, f32),
+    Dropout(Var, Arc<Vec<bool>>, f32),
     Sigmoid(Var),
     Tanh(Var),
     Sum(Var),
@@ -33,15 +33,15 @@ enum Op {
     DivEps(Var, Var, f32),
     RowDot(Var, Var),
     MulColBroadcast(Var, Var),
-    ConcatCols(Rc<Vec<Var>>),
-    GatherRows(Var, Rc<Vec<usize>>),
-    ScatterAddRows(Var, Rc<Vec<usize>>),
-    ScaleRows(Var, Rc<Vec<f32>>),
-    SegmentSoftmax(Var, Rc<Vec<usize>>, usize),
+    ConcatCols(Arc<Vec<Var>>),
+    GatherRows(Var, Arc<Vec<usize>>),
+    ScatterAddRows(Var, Arc<Vec<usize>>),
+    ScaleRows(Var, Arc<Vec<f32>>),
+    SegmentSoftmax(Var, Arc<Vec<usize>>, usize),
     LayerNorm(Var, Var, Var, f32),
     BatchNorm(Var, Var, Var, f32),
-    L1Loss(Var, Rc<Tensor>),
-    CrossEntropy(Var, Rc<Vec<usize>>),
+    L1Loss(Var, Arc<Tensor>),
+    CrossEntropy(Var, Arc<Vec<usize>>),
 }
 
 struct Node {
@@ -72,12 +72,27 @@ impl Gradients {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    par: mega_core::Parallelism,
 }
 
 impl Tape {
     /// A fresh, empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape { nodes: Vec::new(), par: mega_core::Parallelism::default() }
+    }
+
+    /// Sets the thread budget used by the tape's heavy kernels (currently the
+    /// matrix products of [`Tape::matmul`] and its backward pass).
+    ///
+    /// The parallel kernels partition output rows, so results — forward
+    /// values and gradients alike — are bit-identical for every setting.
+    pub fn set_parallelism(&mut self, par: mega_core::Parallelism) {
+        self.par = par;
+    }
+
+    /// The tape's current thread budget.
+    pub fn parallelism(&self) -> mega_core::Parallelism {
+        self.par
     }
 
     /// Number of recorded nodes.
@@ -112,7 +127,7 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let v = self.value(a).matmul_with(self.value(b), &self.par);
         self.push(v, Op::MatMul(a, b))
     }
 
@@ -179,7 +194,7 @@ impl Tape {
     ///
     /// Panics if the mask length differs from the element count or
     /// `keep_prob` is not in `(0, 1]`.
-    pub fn dropout(&mut self, a: Var, mask: Rc<Vec<bool>>, keep_prob: f32) -> Var {
+    pub fn dropout(&mut self, a: Var, mask: Arc<Vec<bool>>, keep_prob: f32) -> Var {
         let x = self.value(a);
         assert_eq!(mask.len(), x.rows() * x.cols(), "one mask bit per element");
         assert!(keep_prob > 0.0 && keep_prob <= 1.0, "keep_prob must be in (0, 1]");
@@ -272,19 +287,19 @@ impl Tape {
             }
             offset += t.cols();
         }
-        self.push(out, Op::ConcatCols(Rc::new(parts.to_vec())))
+        self.push(out, Op::ConcatCols(Arc::new(parts.to_vec())))
     }
 
     /// Gathers rows of `a` by `index` (e.g. node features → per-edge source
     /// features, or node features → path positions).
-    pub fn gather_rows(&mut self, a: Var, index: Rc<Vec<usize>>) -> Var {
+    pub fn gather_rows(&mut self, a: Var, index: Arc<Vec<usize>>) -> Var {
         let v = self.value(a).gather_rows(&index);
         self.push(v, Op::GatherRows(a, index))
     }
 
     /// Scatter-adds rows of `a` into `out_rows` buckets by `index` (e.g.
     /// per-edge messages → destination nodes, or path positions → nodes).
-    pub fn scatter_add_rows(&mut self, a: Var, index: Rc<Vec<usize>>, out_rows: usize) -> Var {
+    pub fn scatter_add_rows(&mut self, a: Var, index: Arc<Vec<usize>>, out_rows: usize) -> Var {
         let v = self.value(a).scatter_add_rows(&index, out_rows);
         self.push(v, Op::ScatterAddRows(a, index))
     }
@@ -294,7 +309,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `factors.len() != a.rows()`.
-    pub fn scale_rows(&mut self, a: Var, factors: Rc<Vec<f32>>) -> Var {
+    pub fn scale_rows(&mut self, a: Var, factors: Arc<Vec<f32>>) -> Var {
         let x = self.value(a);
         assert_eq!(factors.len(), x.rows(), "one factor per row required");
         let mut out = x.clone();
@@ -314,7 +329,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `segments.len() != a.rows()` or an id is out of range.
-    pub fn segment_softmax(&mut self, a: Var, segments: Rc<Vec<usize>>, n_segments: usize) -> Var {
+    pub fn segment_softmax(&mut self, a: Var, segments: Arc<Vec<usize>>, n_segments: usize) -> Var {
         let x = self.value(a);
         assert_eq!(segments.len(), x.rows(), "one segment id per row required");
         let (r, c) = x.shape();
@@ -416,7 +431,7 @@ impl Tape {
             .map(|(&a, &b)| (a - b).abs())
             .sum::<f32>()
             / n;
-        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::L1Loss(pred, Rc::new(target)))
+        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::L1Loss(pred, Arc::new(target)))
     }
 
     /// Softmax cross-entropy over rows of `logits` against integer class
@@ -425,7 +440,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `labels.len() != logits.rows()` or a label is out of range.
-    pub fn cross_entropy(&mut self, logits: Var, labels: Rc<Vec<usize>>) -> Var {
+    pub fn cross_entropy(&mut self, logits: Var, labels: Arc<Vec<usize>>) -> Var {
         let x = self.value(logits);
         assert_eq!(labels.len(), x.rows(), "one label per row required");
         let mut loss = 0.0f32;
@@ -463,8 +478,8 @@ impl Tape {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
                     let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    let da = g.matmul(&vb.transpose());
-                    let db = va.transpose().matmul(&g);
+                    let da = g.matmul_with(&vb.transpose(), &self.par);
+                    let db = va.transpose().matmul_with(&g, &self.par);
                     grads[a.0].add_assign(&da);
                     grads[b.0].add_assign(&db);
                 }
@@ -852,18 +867,18 @@ mod tests {
 
     #[test]
     fn grad_gather_scatter() {
-        let idx = Rc::new(vec![0usize, 2, 2, 1]);
+        let idx = Arc::new(vec![0usize, 2, 2, 1]);
         check_grad(sample(3, 2, 12), move |t, x| {
             let g = t.gather_rows(x, idx.clone());
             let sq = t.mul(g, g);
-            let s = t.scatter_add_rows(sq, Rc::new(vec![0, 0, 1, 1]), 2);
+            let s = t.scatter_add_rows(sq, Arc::new(vec![0, 0, 1, 1]), 2);
             t.sum(s)
         }, 2e-2);
     }
 
     #[test]
     fn grad_segment_softmax() {
-        let segs = Rc::new(vec![0usize, 0, 1, 1, 1]);
+        let segs = Arc::new(vec![0usize, 0, 1, 1, 1]);
         check_grad(sample(5, 2, 13), move |t, x| {
             let p = t.segment_softmax(x, segs.clone(), 2);
             let w = t.leaf(sample(5, 2, 14));
@@ -906,7 +921,7 @@ mod tests {
 
     #[test]
     fn dropout_forward_and_grad() {
-        let mask = Rc::new(vec![true, false, true, true]);
+        let mask = Arc::new(vec![true, false, true, true]);
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::from_rows(&[&[2.0, 2.0], &[2.0, 2.0]]));
         let y = tape.dropout(x, mask.clone(), 0.5);
@@ -921,14 +936,14 @@ mod tests {
     fn dropout_mask_length_checked() {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::zeros(2, 2));
-        tape.dropout(x, Rc::new(vec![true]), 0.5);
+        tape.dropout(x, Arc::new(vec![true]), 0.5);
     }
 
     #[test]
     fn grad_losses() {
         let target = sample(3, 1, 19);
         check_grad(sample(3, 1, 20), move |t, x| t.l1_loss(x, target.clone()), 1e-2);
-        let labels = Rc::new(vec![0usize, 2, 1]);
+        let labels = Arc::new(vec![0usize, 2, 1]);
         check_grad(sample(3, 3, 21), move |t, x| t.cross_entropy(x, labels.clone()), 1e-2);
     }
 
@@ -945,7 +960,7 @@ mod tests {
 
     #[test]
     fn grad_scale_rows_and_sub() {
-        let f = Rc::new(vec![0.5f32, 2.0, -1.0]);
+        let f = Arc::new(vec![0.5f32, 2.0, -1.0]);
         check_grad(sample(3, 2, 25), move |t, x| {
             let y = t.scale_rows(x, f.clone());
             let o = t.leaf(sample(3, 2, 26));
@@ -988,7 +1003,7 @@ mod tests {
     fn segment_softmax_rows_sum_to_one_per_segment() {
         let mut tape = Tape::new();
         let x = tape.leaf(sample(6, 2, 30));
-        let segs = Rc::new(vec![0usize, 1, 0, 1, 2, 2]);
+        let segs = Arc::new(vec![0usize, 1, 0, 1, 2, 2]);
         let p = tape.segment_softmax(x, segs.clone(), 3);
         let v = tape.value(p);
         for seg in 0..3 {

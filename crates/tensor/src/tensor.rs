@@ -230,6 +230,57 @@ impl Tensor {
         Tensor { rows: n, cols: m, data: out }
     }
 
+    /// Matrix product computed under the thread budget of `par`.
+    ///
+    /// Output rows are split into contiguous chunks, one per worker, and each
+    /// row is produced by the exact scalar kernel of [`Tensor::matmul`] —
+    /// chunks never share an output row, so the result is bit-identical to
+    /// the serial product for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_with(&self, other: &Tensor, par: &mega_core::Parallelism) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dims {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let threads = par.effective_threads().min(n.max(1));
+        // Below ~16k multiply-adds the spawn cost dominates; the serial kernel
+        // produces the identical bits, so this cutoff is purely a perf choice.
+        if threads <= 1 || n * k * m < (1 << 14) {
+            return self.matmul(other);
+        }
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|t| (t * n / threads, (t + 1) * n / threads))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let parts = mega_core::parallel::ordered_map(&ranges, threads, |_, &(lo, hi)| {
+            let mut out = vec![0.0f32; (hi - lo) * m];
+            for i in lo..hi {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * m..(kk + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+            out
+        });
+        let mut data = Vec::with_capacity(n * m);
+        for p in parts {
+            data.extend_from_slice(&p);
+        }
+        Tensor { rows: n, cols: m, data }
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
@@ -303,6 +354,23 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_serial() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::from_vec(37, 64, (0..37 * 64).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let b = Tensor::from_vec(64, 29, (0..64 * 29).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let serial = a.matmul(&b);
+        for threads in [1, 2, 4, 8] {
+            let par = mega_core::Parallelism::with_threads(threads);
+            let p = a.matmul_with(&b, &par);
+            assert_eq!(p.shape(), serial.shape());
+            for (x, y) in p.as_slice().iter().zip(serial.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+        }
+    }
 
     #[test]
     fn construction_and_access() {

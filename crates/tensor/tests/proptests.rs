@@ -2,7 +2,7 @@
 
 use mega_tensor::{Tape, Tensor};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(-2.0f32..2.0, rows * cols)
@@ -82,7 +82,7 @@ proptest! {
     ) {
         let mut tape = Tape::new();
         let v = tape.leaf(x);
-        let p = tape.segment_softmax(v, Rc::new(segs.clone()), 3);
+        let p = tape.segment_softmax(v, Arc::new(segs.clone()), 3);
         let out = tape.value(p);
         for col in 0..2 {
             for seg in 0..3 {

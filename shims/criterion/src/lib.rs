@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! `criterion_group!`/`criterion_main!`, and [`black_box`] — with a simple
+//! warmup-then-measure timing loop that prints mean wall time per iteration.
+//! There is no statistical analysis, plotting, or result persistence.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (split across sampled iterations).
+const MEASURE_TARGET: Duration = Duration::from_millis(400);
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// Identifier for a parameterized benchmark, e.g. `BenchmarkId::new("ba", w)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure given to
+/// [`BenchmarkGroup::bench_function`] and friends.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a short warmup, then timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup and calibration: find an iteration count that fills the
+        // warmup budget, so per-iteration overhead is amortized.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target_iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (MEASURE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = target_iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters_done == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters_done as f64;
+        println!("{name:<40} time: {}  ({} iters)", fmt_time(per_iter), self.iters_done);
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:>10.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:>10.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:>10.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:>10.2} s ")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into_name());
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        b.report(&full);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.into_name());
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        f(&mut b, input);
+        b.report(&full);
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup { name, _criterion: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut total = 0u64;
+        group.bench_function(BenchmarkId::new("sum", 16), |b| {
+            b.iter(|| {
+                total = total.wrapping_add((0..16u64).sum::<u64>());
+                total
+            })
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn formats_times() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the item
+//! shapes this workspace uses: non-generic structs with named fields, tuple
+//! structs, unit structs, and enums whose variants are unit, tuple, or
+//! struct-like. The parser walks the raw `TokenStream` directly (no `syn`,
+//! no `quote` — the build environment is offline), and the generated code
+//! targets the shim's `Value` tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skips attribute groups (`#[...]` and `#![...]`) at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if i < tokens.len() {
+                    if let TokenTree::Punct(p2) = &tokens[i] {
+                        if p2.as_char() == '!' {
+                            i += 1;
+                        }
+                    }
+                }
+                // The bracketed attribute body.
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                } else {
+                    panic!("serde shim derive: malformed attribute");
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated entries in a delimited group.
+fn count_entries(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add an entry.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses `name: Type, ...` field lists from a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, found {other}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_entries(g) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde shim derive: expected enum body, found {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0usize;
+            while j < body_tokens.len() {
+                j = skip_attrs(&body_tokens, j);
+                if j >= body_tokens.len() {
+                    break;
+                }
+                let vname = match &body_tokens[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde shim derive: expected variant name, found {other}"),
+                };
+                j += 1;
+                let kind = match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        VariantKind::Tuple(count_entries(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        VariantKind::Struct(parse_named_fields(g))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                if matches!(body_tokens.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                variants.push(Variant { name: vname, kind });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let parts: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", parts.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {expr} }}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let parts: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", parts.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), {payload})]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::serialize({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(::serde::field(__obj, {f:?}, {name:?})?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| ::serde::Error::new(concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+            } else {
+                let parts: Vec<String> = (0..*arity)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::deserialize(__a.get({k}).ok_or_else(|| ::serde::Error::new(\"tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| ::serde::Error::new(\"expected array\"))?;\n\
+                     Ok({name}({}))",
+                    parts.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{expr}\n}}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(_: &::serde::Value) -> Result<Self, ::serde::Error> {{ Ok({name}) }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => Some(if *arity == 1 {
+                            format!(
+                                "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::deserialize(__payload)?)),\n"
+                            )
+                        } else {
+                            let parts: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(__a.get({k}).ok_or_else(|| ::serde::Error::new(\"variant tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                 let __a = __payload.as_array().ok_or_else(|| ::serde::Error::new(\"expected array payload\"))?;\n\
+                                 return Ok({name}::{vn}({}));\n}}\n",
+                                parts.join(", ")
+                            )
+                        }),
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(::serde::field(__fobj, {f:?}, {name:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __fobj = __payload.as_object().ok_or_else(|| ::serde::Error::new(\"expected object payload\"))?;\n\
+                                 return Ok({name}::{vn} {{ {} }});\n}}\n",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => {{\n\
+                 match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 Err(::serde::Error::new(format!(concat!(\"unknown variant `{{}}` for \", {name:?}), __s)))\n\
+                 }}\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__o[0];\n\
+                 match __tag.as_str() {{\n{data_arms}_ => {{}}\n}}\n\
+                 Err(::serde::Error::new(format!(concat!(\"unknown variant `{{}}` for \", {name:?}), __tag)))\n\
+                 }}\n\
+                 _ => Err(::serde::Error::new(concat!(\"expected enum encoding for \", {name:?}))),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("serde shim derive: generated Deserialize impl must parse")
+}

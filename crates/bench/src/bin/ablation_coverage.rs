@@ -23,9 +23,10 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let mut rng = StdRng::seed_from_u64(4);
     let g = generate::erdos_renyi(200, 0.08, &mut rng).unwrap();
-    println!("graph: n={} m={}\n", g.node_count(), g.edge_count());
+    mega_obs::data!("graph: n={} m={}\n", g.node_count(), g.edge_count());
     let mut table = TableWriter::new(&["theta", "coverage", "path len", "expansion", "1-hop sim", "2-hop sim"]);
     let mut rows = Vec::new();
     for &theta in &[0.3f64, 0.5, 0.7, 0.85, 0.95, 1.0] {
@@ -53,9 +54,9 @@ fn main() {
             two_hop_similarity: s2,
         });
     }
-    println!("Ablation — edge coverage θ (ER graph, window 2)\n");
+    mega_obs::data!("Ablation — edge coverage θ (ER graph, window 2)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nExpected: path length grows with θ; 1-hop similarity reaches exactly 1.0 only\n\
          at θ = 1 — the efficiency/fidelity dial of the traversal objective."
     );

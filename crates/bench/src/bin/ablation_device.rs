@@ -22,6 +22,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let ds = zinc(&DatasetSpec { train: 64, val: 1, test: 1, seed: 19 });
     let graphs: Vec<_> = ds.train.iter().map(|s| s.graph.clone()).collect();
     let schedules: Vec<_> = graphs
@@ -59,9 +60,9 @@ fn main() {
             });
         }
     }
-    println!("Ablation — device sensitivity (ZINC batch 64, hidden 64)\n");
+    mega_obs::data!("Ablation — device sensitivity (ZINC batch 64, hidden 64)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nExpected: the speedup persists across three GPU generations; the low-end part\n\
          (least latency-hiding) benefits most, the bandwidth-rich part least."
     );

@@ -23,6 +23,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let mut rng = StdRng::seed_from_u64(5);
     let graphs: Vec<(String, Graph)> = vec![
         ("BA(400,3)".into(), generate::barabasi_albert(400, 3, &mut rng).unwrap()),
@@ -61,9 +62,9 @@ fn main() {
             });
         }
     }
-    println!("Ablation — candidate-selection policy (window 2, full coverage)\n");
+    mega_obs::data!("Ablation — candidate-selection policy (window 2, full coverage)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nExpected: CorrelateArgmax (the paper's Eq. 2) produces the shortest paths and\n\
          fewest virtual edges on clustered graphs; random selection wastes coverage."
     );

@@ -23,9 +23,10 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let mut rng = StdRng::seed_from_u64(3);
     let g = generate::barabasi_albert(500, 4, &mut rng).unwrap();
-    println!(
+    mega_obs::data!(
         "graph: n={} m={} mean degree {:.2} max degree {}\n",
         g.node_count(),
         g.edge_count(),
@@ -60,9 +61,9 @@ fn main() {
             band_density: band.density(),
         });
     }
-    println!("Ablation — window size ω (BA graph, full coverage)\n");
+    mega_obs::data!("Ablation — window size ω (BA graph, full coverage)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nExpected: revisits and path length fall as ω grows (tracking the paper's\n\
          Σ⌈d_i/ω⌉ − n bound) while the band becomes sparser — the efficiency/coverage\n\
          tradeoff behind adaptive window sizing."

@@ -27,10 +27,11 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let mut rng = StdRng::seed_from_u64(6);
     let g = generate::barabasi_albert(2000, 3, &mut rng).unwrap();
     let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
-    println!(
+    mega_obs::data!(
         "graph: n={} m={} | path length {} (expansion {:.2})\n",
         g.node_count(),
         g.edge_count(),
@@ -66,9 +67,9 @@ fn main() {
             path_replicas: path.replica_rows,
         });
     }
-    println!("Distributed communication analysis (BA graph, n=2000, m=3 attachment)\n");
+    mega_obs::data!("Distributed communication analysis (BA graph, n=2000, m=3 attachment)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nPaper claims: edge-cut partitions approach all-to-all (pairs ~ k^2/2) with volume\n\
          growing with cut edges; the path partition needs exactly k-1 adjacent exchanges (O(k))\n\
          at the cost of {} replica rows ({}% of nodes).",

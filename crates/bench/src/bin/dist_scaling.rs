@@ -26,6 +26,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let mut rng = StdRng::seed_from_u64(21);
     let g = generate::barabasi_albert(4000, 3, &mut rng).unwrap();
     let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
@@ -41,7 +42,7 @@ fn main() {
         .epoch_cost(&topo, 20);
     let rounds = spec.layers * 2 * 20; // layers × fwd/bwd × steps
     let cluster = ClusterConfig::ten_gbe();
-    println!(
+    mega_obs::data!(
         "graph: n={} m={} | single-device epoch {:.2} ms | 10GbE cluster\n",
         g.node_count(),
         g.edge_count(),
@@ -72,9 +73,9 @@ fn main() {
             path_comm_seconds: path_point.comm_seconds,
         });
     }
-    println!("Distributed scaling — BFS edge-cut vs MEGA path partition\n");
+    mega_obs::data!("Distributed scaling — BFS edge-cut vs MEGA path partition\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nExpected: path-partition speedup keeps rising with k (O(k) chain exchanges);\n\
          the edge-cut curve flattens as its communicating-pair count explodes."
     );

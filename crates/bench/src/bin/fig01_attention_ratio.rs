@@ -54,6 +54,7 @@ fn global_attention_seconds(n: usize, feat: usize) -> f64 {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     const SPARSITY: f64 = 0.05;
     let mut rng = StdRng::seed_from_u64(1);
     let mut table = TableWriter::new(&["nodes", "feat", "edges", "graph(ms)", "global(ms)", "ratio"]);
@@ -75,9 +76,9 @@ fn main() {
             points.push(Point { nodes: n, feat_dim: feat, edges: m, graph_seconds: tg, global_seconds: tf, ratio });
         }
     }
-    println!("Figure 1b — graph-attention / global-attention time ratio (sparsity {SPARSITY})\n");
+    mega_obs::data!("Figure 1b — graph-attention / global-attention time ratio (sparsity {SPARSITY})\n");
     table.print();
-    println!("\nPaper claim: ratio > 1 and growing with graph size, worst at small feature dims.");
+    mega_obs::data!("\nPaper claim: ratio > 1 and growing with graph size, worst at small feature dims.");
     // Sanity note for the reader: kernel taxonomy involved.
     let _ = KernelKind::DglGather;
     save_json("fig01_attention_ratio", &points);

@@ -21,6 +21,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(7);
     let (batch, hidden, layers) = (64usize, 128usize, 2usize);
     let mut table = TableWriter::new(&["dataset", "model", "sgemm", "cub", "dgl-gather", "dgl-scatter"]);
@@ -47,8 +48,8 @@ fn main() {
             });
         }
     }
-    println!("Figure 4 — SM efficiency per kernel (batch 64, hidden 128, DGL baseline)\n");
+    mega_obs::data!("Figure 4 — SM efficiency per kernel (batch 64, hidden 128, DGL baseline)\n");
     table.print();
-    println!("\nPaper claim: sgemm SM efficiency far above cub/dgl in every configuration.");
+    mega_obs::data!("\nPaper claim: sgemm SM efficiency far above cub/dgl in every configuration.");
     save_json("fig04_sm_efficiency", &rows);
 }

@@ -22,6 +22,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(5);
     let (hidden, layers) = (64usize, 2usize);
     let mut table =
@@ -54,8 +55,8 @@ fn main() {
             }
         }
     }
-    println!("Figure 5 — kernel time shares vs batch size (hidden 64, DGL baseline)\n");
+    mega_obs::data!("Figure 5 — kernel time shares vs batch size (hidden 64, DGL baseline)\n");
     table.print();
-    println!("\nPaper claims: GT spends a larger share on graph ops than GCN; sgemm share grows with batch size.");
+    mega_obs::data!("\nPaper claims: GT spends a larger share on graph ops than GCN; sgemm share grows with batch size.");
     save_json("fig05_time_share", &rows);
 }

@@ -21,6 +21,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(6);
     let (batch, hidden, layers) = (64usize, 128usize, 2usize);
     let mut table = TableWriter::new(&["dataset", "model", "kernel", "calls", "ld_txns", "stall%", "l2-hit%"]);
@@ -55,8 +56,8 @@ fn main() {
             }
         }
     }
-    println!("Figure 6 — per-kernel profile (batch 64, hidden 128, DGL baseline)\n");
+    mega_obs::data!("Figure 6 — per-kernel profile (batch 64, hidden 128, DGL baseline)\n");
     table.print();
-    println!("\nPaper claim: cub/dgl kernels show high stall percentages and heavy global-load traffic.");
+    mega_obs::data!("\nPaper claim: cub/dgl kernels show high stall percentages and heavy global-load traffic.");
     save_json("fig06_kernel_profile", &rows);
 }

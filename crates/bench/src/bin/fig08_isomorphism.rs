@@ -24,6 +24,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let mut rows = Vec::new();
     let mut table = TableWriter::new(&["repr", "nodes", "sparsity", "1-hop", "2-hop", "3-hop"]);
     for &sparsity in &[0.05f64, 0.1] {
@@ -72,9 +73,9 @@ fn main() {
             ]);
         }
     }
-    println!("Figure 8 — aggregation similarity: path representation (p) vs global attention (g)\n");
+    mega_obs::data!("Figure 8 — aggregation similarity: path representation (p) vs global attention (g)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nPaper claims: p-rows are exactly 1.0 at 1 hop and stay high at more hops;\n\
          g-rows are low on sparse graphs. (path-merged = per-layer scatter flow used by\n\
          the trained engine: exact at every hop.)"

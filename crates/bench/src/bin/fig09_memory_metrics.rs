@@ -20,6 +20,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(9);
     let (batch, hidden, layers) = (64usize, 128usize, 2usize);
     let mut table = TableWriter::new(&["dataset", "model", "engine", "agg sm_eff", "agg stall%"]);
@@ -47,9 +48,9 @@ fn main() {
             }
         }
     }
-    println!("Figure 9 — aggregate memory metrics, Mega vs DGL (batch 64, hidden 128)\n");
+    mega_obs::data!("Figure 9 — aggregate memory metrics, Mega vs DGL (batch 64, hidden 128)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nPaper claims: Mega's SM efficiency is high and stable across datasets/models;\n\
          DGL's varies and drops hardest for GT (5x more scatter ops)."
     );

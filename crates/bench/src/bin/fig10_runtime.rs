@@ -23,6 +23,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(10);
     let (hidden, layers) = (64usize, 2usize);
     let mut table = TableWriter::new(&[
@@ -58,9 +59,9 @@ fn main() {
             }
         }
     }
-    println!("Figure 10 — epoch runtime & sgemm occupation (hidden 64)\n");
+    mega_obs::data!("Figure 10 — epoch runtime & sgemm occupation (hidden 64)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nPaper claims: Mega has lower epoch time and larger sgemm share in all settings;\n\
          GT speedups exceed GCN speedups; speedup does not grow with batch size."
     );

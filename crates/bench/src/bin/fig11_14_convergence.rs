@@ -55,6 +55,7 @@ fn speedup(dgl: &TrainingHistory, mega: &TrainingHistory) -> f64 {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(11);
     let epochs = 15;
     let cases: Vec<(&str, Dataset, ModelKind, usize, f64)> = vec![
@@ -69,7 +70,7 @@ fn main() {
     ]);
     let mut results = Vec::new();
     for (figure, ds, kind, out_dim, paper_speedup) in cases {
-        eprintln!("training {} ({}, {})...", ds.name, kind.label(), figure);
+        mega_obs::info!("training {} ({}, {})...", ds.name, kind.label(), figure);
         let (dgl, mega) = run_pair(&ds, kind, out_dim, epochs);
         let s = speedup(&dgl, &mega);
         let (dl, ml) = (dgl.records.last().unwrap(), mega.records.last().unwrap());
@@ -84,7 +85,7 @@ fn main() {
             fmt(dl.val_metric, 4),
             fmt(ml.val_metric, 4),
         ]);
-        println!("\n=== {} — {} / {} : loss vs simulated seconds ===", figure, ds.name, kind.label());
+        mega_obs::data!("\n=== {} — {} / {} : loss vs simulated seconds ===", figure, ds.name, kind.label());
         let mut curve = TableWriter::new(&["epoch", "DGL t(s)", "DGL val", "Mega t(s)", "Mega val"]);
         for (a, b) in dgl.records.iter().zip(&mega.records) {
             curve.row(&[
@@ -110,8 +111,8 @@ fn main() {
             mega,
         });
     }
-    println!("\nFigures 11–14 — convergence summary\n");
+    mega_obs::data!("\nFigures 11–14 — convergence summary\n");
     table.print();
-    println!("\nPaper claims: Mega converges to equal quality in a fraction of the wall clock.");
+    mega_obs::data!("\nPaper claims: Mega converges to equal quality in a fraction of the wall clock.");
     save_json("fig11_14_convergence", &results);
 }

@@ -22,6 +22,7 @@ struct Result {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(15);
     let ds = aqsol(&spec);
     let cfg = GnnConfig::new(ModelKind::GraphTransformer, ds.node_vocab, ds.edge_vocab, 1)
@@ -32,17 +33,17 @@ fn main() {
     let epochs = 15;
     let batch = 64;
 
-    eprintln!("training DGL baseline...");
+    mega_obs::info!("training DGL baseline...");
     let dgl = Trainer::new(EngineChoice::Baseline)
         .with_epochs(epochs)
         .with_batch_size(batch)
         .run(&ds, cfg.clone());
-    eprintln!("training Mega (full coverage)...");
+    mega_obs::info!("training Mega (full coverage)...");
     let mega = Trainer::new(EngineChoice::Mega)
         .with_epochs(epochs)
         .with_batch_size(batch)
         .run(&ds, cfg.clone());
-    eprintln!("training Mega + 20% edge dropping...");
+    mega_obs::info!("training Mega + 20% edge dropping...");
     let mega_drop = Trainer::new(EngineChoice::Mega)
         .with_epochs(epochs)
         .with_batch_size(batch)
@@ -83,9 +84,9 @@ fn main() {
             history: h.clone(),
         });
     }
-    println!("Figure 15 — AQSOL with edge dropping (GT, hidden 64)\n");
+    mega_obs::data!("Figure 15 — AQSOL with edge dropping (GT, hidden 64)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nPaper claim: Mega with 20% edge dropping reaches ~5.9x speedup over the baseline\n\
          at the same accuracy level (the drop also regularizes, DropEdge-style)."
     );

@@ -22,13 +22,14 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let ds = zinc(&DatasetSpec { train: 256, val: 64, test: 64, seed: 33 });
     let mut table = TableWriter::new(&[
         "model", "DGL epoch(ms)", "Mega epoch(ms)", "speedup", "DGL MAE", "Mega MAE",
     ]);
     let mut rows = Vec::new();
     for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer, ModelKind::Gat] {
-        eprintln!("training {}...", kind.label());
+        mega_obs::info!("training {}...", kind.label());
         let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, 1)
             .with_hidden(32)
             .with_layers(2)
@@ -61,9 +62,9 @@ fn main() {
             mega_final_mae: ml.val_metric,
         });
     }
-    println!("Model zoo — Mega vs DGL across architectures (ZINC, hidden 32)\n");
+    mega_obs::data!("Model zoo — Mega vs DGL across architectures (ZINC, hidden 32)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nExpected: every architecture trains to the same quality under both engines,\n\
          and every one runs faster under Mega — the banded routing is model-agnostic."
     );

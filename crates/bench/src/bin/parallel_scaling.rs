@@ -98,6 +98,7 @@ fn median_ms<F: FnMut() -> Vec<f32>>(mut f: F) -> f64 {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let mut rng = StdRng::seed_from_u64(17);
     let g = generate::barabasi_albert(NODES, 4, &mut rng).unwrap();
     let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
@@ -109,7 +110,7 @@ fn main() {
 
     let serial_ms = median_ms(|| banded_aggregate_serial(band, &x, FEAT, &weights));
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!(
+    mega_obs::data!(
         "graph: ba-{NODES} | path {len} | window {} | dim {FEAT} | serial {:.3} ms | {host_cores} host core(s)\n",
         band.window(),
         serial_ms

@@ -1,0 +1,141 @@
+//! Host-side time share of the three main work classes — objective-graph
+//! traversal, banded attention kernels, and dense NN matmuls — measured
+//! through the observability span tree on a BA-10000 graph at 1 and 4
+//! worker threads. Complements the simulated-GPU time shares of Fig. 5:
+//! this is where the *host* implementation spends its time.
+
+use mega_core::parallel::{banded_aggregate, banded_weight_grad, Parallelism};
+use mega_core::{preprocess, MegaConfig};
+use mega_graph::generate;
+use mega_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const NODES: usize = 10_000;
+const FEAT: usize = 64;
+const REPS: usize = 10;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    threads: usize,
+    traversal_ms: f64,
+    band_ms: f64,
+    dense_ms: f64,
+    traversal_share: f64,
+    band_share: f64,
+    dense_share: f64,
+}
+
+/// Total milliseconds of a root span aggregate in the snapshot.
+fn span_ms(snap: &mega_obs::Snapshot, path: &str) -> f64 {
+    snap.spans
+        .iter()
+        .find(|s| s.path == path)
+        .map_or(0.0, |s| s.total_ns as f64 / 1e6)
+}
+
+fn measure(threads: usize) -> Row {
+    let par = Parallelism::with_threads(threads);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let g = generate::barabasi_albert(NODES, 3, &mut rng).expect("valid BA parameters");
+
+    mega_obs::reset();
+    mega_obs::set_enabled(true);
+
+    // Traversal (+ band layout) — the MEGA preprocessing stage.
+    let schedule = {
+        let _s = mega_obs::span("timeshare_traversal");
+        preprocess(&g, &MegaConfig::default()).expect("valid graph")
+    };
+
+    let band = schedule.band();
+    let len = band.len();
+    let x: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let weights: Vec<f32> = (0..schedule.working_graph().edge_count())
+        .map(|_| rng.gen_range(0.0f32..1.0))
+        .collect();
+
+    // Banded attention: forward aggregation + weight gradient.
+    let grad: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    {
+        let _s = mega_obs::span("timeshare_band");
+        for _ in 0..REPS {
+            std::hint::black_box(banded_aggregate(band, &x, FEAT, &weights, &par));
+            std::hint::black_box(banded_weight_grad(
+                band,
+                &x,
+                &grad,
+                FEAT,
+                weights.len(),
+                &par,
+            ));
+        }
+    }
+
+    // Dense NN work: the path-length × FEAT feature matrix times a
+    // FEAT × FEAT weight matrix (one layer's linear transform).
+    let xt = Tensor::from_vec(len, FEAT, x.clone());
+    let wt = Tensor::from_vec(
+        FEAT,
+        FEAT,
+        (0..FEAT * FEAT).map(|_| rng.gen_range(-0.1f32..0.1)).collect(),
+    );
+    {
+        let _s = mega_obs::span("timeshare_dense");
+        for _ in 0..REPS {
+            std::hint::black_box(xt.matmul_with(&wt, &par));
+        }
+    }
+
+    mega_obs::set_enabled(false);
+    let snap = mega_obs::snapshot();
+    let traversal_ms = span_ms(&snap, "timeshare_traversal");
+    let band_ms = span_ms(&snap, "timeshare_band");
+    let dense_ms = span_ms(&snap, "timeshare_dense");
+    let total = (traversal_ms + band_ms + dense_ms).max(f64::MIN_POSITIVE);
+    Row {
+        threads,
+        traversal_ms,
+        band_ms,
+        dense_ms,
+        traversal_share: traversal_ms / total,
+        band_share: band_ms / total,
+        dense_share: dense_ms / total,
+    }
+}
+
+fn main() {
+    mega_obs::report::init_from_env();
+    mega_obs::data!(
+        "Host time share — traversal vs banded attention vs dense NN (BA-{NODES}, d={FEAT}, {REPS} reps)\n"
+    );
+    let mut table = mega_bench::TableWriter::new(&[
+        "threads",
+        "traversal(ms)",
+        "band(ms)",
+        "dense(ms)",
+        "traversal%",
+        "band%",
+        "dense%",
+    ]);
+    let mut rows = Vec::new();
+    for threads in [1usize, 4] {
+        let r = measure(threads);
+        table.row(&[
+            r.threads.to_string(),
+            mega_bench::fmt(r.traversal_ms, 2),
+            mega_bench::fmt(r.band_ms, 2),
+            mega_bench::fmt(r.dense_ms, 2),
+            mega_bench::fmt(r.traversal_share * 100.0, 1),
+            mega_bench::fmt(r.band_share * 100.0, 1),
+            mega_bench::fmt(r.dense_share * 100.0, 1),
+        ]);
+        rows.push(r);
+    }
+    table.print();
+    mega_obs::data!(
+        "\nTraversal is a one-time preprocessing cost; the per-epoch ratio is band vs dense."
+    );
+    mega_bench::save_json("profile_timeshare", &rows);
+}

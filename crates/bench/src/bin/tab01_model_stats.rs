@@ -20,6 +20,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let d = 16usize;
     let mut table = TableWriter::new(&[
         "",
@@ -58,8 +59,8 @@ fn main() {
             instantiated_params_d16: per_layer,
         });
     }
-    println!("Table I — model configuration statistics\n");
+    mega_obs::data!("Table I — model configuration statistics\n");
     table.print();
-    println!("\nPaper values: GCN 5d^2 / x1 / x2;  GT 14d^2 / x5 / x2.");
+    mega_obs::data!("\nPaper values: GCN 5d^2 / x1 / x2;  GT 14d^2 / x5 / x2.");
     save_json("tab01_model_stats", &rows);
 }

@@ -17,6 +17,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     // Generated at a CPU-friendly scale; topology statistics are
     // per-graph and independent of split size.
     let spec = DatasetSpec::small(2024);
@@ -45,13 +46,13 @@ fn main() {
             mean_sparsity: st.mean_sparsity,
         });
     }
-    println!("Table II — graph statistics (synthetic datasets, paper-matched topology)\n");
+    mega_obs::data!("Table II — graph statistics (synthetic datasets, paper-matched topology)\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nPaper values (nodes/edges/sparsity): ZINC 23/50/0.096, AQSOL 18/36/0.148, \
          CSL 41/164/0.098, CYCLES 49/88/0.036."
     );
-    println!("Paper split sizes: ZINC 10000/1000/1000, AQSOL 7985/996/996, CSL 90/30/30, CYCLES 9000/1000/10000");
-    println!("(regenerate with DatasetSpec::paper_* for full-size splits).");
+    mega_obs::data!("Paper split sizes: ZINC 10000/1000/1000, AQSOL 7985/996/996, CSL 90/30/30, CYCLES 9000/1000/10000");
+    mega_obs::data!("(regenerate with DatasetSpec::paper_* for full-size splits).");
     save_json("tab02_graph_stats", &rows);
 }

@@ -15,6 +15,7 @@ struct Row {
 }
 
 fn main() {
+    mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(2024);
     let mut table = TableWriter::new(&[
         "Datasets",
@@ -44,9 +45,9 @@ fn main() {
             mean_ks_similarity: st.mean_ks_similarity,
         });
     }
-    println!("Table III — degree-distribution statistics\n");
+    mega_obs::data!("Table III — degree-distribution statistics\n");
     table.print();
-    println!(
+    mega_obs::data!(
         "\nPaper values mu(sigma(d)) / sigma(d_min) / sigma(d_max) / sigma(d_mean) / mu(eps):\n\
          ZINC 0.5116/0.0059/0.1998/0.0052/0.94, AQSOL 0.6255/0.0987/0.3106/0.0511/0.87,\n\
          CSL 0/0/0/0/1.0, CYCLES 0.4737/0/0.5045/0.0241/0.71."

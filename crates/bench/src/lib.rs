@@ -26,7 +26,7 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("result types serialize");
     std::fs::write(&path, json).expect("result file must be writable");
-    println!("\n[saved {}]", path.display());
+    mega_obs::info!("\n[saved {}]", path.display());
 }
 
 /// Generates all four benchmark datasets at a CPU-friendly scale.
@@ -80,9 +80,10 @@ impl TableWriter {
         out
     }
 
-    /// Prints the rendered table to stdout.
+    /// Prints the rendered table to stdout as data lines (shown even under
+    /// `MEGA_LOG=quiet` — tables are the binaries' primary output).
     pub fn print(&self) {
-        print!("{}", self.render());
+        mega_obs::data!("{}", self.render().trim_end_matches('\n'));
     }
 }
 

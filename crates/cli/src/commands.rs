@@ -5,9 +5,32 @@ use mega_core::{preprocess as mega_preprocess, MegaConfig, WindowPolicy};
 use mega_datasets::{aqsol, csl, cycles, zinc, Dataset, DatasetSpec, Task};
 use mega_gnn::{EngineChoice, GnnConfig, ModelKind, Trainer};
 use mega_graph::{io, Direction};
+use mega_obs::{data, info};
 use mega_wl::{global_similarity, path_similarity};
 use std::fs::File;
 use std::io::BufReader;
+
+/// Whether `--trace-out` / `--metrics-out` ask for instrumented output.
+fn wants_obs(args: &Args) -> bool {
+    args.get("trace-out").is_some() || args.get("metrics-out").is_some()
+}
+
+/// Writes the Chrome-trace and/or deterministic metrics files requested by
+/// `--trace-out` / `--metrics-out` from the current observability registry.
+fn write_obs_outputs(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, mega_obs::trace_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        info!("[trace written to {path}]");
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let snap = mega_obs::snapshot();
+        std::fs::write(path, snap.to_json(true))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        info!("[metrics written to {path}]");
+    }
+    Ok(())
+}
 
 fn dataset_by_name(name: &str, spec: &DatasetSpec) -> Result<Dataset, String> {
     match name {
@@ -45,9 +68,9 @@ pub fn demo() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let s = mega_preprocess(&g, &MegaConfig::default()).map_err(|e| e.to_string())?;
     let stats = s.stats();
-    println!("demo graph: {} nodes, {} edges", stats.nodes, stats.edges);
-    println!("path: {:?}", s.gather_index());
-    println!(
+    data!("demo graph: {} nodes, {} edges", stats.nodes, stats.edges);
+    data!("path: {:?}", s.gather_index());
+    data!(
         "window {} | revisits {} | virtual edges {} | coverage {:.0}% | expansion {:.2}x",
         stats.window,
         stats.revisits,
@@ -56,7 +79,7 @@ pub fn demo() -> Result<(), String> {
         stats.expansion
     );
     for hops in 1..=3 {
-        println!(
+        data!(
             "{hops}-hop similarity: path {:.3} vs global attention {:.3}",
             path_similarity(&g, &s, hops),
             global_similarity(&g, hops)
@@ -86,17 +109,17 @@ pub fn preprocess(args: &Args) -> Result<(), String> {
     let s = mega_preprocess(&g, &cfg).map_err(|e| e.to_string())?;
     let stats = s.stats();
     if args.has_flag("json") {
-        println!(
+        data!(
             "{}",
             serde_json::to_string_pretty(&stats).expect("stats serialize infallibly")
         );
     } else {
-        println!("graph: {} nodes, {} edges", stats.nodes, stats.edges);
-        println!(
+        data!("graph: {} nodes, {} edges", stats.nodes, stats.edges);
+        data!(
             "path length {} (expansion {:.2}x) | window {} | revisits {} | virtual {}",
             stats.path_len, stats.expansion, stats.window, stats.revisits, stats.virtual_edges
         );
-        println!(
+        data!(
             "band: coverage {:.1}% | density {:.3}",
             stats.coverage * 100.0,
             stats.band_density
@@ -113,14 +136,14 @@ pub fn stats(args: &Args) -> Result<(), String> {
         "all" => vec!["zinc", "aqsol", "csl", "cycles"],
         one => vec![one],
     };
-    println!(
+    data!(
         "{:<8} {:>7} {:>9} {:>9} {:>11} {:>10} {:>8}",
         "dataset", "nodes", "edges(2m)", "sparsity", "mu(sig(d))", "sig(dmax)", "mu(eps)"
     );
     for name in names {
         let ds = dataset_by_name(name, &spec)?;
         let st = ds.stats(128);
-        println!(
+        data!(
             "{:<8} {:>7.1} {:>9.1} {:>9.3} {:>11.4} {:>10.4} {:>8.2}",
             ds.name,
             st.mean_nodes,
@@ -156,39 +179,108 @@ pub fn train(args: &Args) -> Result<(), String> {
         .with_batch_size(args.get_or("batch", 32usize)?)
         .with_lr(args.get_or("lr", 5e-3f32)?)
         .with_parallelism(mega_core::Parallelism::with_threads(threads));
-    println!(
+    info!(
         "training {} on {} with the {} engine ({} threads)...",
         kind.label(),
         ds.name,
         engine.label(),
         mega_core::Parallelism::with_threads(threads).effective_threads()
     );
+    let instrument = wants_obs(args);
+    if instrument {
+        mega_obs::reset();
+        mega_obs::set_enabled(true);
+    }
     let hist = trainer.run(&ds, cfg);
-    println!("simulated GPU epoch: {:.3} ms", hist.epoch_sim_seconds * 1e3);
-    println!("{:>5} {:>12} {:>10} {:>10} {:>12}", "epoch", "train-loss", "val-loss", "metric", "sim-clock(s)");
+    if instrument {
+        mega_obs::set_enabled(false);
+    }
+    data!("simulated GPU epoch: {:.3} ms", hist.epoch_sim_seconds * 1e3);
+    data!("{:>5} {:>12} {:>10} {:>10} {:>12}", "epoch", "train-loss", "val-loss", "metric", "sim-clock(s)");
     for r in &hist.records {
-        println!(
+        data!(
             "{:>5} {:>12.4} {:>10.4} {:>10.4} {:>12.4}",
             r.epoch, r.train_loss, r.val_loss, r.val_metric, r.sim_seconds
         );
     }
-    Ok(())
+    write_obs_outputs(args)
 }
 
-/// `mega profile` — kernel tables for both engines on a simulated GTX 1080.
+/// `mega profile` — instrumented training run plus simulated GTX 1080
+/// kernel tables, for both engines.
+///
+/// Trains `--epochs` epochs under full observability, bridges the
+/// simulated-GPU kernel statistics into the same registry
+/// (`gpusim.dgl.*` / `gpusim.mega.*`), and prints a span tree showing
+/// where host time went. `--trace-out` / `--metrics-out` export the run.
 pub fn profile(args: &Args) -> Result<(), String> {
     let spec = DatasetSpec { train: 64, val: 8, test: 8, seed: 9 };
     let ds = dataset_by_name(args.get("dataset").unwrap_or("zinc"), &spec)?;
     let kind = model_by_name(args.get("model").unwrap_or("gt"))?;
     let batch = args.get_or("batch", 64usize)?;
     let hidden = args.get_or("hidden", 64usize)?;
+    let epochs = args.get_or("epochs", 2usize)?;
+    let threads = args.get_or("threads", 1usize)?;
+    let out = match ds.task {
+        Task::Regression => 1,
+        Task::Classification { classes } => classes,
+    };
+
+    mega_obs::reset();
+    mega_obs::set_enabled(true);
     for engine in [EngineChoice::Baseline, EngineChoice::Mega] {
+        // One span per engine so the tree separates the two runs.
+        let (engine_span, gpusim_prefix) = match engine {
+            EngineChoice::Baseline => ("engine_dgl", "gpusim.dgl"),
+            EngineChoice::Mega => ("engine_mega", "gpusim.mega"),
+        };
+        let _span = mega_obs::span(engine_span);
+
+        // Simulated-GPU kernel profile of one training step.
         let cost = mega_bench_profile(&ds, kind, engine, batch, hidden)?;
-        println!("\n=== {} engine — one epoch ({} steps) ===", engine.label(), cost.steps);
-        println!("{}", cost.report);
-        println!("epoch: {:.3} ms", cost.epoch_seconds * 1e3);
+        cost.report.export_obs(gpusim_prefix);
+        data!("\n=== {} engine — one epoch ({} steps) ===", engine.label(), cost.steps);
+        data!("{}", cost.report);
+        data!("simulated epoch: {:.3} ms", cost.epoch_seconds * 1e3);
+
+        // Instrumented host-side training.
+        let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, out)
+            .with_hidden(hidden)
+            .with_layers(2)
+            .with_heads(4);
+        let trainer = Trainer::new(engine)
+            .with_epochs(epochs)
+            .with_batch_size(batch)
+            .with_parallelism(mega_core::Parallelism::with_threads(threads));
+        let hist = trainer.run(&ds, cfg);
+        data!(
+            "trained {epochs} epochs: final train-loss {:.4} | host phases/epoch \
+             (assemble {:.1}ms, forward {:.1}ms, backward {:.1}ms, opt {:.1}ms, eval {:.1}ms)",
+            hist.records.last().map_or(f64::NAN, |r| r.train_loss),
+            mean_phase(&hist, |p| p.assemble) * 1e3,
+            mean_phase(&hist, |p| p.forward) * 1e3,
+            mean_phase(&hist, |p| p.backward) * 1e3,
+            mean_phase(&hist, |p| p.optimizer) * 1e3,
+            mean_phase(&hist, |p| p.evaluate) * 1e3,
+        );
     }
-    Ok(())
+    mega_obs::set_enabled(false);
+
+    let snap = mega_obs::snapshot();
+    data!("\n=== span tree (host wall clock) ===");
+    data!("{}", snap.render_span_tree());
+    write_obs_outputs(args)
+}
+
+/// Mean of one [`mega_gnn::PhaseSeconds`] field over a run's epochs.
+fn mean_phase<F: Fn(&mega_gnn::PhaseSeconds) -> f64>(
+    hist: &mega_gnn::TrainingHistory,
+    f: F,
+) -> f64 {
+    if hist.records.is_empty() {
+        return 0.0;
+    }
+    hist.records.iter().map(|r| f(&r.phases)).sum::<f64>() / hist.records.len() as f64
 }
 
 fn mega_bench_profile(

@@ -5,13 +5,14 @@
 //! mega preprocess graph.txt --window 2    # preprocess an edge-list file
 //! mega stats --dataset all                # Table II/III statistics
 //! mega train --dataset zinc --model gt --engine mega --epochs 5
-//! mega profile --dataset zinc --model gt  # nvprof-style engine comparison
+//! mega profile --dataset zinc --model gt  # instrumented training + kernels
 //! ```
 
 mod args;
 mod commands;
 
 use args::Args;
+use mega_obs::{data, error};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -39,18 +40,34 @@ COMMANDS:
                               and tape matmuls; 0 = auto from
                               RAYON_NUM_THREADS or the hardware (default 1).
                               Results are bit-identical for every value.
-    profile                   Simulated GTX 1080 kernel profile, both engines
+        --trace-out FILE      write a Chrome-trace JSON of the run
+        --metrics-out FILE    write a deterministic metrics snapshot JSON
+    profile                   Instrumented training run + simulated GTX 1080
+                              kernel profile, both engines; prints the span
+                              tree of where host time went
         --dataset NAME        (default zinc)  --model NAME (default gt)
         --batch N             (default 64)    --hidden N   (default 64)
+        --epochs N            epochs to train under instrumentation (default 2)
+        --threads N           (default 1)
+        --trace-out FILE      write a Chrome-trace JSON of the run
+        --metrics-out FILE    write a deterministic metrics snapshot JSON
+
+GLOBAL OPTIONS:
+    --quiet                   suppress status messages (data output only);
+                              MEGA_LOG=quiet|info|debug sets the same level
 ";
 
 fn main() -> ExitCode {
+    mega_obs::report::init_from_env();
     let mut raw = std::env::args().skip(1).peekable();
     let Some(command) = raw.next() else {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let args = Args::parse(raw);
+    if args.has_flag("quiet") {
+        mega_obs::report::set_level(mega_obs::report::Level::Quiet);
+    }
     let result = match command.as_str() {
         "demo" => commands::demo(),
         "preprocess" => commands::preprocess(&args),
@@ -58,7 +75,7 @@ fn main() -> ExitCode {
         "train" => commands::train(&args),
         "profile" => commands::profile(&args),
         "help" | "--help" | "-h" => {
-            print!("{USAGE}");
+            data!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`; run `mega help`")),
@@ -66,7 +83,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            error!("error: {msg}");
             ExitCode::FAILURE
         }
     }

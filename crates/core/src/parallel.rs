@@ -152,7 +152,16 @@ impl ChunkPlan {
 
     /// The plan a `Parallelism` config resolves to for this band geometry.
     pub fn for_band(band: &BandMask, par: &Parallelism) -> Self {
-        Self::build(band.len(), band.window(), par.effective_chunk_size(band.len(), band.window()))
+        let plan =
+            Self::build(band.len(), band.window(), par.effective_chunk_size(band.len(), band.window()));
+        if mega_obs::enabled() {
+            mega_obs::counter_add("core.parallel.plans", 1);
+            mega_obs::record_value("core.parallel.plan_chunks", plan.chunks.len() as u64);
+            for c in &plan.chunks {
+                mega_obs::record_value("core.parallel.chunk_rows", c.owned_len() as u64);
+            }
+        }
+        plan
     }
 
     /// Path length covered.
@@ -199,20 +208,36 @@ where
     F: Fn(usize, &I) -> O + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
+        if mega_obs::enabled() {
+            mega_obs::counter_add("core.parallel.inline_runs", 1);
+        }
         return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
     }
     let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = threads.min(items.len());
+    if mega_obs::enabled() {
+        mega_obs::counter_add("core.parallel.pool_runs", 1);
+        mega_obs::record_value("core.parallel.pool_items", items.len() as u64);
+        mega_obs::record_value("core.parallel.pool_workers", workers as u64);
+    }
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut done = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                    done += 1;
                 }
-                let out = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                // Items-per-worker is scheduling-dependent, hence volatile.
+                if done > 0 && mega_obs::enabled() {
+                    mega_obs::record_volatile("core.parallel.worker_items", done);
+                }
             });
         }
     });
@@ -310,6 +335,8 @@ pub fn banded_aggregate(
     par: &Parallelism,
 ) -> Vec<f32> {
     assert_eq!(x.len(), band.len() * dim, "x must be L x dim");
+    let _span = mega_obs::span("band_aggregate");
+    mega_obs::counter_add("core.band.aggregate_calls", 1);
     // One worker cannot benefit from the per-row scan layout; the serial
     // slot-walk produces the identical bits at a fraction of the cost.
     if par.effective_threads() <= 1 {
@@ -317,7 +344,12 @@ pub fn banded_aggregate(
     }
     let plan = ChunkPlan::for_band(band, par);
     let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
-        aggregate_chunk(band, chunk, x, dim, weights)
+        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+        let out = aggregate_chunk(band, chunk, x, dim, weights);
+        if let Some(t0) = t0 {
+            mega_obs::record_duration("core.parallel.chunk_fwd_ns", t0.elapsed());
+        }
+        out
     });
     let mut out = Vec::with_capacity(x.len());
     for partial in partials {
@@ -376,11 +408,14 @@ pub fn banded_weight_grad(
     edge_count: usize,
     par: &Parallelism,
 ) -> Vec<f32> {
+    let _span = mega_obs::span("band_wgrad");
+    mega_obs::counter_add("core.band.wgrad_calls", 1);
     if par.effective_threads() <= 1 {
         return banded_weight_grad_serial(band, x, d_out, dim, edge_count);
     }
     let plan = ChunkPlan::for_band(band, par);
     let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
+        let t0 = mega_obs::enabled().then(std::time::Instant::now);
         let mut local: Vec<(usize, f32)> = Vec::new();
         for s in band.active_slots() {
             if s.lo < chunk.start || s.lo >= chunk.end {
@@ -392,6 +427,9 @@ pub fn banded_weight_grad(
                 acc += d_out[s.hi * dim + d] * x[s.lo * dim + d];
             }
             local.push((s.edge, acc));
+        }
+        if let Some(t0) = t0 {
+            mega_obs::record_duration("core.parallel.chunk_wgrad_ns", t0.elapsed());
         }
         local
     });

@@ -52,6 +52,9 @@ pub struct Traversal {
     pub revisits: usize,
     /// Number of virtual steps taken.
     pub virtual_edge_count: usize,
+    /// Number of stack entries popped while searching for a revisit target
+    /// (pool 2 of the walk loop; an observability statistic).
+    pub stack_pops: usize,
     /// The working graph the traversal ran over (equals the input unless edge
     /// dropping was configured).
     pub working_graph: Graph,
@@ -94,6 +97,7 @@ struct State<'g> {
     virtual_step: Vec<bool>,
     stack: Vec<usize>,
     revisits: usize,
+    stack_pops: usize,
 }
 
 impl<'g> State<'g> {
@@ -125,6 +129,7 @@ impl<'g> State<'g> {
             virtual_step: Vec::with_capacity(n + 2 * g.edge_count()),
             stack: Vec::new(),
             revisits: 0,
+            stack_pops: 0,
         }
     }
 
@@ -208,6 +213,7 @@ impl<'g> State<'g> {
     /// Pops the stack until a node with uncovered-edge neighbors surfaces.
     fn pop_open(&mut self) -> Option<usize> {
         while let Some(v) = self.stack.pop() {
+            self.stack_pops += 1;
             if !self.open_nbrs[v].is_empty() {
                 return Some(v);
             }
@@ -235,13 +241,16 @@ fn start_node(g: &Graph) -> usize {
 ///   hit before the coverage target (cannot happen with the shipped policies
 ///   and a valid θ ≤ 1).
 pub fn traverse(g: &Graph, config: &MegaConfig) -> Result<Traversal, MegaError> {
+    let _span = mega_obs::span("traverse");
     config.validate()?;
     let working = if config.edge_drop > 0.0 {
         drop_edges(g, config.edge_drop, config.seed)?
     } else {
         g.clone()
     };
-    traverse_working(working, config)
+    let out = traverse_working(working, config)?;
+    emit_traversal_obs(&out);
+    Ok(out)
 }
 
 /// Runs the walk over an already-prepared working graph (post edge-drop).
@@ -306,6 +315,7 @@ struct WalkOutput {
     virtual_step: Vec<bool>,
     covered_count: usize,
     revisits: usize,
+    stack_pops: usize,
 }
 
 impl State<'_> {
@@ -315,6 +325,7 @@ impl State<'_> {
             virtual_step: self.virtual_step,
             covered_count: self.covered_count,
             revisits: self.revisits,
+            stack_pops: self.stack_pops,
         }
     }
 }
@@ -334,8 +345,25 @@ fn finish(
         working_edges,
         revisits: out.revisits,
         virtual_edge_count,
+        stack_pops: out.stack_pops,
         working_graph: working,
     })
+}
+
+/// Emits the aggregate walk statistics of a finished traversal into the
+/// `core.traversal.*` metric namespace (no-op when obs is disabled).
+fn emit_traversal_obs(t: &Traversal) {
+    if !mega_obs::enabled() {
+        return;
+    }
+    mega_obs::counter_add("core.traversal.walks", 1);
+    mega_obs::counter_add("core.traversal.visits", t.path.len() as u64);
+    mega_obs::counter_add("core.traversal.revisits", t.revisits as u64);
+    mega_obs::counter_add("core.traversal.virtual_edges", t.virtual_edge_count as u64);
+    mega_obs::counter_add("core.traversal.stack_pops", t.stack_pops as u64);
+    mega_obs::counter_add("core.traversal.covered_edges", t.covered_edges as u64);
+    mega_obs::record_value("core.traversal.path_len", t.path.len() as u64);
+    mega_obs::record_value("core.traversal.window", t.window as u64);
 }
 
 /// Multi-seed objective traversal: `agents` independent walks on contiguous
@@ -365,6 +393,7 @@ pub fn traverse_parallel(
     agents: usize,
     par: &crate::parallel::Parallelism,
 ) -> Result<Traversal, MegaError> {
+    let _span = mega_obs::span("traverse_parallel");
     config.validate()?;
     let working = if config.edge_drop > 0.0 {
         drop_edges(g, config.edge_drop, config.seed)?
@@ -374,8 +403,11 @@ pub fn traverse_parallel(
     let n = working.node_count();
     let agents = agents.clamp(1, n.max(1));
     if agents == 1 {
-        return traverse_working(working, config);
+        let out = traverse_working(working, config)?;
+        emit_traversal_obs(&out);
+        return Ok(out);
     }
+    mega_obs::counter_add("core.traversal.agents", agents as u64);
     let window = resolve_window(&working, config.window);
     let m = working.edge_count();
 
@@ -396,6 +428,8 @@ pub fn traverse_parallel(
         &bounds,
         par.effective_threads(),
         |a, &(lo, hi)| -> Result<Vec<usize>, MegaError> {
+            let _agent_span = mega_obs::span("traverse_agent");
+            let walk_start = mega_obs::enabled().then(std::time::Instant::now);
             let mut b = if working.is_undirected() {
                 mega_graph::GraphBuilder::undirected(hi - lo)
             } else {
@@ -413,6 +447,9 @@ pub fn traverse_parallel(
                     config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a as u64 + 1)),
                 ),
             )?;
+            if let Some(t0) = walk_start {
+                mega_obs::record_duration("core.traversal.agent_walk_ns", t0.elapsed());
+            }
             Ok(local.path.iter().map(|&v| v + lo).collect())
         },
     );
@@ -430,7 +467,9 @@ pub fn traverse_parallel(
     }
     complete_walk(&mut st, config)?;
     let out = st.into_output();
-    finish(out, window, m, working)
+    let result = finish(out, window, m, working)?;
+    emit_traversal_obs(&result);
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! Integration of the observability layer with the worker-thread pool:
+//! span parent attribution is thread-local, so spans opened inside
+//! `ordered_map` workers are roots of their own thread's tree, while the
+//! inline (single-thread) path nests under the caller's open span.
+//!
+//! The obs registry and enable flag are process-global; these tests
+//! serialize on a static mutex so the parallel test runner cannot
+//! interleave them (same pattern as the `mega-obs` unit tests).
+
+use mega_core::parallel::ordered_map;
+use std::sync::{Mutex, MutexGuard};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn worker_thread_spans_are_thread_local_roots() {
+    let _g = guard();
+    mega_obs::reset();
+    mega_obs::set_enabled(true);
+    let items: Vec<usize> = (0..64).collect();
+    let out = {
+        let _outer = mega_obs::span("outer");
+        ordered_map(&items, 4, |i, &v| {
+            let _w = mega_obs::span("worker_op");
+            i + v
+        })
+    };
+    mega_obs::set_enabled(false);
+    assert_eq!(out[10], 20);
+
+    let snap = mega_obs::snapshot();
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    // The pool runs f on scoped worker threads: their spans must be
+    // roots, never children of the caller's "outer" span.
+    let worker = snap
+        .spans
+        .iter()
+        .find(|s| s.path == "worker_op")
+        .unwrap_or_else(|| panic!("no root worker_op span in {paths:?}"));
+    assert_eq!(worker.count, 64, "one span per item");
+    assert!(paths.contains(&"outer"));
+    assert!(!paths.contains(&"outer/worker_op"), "worker spans leaked into caller tree");
+    // Workers get distinct thread ids in the raw span records.
+    let tids: std::collections::BTreeSet<u64> = mega_obs::trace_tids();
+    assert!(tids.len() >= 2, "expected multiple thread ids, got {tids:?}");
+    mega_obs::reset();
+}
+
+#[test]
+fn inline_path_nests_under_caller_span() {
+    let _g = guard();
+    mega_obs::reset();
+    mega_obs::set_enabled(true);
+    let items: Vec<usize> = (0..8).collect();
+    {
+        let _outer = mega_obs::span("outer");
+        // threads == 1 → inline on the calling thread.
+        let _ = ordered_map(&items, 1, |_, &v| {
+            let _w = mega_obs::span("worker_op");
+            v
+        });
+    }
+    mega_obs::set_enabled(false);
+    let snap = mega_obs::snapshot();
+    let inline = snap.spans.iter().find(|s| s.path == "outer/worker_op");
+    assert!(inline.is_some_and(|s| s.count == 8), "inline spans must nest under outer");
+    let counters: std::collections::BTreeMap<_, _> = snap.counters.iter().cloned().collect();
+    assert_eq!(counters.get("core.parallel.inline_runs"), Some(&1));
+    mega_obs::reset();
+}

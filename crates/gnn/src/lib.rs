@@ -41,4 +41,4 @@ pub use batch::{Batch, EngineIndices};
 pub use config::{EngineChoice, GnnConfig, ModelKind};
 pub use model::Gnn;
 pub use parallel::{preprocess_samples, BandScheduler};
-pub use train::{EpochRecord, Trainer, TrainingHistory};
+pub use train::{EpochRecord, PhaseSeconds, Trainer, TrainingHistory};

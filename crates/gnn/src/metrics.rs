@@ -4,6 +4,10 @@ use mega_tensor::Tensor;
 
 /// Mean absolute error between a prediction column and targets.
 ///
+/// Empty inputs yield `0.0` (never `NaN`): an empty evaluation split
+/// contributes a neutral value to the graph-weighted averages in
+/// [`crate::Trainer::evaluate`], which weight it by zero graphs anyway.
+///
 /// # Panics
 ///
 /// Panics on shape mismatch.
@@ -19,6 +23,12 @@ pub fn mae(pred: &Tensor, target: &Tensor) -> f64 {
 }
 
 /// Classification accuracy of row-wise argmax against labels.
+///
+/// Empty labels yield `0.0` by contract (never `NaN` from `0/0`) — the
+/// deliberate neutral value for the zero-graph case, mirroring [`mae`];
+/// callers that must distinguish "no data" from "all wrong" should check
+/// emptiness first (cf. `TrainingHistory::final_metric` returning
+/// `Option` for empty runs).
 ///
 /// # Panics
 ///

@@ -15,6 +15,35 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// Host wall-clock seconds of one epoch, split by training phase.
+///
+/// Captured directly from the training loop (independent of the global
+/// [`mega_obs`] enable flag, whose span tree carries the same boundaries
+/// at finer grain). `assemble` covers per-epoch batch rebuilding and is
+/// zero unless shuffling forces a rebuild; `evaluate` is the validation
+/// pass. Wall-clock values are machine-dependent and excluded from every
+/// bit-determinism comparison, like [`EpochRecord::real_seconds`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseSeconds {
+    /// Batch (re)assembly: shuffling and index-structure rebuilds.
+    pub assemble: f64,
+    /// Model forward passes over the epoch's training batches.
+    pub forward: f64,
+    /// Reverse-mode gradient passes.
+    pub backward: f64,
+    /// Gradient application: binder scatter, clipping, Adam step.
+    pub optimizer: f64,
+    /// Validation-split evaluation at the end of the epoch.
+    pub evaluate: f64,
+}
+
+impl PhaseSeconds {
+    /// Sum of all phase times.
+    pub fn total(&self) -> f64 {
+        self.assemble + self.forward + self.backward + self.optimizer + self.evaluate
+    }
+}
+
 /// One epoch of the training history.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochRecord {
@@ -32,6 +61,8 @@ pub struct EpochRecord {
     pub sim_seconds: f64,
     /// Cumulative host (real) seconds of the run.
     pub real_seconds: f64,
+    /// Host wall-clock breakdown of this epoch by training phase.
+    pub phases: PhaseSeconds,
 }
 
 /// The result of a training run.
@@ -61,9 +92,10 @@ impl TrainingHistory {
         self.records.iter().map(|r| r.val_loss).fold(f64::INFINITY, f64::min)
     }
 
-    /// The final validation metric.
-    pub fn final_metric(&self) -> f64 {
-        self.records.last().map_or(f64::NAN, |r| r.val_metric)
+    /// The final validation metric, or `None` for an empty run (zero
+    /// epochs recorded — e.g. `epochs == 0`).
+    pub fn final_metric(&self) -> Option<f64> {
+        self.records.last().map(|r| r.val_metric)
     }
 
     /// Simulated seconds needed to first reach `target` validation loss, if
@@ -195,13 +227,17 @@ impl Trainer {
 
     /// Runs training and returns the per-epoch history.
     pub fn run(&self, dataset: &Dataset, config: GnnConfig) -> TrainingHistory {
+        let _train_span = mega_obs::span("train");
+        mega_obs::counter_add("gnn.train.runs", 1);
         let start = Instant::now();
         let task = dataset.task;
 
         // One-time preprocessing (CPU side, decoupled from training).
         let pre_start = Instant::now();
-        let train_batches = self.build_batches(&dataset.train);
-        let val_batches = self.build_batches(&dataset.val);
+        let (train_batches, val_batches) = {
+            let _s = mega_obs::span("assemble");
+            (self.build_batches(&dataset.train), self.build_batches(&dataset.val))
+        };
         let preprocess_seconds = if self.engine == EngineChoice::Mega {
             pre_start.elapsed().as_secs_f64()
         } else {
@@ -237,31 +273,63 @@ impl Trainer {
         let mut shuffle_rng = self.shuffle_seed.map(StdRng::seed_from_u64);
         let mut shuffled_samples = dataset.train.clone();
         for epoch in 1..=self.epochs {
+            let _epoch_span = mega_obs::span("epoch");
+            mega_obs::counter_add("gnn.train.epochs", 1);
+            let mut phases = PhaseSeconds::default();
             // Optional per-epoch reshuffle of the sample order.
+            let t_assemble = Instant::now();
             let epoch_batches: &[Batch] = match shuffle_rng.as_mut() {
                 Some(rng) if epoch > 1 => {
+                    let _s = mega_obs::span("assemble");
                     shuffled_samples.shuffle(rng);
                     shuffled_storage = self.build_batches(&shuffled_samples);
                     &shuffled_storage
                 }
                 _ => &train_batches,
             };
+            phases.assemble = t_assemble.elapsed().as_secs_f64();
             let mut loss_sum = 0.0f64;
             for batch in epoch_batches {
+                mega_obs::counter_add("gnn.train.batches", 1);
                 let mut tape = Tape::new();
-            tape.set_parallelism(self.parallelism);
                 tape.set_parallelism(self.parallelism);
                 let mut binder = Binder::new();
-                let pred = model.forward(&mut tape, &mut binder, &store, batch);
-                let loss = model.loss(&mut tape, pred, batch, task);
+                let t_fwd = Instant::now();
+                let loss = {
+                    let _s = mega_obs::span("forward");
+                    let pred = model.forward(&mut tape, &mut binder, &store, batch);
+                    model.loss(&mut tape, pred, batch, task)
+                };
+                phases.forward += t_fwd.elapsed().as_secs_f64();
                 loss_sum += tape.value(loss).at(0, 0) as f64;
-                let grads = tape.backward(loss);
-                binder.apply(&mut store, &grads);
-                store.clip_grad_norm(self.grad_clip);
-                opt.step(&mut store);
+                let t_bwd = Instant::now();
+                let grads = {
+                    let _s = mega_obs::span("backward");
+                    tape.backward(loss)
+                };
+                phases.backward += t_bwd.elapsed().as_secs_f64();
+                let t_opt = Instant::now();
+                {
+                    let _s = mega_obs::span("optimizer");
+                    binder.apply(&mut store, &grads);
+                    store.clip_grad_norm(self.grad_clip);
+                    opt.step(&mut store);
+                }
+                phases.optimizer += t_opt.elapsed().as_secs_f64();
             }
             let train_loss = loss_sum / epoch_batches.len().max(1) as f64;
-            let (val_loss, val_metric) = self.evaluate(&model, &store, &val_batches, task);
+            let t_eval = Instant::now();
+            let (val_loss, val_metric) = {
+                let _s = mega_obs::span("evaluate");
+                self.evaluate(&model, &store, &val_batches, task)
+            };
+            phases.evaluate = t_eval.elapsed().as_secs_f64();
+            if mega_obs::enabled() {
+                mega_obs::record_duration(
+                    "gnn.train.epoch_ns",
+                    std::time::Duration::from_secs_f64(phases.total()),
+                );
+            }
             sim_clock += epoch_sim_seconds;
             records.push(EpochRecord {
                 epoch,
@@ -270,6 +338,7 @@ impl Trainer {
                 val_metric,
                 sim_seconds: sim_clock,
                 real_seconds: start.elapsed().as_secs_f64(),
+                phases,
             });
             // Plateau handling (the reference benchmark's protocol).
             if val_loss < best_val - 1e-6 {
@@ -288,8 +357,11 @@ impl Trainer {
         }
 
         // Final held-out evaluation.
-        let test_batches = self.build_batches(&dataset.test);
-        let (test_loss, test_metric) = self.evaluate(&model, &store, &test_batches, task);
+        let (test_loss, test_metric) = {
+            let _s = mega_obs::span("evaluate");
+            let test_batches = self.build_batches(&dataset.test);
+            self.evaluate(&model, &store, &test_batches, task)
+        };
 
         TrainingHistory {
             engine: self.engine.label().to_string(),
@@ -467,7 +539,12 @@ mod tests {
             .with_batch_size(8)
             .run(&ds, cfg);
         assert!(hist.best_val_loss().is_finite());
-        assert!(hist.final_metric().is_finite());
+        assert!(hist.final_metric().expect("non-empty run").is_finite());
+        // Phase timings are captured and non-negative.
+        for r in &hist.records {
+            assert!(r.phases.total() >= 0.0);
+            assert!(r.phases.forward > 0.0, "forward time should be nonzero");
+        }
         let worst = hist.records.iter().map(|r| r.val_loss).fold(0.0, f64::max);
         assert!(hist.sim_seconds_to_loss(worst + 1.0).is_some());
         assert!(hist.sim_seconds_to_loss(-1.0).is_none());
@@ -475,5 +552,22 @@ mod tests {
         for w in hist.records.windows(2) {
             assert!(w[1].sim_seconds > w[0].sim_seconds);
         }
+    }
+
+    #[test]
+    fn final_metric_is_none_for_empty_run() {
+        let hist = TrainingHistory {
+            engine: "DGL".to_string(),
+            model: "GatedGCN".to_string(),
+            dataset: "empty".to_string(),
+            records: Vec::new(),
+            preprocess_seconds: 0.0,
+            epoch_sim_seconds: 0.0,
+            test_loss: 0.0,
+            test_metric: 0.0,
+        };
+        assert_eq!(hist.final_metric(), None);
+        assert!(hist.best_val_loss().is_infinite());
+        assert!(hist.sim_seconds_to_loss(0.0).is_none());
     }
 }

@@ -121,6 +121,42 @@ impl ProfileReport {
     pub fn graph_op_time_share(&self) -> f64 {
         self.rows.iter().filter(|r| r.kind.is_graph_op()).map(|r| r.time_share).sum()
     }
+
+    /// Bridges this report into the [`mega_obs`] registry under `prefix`
+    /// (e.g. `"gpusim.mega"`), so simulated-GPU kernel statistics land in
+    /// the same metrics snapshot as the host-side spans and counters.
+    ///
+    /// Per kernel: integer statistics (`invocations`, `cycles`,
+    /// `load_transactions`, `l2_hits`, `l2_misses`) become counters under
+    /// `{prefix}.{kernel}.*`; ratio statistics (`time_share`,
+    /// `sm_efficiency`, `stall_pct`, `balance`) become gauges. The report
+    /// totals land as `{prefix}.total_cycles` and the paper's aggregate
+    /// gauges. All values are simulator outputs — deterministic, so they
+    /// appear in deterministic snapshots too. No-op while instrumentation
+    /// is disabled.
+    pub fn export_obs(&self, prefix: &str) {
+        if !mega_obs::enabled() {
+            return;
+        }
+        for r in &self.rows {
+            let key = |stat: &str| format!("{prefix}.{}.{stat}", r.kind.label());
+            mega_obs::counter_add(&key("invocations"), r.invocations);
+            mega_obs::counter_add(&key("cycles"), r.cycles);
+            mega_obs::counter_add(&key("load_transactions"), r.load_transactions);
+            mega_obs::counter_add(&key("l2_hits"), r.l2_hits);
+            mega_obs::counter_add(&key("l2_misses"), r.l2_misses);
+            mega_obs::gauge_set(&key("time_share"), r.time_share);
+            mega_obs::gauge_set(&key("sm_efficiency"), r.sm_efficiency);
+            mega_obs::gauge_set(&key("stall_pct"), r.stall_pct);
+            mega_obs::gauge_set(&key("balance"), r.balance);
+        }
+        mega_obs::counter_add(&format!("{prefix}.total_cycles"), self.total_cycles);
+        mega_obs::gauge_set(
+            &format!("{prefix}.aggregate_sm_efficiency"),
+            self.aggregate_sm_efficiency(),
+        );
+        mega_obs::gauge_set(&format!("{prefix}.aggregate_stall_pct"), self.aggregate_stall_pct());
+    }
 }
 
 impl fmt::Display for ProfileReport {
@@ -212,6 +248,34 @@ mod tests {
         assert!(text.contains("sgemm"));
         assert!(text.contains("dgl-gather"));
         assert!(text.contains("aggregate"));
+    }
+
+    #[test]
+    fn export_obs_bridges_kernel_stats() {
+        let r = sample_report();
+        // No-op while disabled.
+        r.export_obs("gpusim.test");
+        // Enabled: counters and gauges land under the prefix.
+        mega_obs::reset();
+        mega_obs::set_enabled(true);
+        r.export_obs("gpusim.test");
+        mega_obs::set_enabled(false);
+        let snap = mega_obs::snapshot();
+        let counter = |k: &str| {
+            snap.counters.iter().find(|(n, _)| n == k).map(|(_, v)| *v)
+        };
+        let gauge = |k: &str| snap.gauges.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        let sgemm = r.kernel(KernelKind::Sgemm).unwrap();
+        assert_eq!(counter("gpusim.test.sgemm.invocations"), Some(sgemm.invocations));
+        assert_eq!(counter("gpusim.test.sgemm.cycles"), Some(sgemm.cycles));
+        assert_eq!(counter("gpusim.test.total_cycles"), Some(r.total_cycles()));
+        assert_eq!(gauge("gpusim.test.sgemm.sm_efficiency"), Some(sgemm.sm_efficiency));
+        assert_eq!(
+            gauge("gpusim.test.aggregate_stall_pct"),
+            Some(r.aggregate_stall_pct())
+        );
+        assert!(counter("gpusim.test.dgl-gather.load_transactions").is_some());
+        mega_obs::reset();
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Leveled stdout/stderr reporting for the CLI and benchmark binaries.
+//!
+//! Output is split into two classes so that benchmark stdout stays
+//! machine-parseable:
+//!
+//! * **data** — result rows, tables, JSON: always printed to stdout,
+//!   regardless of level. A consumer running under `--quiet` (or
+//!   `MEGA_LOG=quiet`) sees *only* data lines.
+//! * **info / debug** — progress and context ("training X...", "[saved ...]"):
+//!   printed to stdout only at a sufficient level.
+//! * **error** — always printed to stderr.
+//!
+//! The level lives in a process-global atomic, set explicitly via
+//! [`set_level`] (e.g. from a `--quiet` flag) or from the `MEGA_LOG`
+//! environment variable via [`init_from_env`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity of non-data output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Data rows and errors only.
+    Quiet = 0,
+    /// Progress messages too (the default).
+    Info = 1,
+    /// Everything, including diagnostics.
+    Debug = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide report level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current report level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Parses a `MEGA_LOG` value: `quiet`/`0`, `info`/`1`, `debug`/`2`
+/// (case-insensitive). Returns `None` for anything else.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "quiet" | "0" | "off" => Some(Level::Quiet),
+        "info" | "1" => Some(Level::Info),
+        "debug" | "2" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// Initializes the level from the `MEGA_LOG` environment variable, when set
+/// to a recognized value; otherwise leaves the current level untouched.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("MEGA_LOG") {
+        if let Some(l) = parse_level(&v) {
+            set_level(l);
+        }
+    }
+}
+
+/// Prints a data line (always, to stdout). Prefer the [`crate::data!`] macro.
+pub fn print_data(args: fmt::Arguments<'_>) {
+    println!("{args}");
+}
+
+/// Prints an info line when the level allows it. Prefer [`crate::info!`].
+pub fn print_info(args: fmt::Arguments<'_>) {
+    if level() >= Level::Info {
+        println!("{args}");
+    }
+}
+
+/// Prints a debug line when the level allows it. Prefer [`crate::debug!`].
+pub fn print_debug(args: fmt::Arguments<'_>) {
+    if level() >= Level::Debug {
+        println!("{args}");
+    }
+}
+
+/// Prints an error line (always, to stderr). Prefer [`crate::error!`].
+pub fn print_error(args: fmt::Arguments<'_>) {
+    eprintln!("{args}");
+}
+
+/// Prints a machine-parseable result line (tables, rows, JSON): always
+/// emitted to stdout regardless of the report level.
+#[macro_export]
+macro_rules! data {
+    ($($t:tt)*) => { $crate::report::print_data(format_args!($($t)*)) };
+}
+
+/// Prints a progress/context line; suppressed at `Level::Quiet`.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => { $crate::report::print_info(format_args!($($t)*)) };
+}
+
+/// Prints a diagnostic line; emitted only at `Level::Debug`.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => { $crate::report::print_debug(format_args!($($t)*)) };
+}
+
+/// Prints an error line to stderr, regardless of the report level.
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => { $crate::report::print_error(format_args!($($t)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_levels() {
+        assert_eq!(parse_level("quiet"), Some(Level::Quiet));
+        assert_eq!(parse_level("0"), Some(Level::Quiet));
+        assert_eq!(parse_level("INFO"), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level("2"), Some(Level::Debug));
+        assert_eq!(parse_level("nonsense"), None);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Quiet < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

@@ -44,6 +44,41 @@ enum Op {
     CrossEntropy(Var, Arc<Vec<usize>>),
 }
 
+impl Op {
+    /// Stable metric-name suffix of the op kind, for the
+    /// `tensor.tape.op.<kind>` counters.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::MatMul(..) => "matmul",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::AddRow(..) => "add_row",
+            Op::Scale(..) => "scale",
+            Op::Relu(..) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Dropout(..) => "dropout",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Sum(..) => "sum",
+            Op::Mean(..) => "mean",
+            Op::DivEps(..) => "div_eps",
+            Op::RowDot(..) => "row_dot",
+            Op::MulColBroadcast(..) => "mul_col_broadcast",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::GatherRows(..) => "gather_rows",
+            Op::ScatterAddRows(..) => "scatter_add_rows",
+            Op::ScaleRows(..) => "scale_rows",
+            Op::SegmentSoftmax(..) => "segment_softmax",
+            Op::LayerNorm(..) => "layer_norm",
+            Op::BatchNorm(..) => "batch_norm",
+            Op::L1Loss(..) => "l1_loss",
+            Op::CrossEntropy(..) => "cross_entropy",
+        }
+    }
+}
+
 struct Node {
     value: Tensor,
     op: Op,
@@ -111,6 +146,13 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        if mega_obs::enabled() {
+            mega_obs::counter_add("tensor.tape.ops", 1);
+            let mut name = String::with_capacity(32);
+            name.push_str("tensor.tape.op.");
+            name.push_str(op.kind_name());
+            mega_obs::counter_add(&name, 1);
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -127,7 +169,11 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t0 = mega_obs::enabled().then(std::time::Instant::now);
         let v = self.value(a).matmul_with(self.value(b), &self.par);
+        if let Some(t0) = t0 {
+            mega_obs::record_duration("tensor.matmul_ns", t0.elapsed());
+        }
         self.push(v, Op::MatMul(a, b))
     }
 
@@ -461,6 +507,8 @@ impl Tape {
     ///
     /// Panics if `loss` is not `1 × 1`.
     pub fn backward(&self, loss: Var) -> Gradients {
+        let _span = mega_obs::span("tape_backward");
+        mega_obs::counter_add("tensor.tape.backward_passes", 1);
         assert_eq!(self.value(loss).shape(), (1, 1), "backward needs a scalar loss");
         let mut grads: Vec<Tensor> = self
             .nodes

@@ -20,5 +20,6 @@ pub use mega_dist as dist;
 pub use mega_gnn as gnn;
 pub use mega_gpu_sim as gpu_sim;
 pub use mega_graph as graph;
+pub use mega_obs as obs;
 pub use mega_tensor as tensor;
 pub use mega_wl as wl;

@@ -5,7 +5,8 @@
 //! and (on multi-core hosts) the scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mega_core::parallel::{banded_aggregate, banded_aggregate_serial, Parallelism};
+use mega_core::parallel::Parallelism;
+use mega_exec::kernels::{banded_aggregate, banded_aggregate_serial};
 use mega_core::{preprocess, MegaConfig};
 use mega_graph::generate;
 use rand::rngs::StdRng;

@@ -1,0 +1,78 @@
+//! Bit-exact backend equivalence check.
+//!
+//! Trains the same fixed-seed model under two execution backends and prints
+//! the loss trajectory as raw `f64` bit patterns. `--backend a,b` selects the
+//! pair (default `reference,reference`); the process exits non-zero when the
+//! trajectories differ, so CI can assert reference ≡ blocked directly.
+
+use mega_datasets::{zinc, DatasetSpec};
+use mega_exec::{backend_by_name, Backend};
+use mega_gnn::{EngineChoice, GnnConfig, ModelKind, Trainer, TrainingHistory};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn run(engine: EngineChoice, backend: Arc<dyn Backend>) -> TrainingHistory {
+    let ds = zinc(&DatasetSpec { train: 64, val: 16, test: 16, seed: 7 });
+    let cfg = GnnConfig::new(ModelKind::GatedGcn, ds.node_vocab, ds.edge_vocab, 1)
+        .with_hidden(32)
+        .with_layers(2)
+        .with_heads(4);
+    Trainer::new(engine).with_epochs(3).with_batch_size(8).with_backend(backend).run(&ds, cfg)
+}
+
+fn print_history(label: &str, hist: &TrainingHistory) {
+    for r in &hist.records {
+        println!(
+            "{label} epoch {} train {:016x} val {:016x}",
+            r.epoch,
+            r.train_loss.to_bits(),
+            r.val_loss.to_bits()
+        );
+    }
+    println!("{label} test {:016x}", hist.test_loss.to_bits());
+}
+
+/// Loss trajectory as exact bit patterns, for comparison across backends.
+fn bits(hist: &TrainingHistory) -> Vec<u64> {
+    let mut v: Vec<u64> =
+        hist.records.iter().flat_map(|r| [r.train_loss.to_bits(), r.val_loss.to_bits()]).collect();
+    v.push(hist.test_loss.to_bits());
+    v
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut pair = "reference,reference".to_string();
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            pair = args.next().unwrap_or_default();
+        }
+    }
+    let names: Vec<&str> = pair.split(',').collect();
+    let mut trajectories: Vec<(String, Vec<u64>)> = Vec::new();
+    for name in &names {
+        let Some(backend) = backend_by_name(name) else {
+            eprintln!("unknown backend `{name}` (expected reference or blocked)");
+            return ExitCode::FAILURE;
+        };
+        for engine in [EngineChoice::Baseline, EngineChoice::Mega] {
+            let hist = run(engine, backend.clone());
+            print_history(engine.label(), &hist);
+            trajectories.push((format!("{name}/{}", engine.label()), bits(&hist)));
+        }
+    }
+    // Compare the two backends engine-by-engine (Baseline vs Baseline,
+    // Mega vs Mega) when a pair was requested.
+    if names.len() == 2 {
+        for e in 0..2 {
+            let (ref la, ref a) = trajectories[e];
+            let (ref lb, ref b) = trajectories[2 + e];
+            if a != b {
+                eprintln!("MISMATCH: {la} differs from {lb}");
+                return ExitCode::FAILURE;
+            }
+            println!("MATCH: {la} == {lb} (bit-exact)");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,99 @@
+//! Dense-GEMM backend micro-benchmark: reference loops vs the cache-blocked
+//! backend across square sizes, single-threaded (the blocking win is memory
+//! locality, not parallelism). Results land in
+//! `bench_results/backend_matmul.json`; the 512×512 row is the acceptance
+//! gate — blocked must beat reference there.
+
+use mega_bench::{fmt, save_json, TableWriter};
+use mega_core::Parallelism;
+use mega_exec::{Backend, BlockedBackend, ReferenceBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [64, 128, 256, 512];
+const REPS: usize = 7;
+
+#[derive(Serialize)]
+struct Row {
+    size: usize,
+    reference_ms: f64,
+    blocked_ms: f64,
+    speedup: f64,
+    gflops_reference: f64,
+    gflops_blocked: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    reps: usize,
+    rows: Vec<Row>,
+}
+
+fn median_ms<F: FnMut()>(mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    mega_obs::report::init_from_env();
+    let mut rng = StdRng::seed_from_u64(42);
+    let par = Parallelism::with_threads(1);
+    let mut table = TableWriter::new(&["size", "reference(ms)", "blocked(ms)", "speedup"]);
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut out = vec![0.0f32; n * n];
+
+        let reference_ms = median_ms(|| {
+            ReferenceBackend.matmul(&a, &b, n, n, n, &par, &mut out);
+            std::hint::black_box(&out);
+        });
+        let blocked_ms = median_ms(|| {
+            BlockedBackend.matmul(&a, &b, n, n, n, &par, &mut out);
+            std::hint::black_box(&out);
+        });
+
+        let flops = 2.0 * (n as f64).powi(3);
+        let row = Row {
+            size: n,
+            reference_ms,
+            blocked_ms,
+            speedup: reference_ms / blocked_ms,
+            gflops_reference: flops / (reference_ms * 1e-3) / 1e9,
+            gflops_blocked: flops / (blocked_ms * 1e-3) / 1e9,
+        };
+        table.row(&[
+            fmt(n as f64, 0),
+            fmt(row.reference_ms, 3),
+            fmt(row.blocked_ms, 3),
+            fmt(row.speedup, 2),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    let gate = rows.iter().find(|r| r.size == 512).expect("512 row present");
+    mega_obs::data!(
+        "512x512 gate: blocked {:.3} ms vs reference {:.3} ms ({:.2}x)",
+        gate.blocked_ms,
+        gate.reference_ms,
+        gate.speedup
+    );
+    let pass = gate.speedup > 1.0;
+    save_json("backend_matmul", &Report { threads: 1, reps: REPS, rows });
+    if !pass {
+        mega_obs::error!("FAIL: blocked did not beat reference at 512x512");
+        std::process::exit(1);
+    }
+}

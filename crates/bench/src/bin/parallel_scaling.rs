@@ -15,8 +15,9 @@
 //!   bit-identical to serial either way).
 
 use mega_bench::{fmt, save_json, TableWriter};
-use mega_core::parallel::{banded_aggregate, banded_aggregate_serial, ChunkPlan, Parallelism};
+use mega_core::parallel::{ChunkPlan, Parallelism};
 use mega_core::{preprocess, MegaConfig};
+use mega_exec::kernels::{banded_aggregate, banded_aggregate_serial};
 use mega_graph::generate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -4,8 +4,9 @@
 //! worker threads. Complements the simulated-GPU time shares of Fig. 5:
 //! this is where the *host* implementation spends its time.
 
-use mega_core::parallel::{banded_aggregate, banded_weight_grad, Parallelism};
+use mega_core::parallel::Parallelism;
 use mega_core::{preprocess, MegaConfig};
+use mega_exec::kernels::{banded_aggregate, banded_weight_grad};
 use mega_graph::generate;
 use mega_tensor::Tensor;
 use rand::rngs::StdRng;

@@ -174,17 +174,35 @@ pub fn train(args: &Args) -> Result<(), String> {
     // --threads 0 = auto (RAYON_NUM_THREADS, then hardware); parallel paths
     // are bit-deterministic, so the history is identical for every value.
     let threads = args.get_or("threads", 1usize)?;
+    // Backends are bit-identical too: `sim` decorates the reference kernels
+    // with the simulated-GPU profiler and reports the launches afterwards.
+    let backend_name = args.get("backend").unwrap_or("reference");
+    let mut sim: Option<std::sync::Arc<mega_gpu_sim::SimBackend>> = None;
+    let backend: std::sync::Arc<dyn mega_exec::Backend> = match backend_name {
+        "sim" => {
+            let s = std::sync::Arc::new(mega_gpu_sim::SimBackend::new(
+                std::sync::Arc::new(mega_exec::ReferenceBackend),
+                mega_gpu_sim::DeviceConfig::gtx_1080(),
+            ));
+            sim = Some(s.clone());
+            s
+        }
+        name => mega_exec::backend_by_name(name)
+            .ok_or_else(|| format!("unknown backend `{name}` (reference | blocked | sim)"))?,
+    };
     let trainer = Trainer::new(engine)
         .with_epochs(args.get_or("epochs", 5usize)?)
         .with_batch_size(args.get_or("batch", 32usize)?)
         .with_lr(args.get_or("lr", 5e-3f32)?)
-        .with_parallelism(mega_core::Parallelism::with_threads(threads));
+        .with_parallelism(mega_core::Parallelism::with_threads(threads))
+        .with_backend(backend);
     info!(
-        "training {} on {} with the {} engine ({} threads)...",
+        "training {} on {} with the {} engine ({} threads, {} backend)...",
         kind.label(),
         ds.name,
         engine.label(),
-        mega_core::Parallelism::with_threads(threads).effective_threads()
+        mega_core::Parallelism::with_threads(threads).effective_threads(),
+        backend_name
     );
     let instrument = wants_obs(args);
     if instrument {
@@ -194,6 +212,11 @@ pub fn train(args: &Args) -> Result<(), String> {
     let hist = trainer.run(&ds, cfg);
     if instrument {
         mega_obs::set_enabled(false);
+    }
+    if let Some(sim) = &sim {
+        data!("\n=== simulated kernel launches (--backend sim, GTX 1080) ===");
+        data!("{}", sim.report());
+        data!("simulated backend time: {:.3} ms", sim.elapsed_seconds() * 1e3);
     }
     data!("simulated GPU epoch: {:.3} ms", hist.epoch_sim_seconds * 1e3);
     data!("{:>5} {:>12} {:>10} {:>10} {:>12}", "epoch", "train-loss", "val-loss", "metric", "sim-clock(s)");

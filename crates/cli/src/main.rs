@@ -34,6 +34,11 @@ COMMANDS:
         --dataset NAME        zinc | aqsol | csl | cycles (default zinc)
         --model NAME          gcn | gt | gat (default gcn)
         --engine NAME         dgl | mega (default mega)
+        --backend NAME        kernel backend: reference | blocked | sim
+                              (default reference). All backends are
+                              bit-identical; `blocked` uses cache-tiled
+                              GEMMs, `sim` wraps reference and prints a
+                              simulated GTX 1080 kernel report after training.
         --epochs N            (default 5)   --batch N   (default 32)
         --hidden N            (default 32)  --lr F      (default 0.005)
         --threads N           CPU worker threads for preprocessing, batching

@@ -251,216 +251,13 @@ where
         .collect()
 }
 
-/// Serial reference kernel: masked banded aggregation.
-///
-/// `x` is row-major `L × dim` (one row per path position), `weights` has one
-/// entry per working-graph edge. Every active slot `(lo, hi, e)` contributes
-/// `w[e] · x[hi]` to row `lo` and `w[e] · x[lo]` to row `hi` — the symmetric
-/// weighted 1-hop neighbor sum of banded attention, applied in ascending
-/// `(lo, offset)` slot order.
-///
-/// # Panics
-///
-/// Panics if `x.len() != band.len() * dim`.
-pub fn banded_aggregate_serial(
-    band: &BandMask,
-    x: &[f32],
-    dim: usize,
-    weights: &[f32],
-) -> Vec<f32> {
-    assert_eq!(x.len(), band.len() * dim, "x must be L x dim");
-    let mut out = vec![0.0f32; x.len()];
-    for s in band.active_slots() {
-        let w = weights[s.edge];
-        for d in 0..dim {
-            out[s.lo * dim + d] += w * x[s.hi * dim + d];
-            out[s.hi * dim + d] += w * x[s.lo * dim + d];
-        }
-    }
-    out
-}
-
-/// Contributions to owned rows of `chunk`, folded in serial slot order.
-///
-/// For each owned row `r`, the serial kernel's contributions arrive in
-/// ascending slot order: first slots `(lo, r)` with `lo` ascending in
-/// `[r - ω, r)` (row `r` is the `hi` side), then slots `(r, r + k)` with `k`
-/// ascending (row `r` is the `lo` side). Replaying exactly that order makes
-/// each owned row bit-identical to the serial result.
-fn aggregate_chunk(
-    band: &BandMask,
-    chunk: &Chunk,
-    x: &[f32],
-    dim: usize,
-    weights: &[f32],
-) -> Vec<f32> {
-    let w_max = band.window();
-    let mut out = vec![0.0f32; chunk.owned_len() * dim];
-    for r in chunk.start..chunk.end {
-        let row = &mut out[(r - chunk.start) * dim..(r - chunk.start + 1) * dim];
-        for lo in r.saturating_sub(w_max)..r {
-            if let Some(e) = band.slot(lo, r - lo) {
-                let w = weights[e];
-                for d in 0..dim {
-                    row[d] += w * x[lo * dim + d];
-                }
-            }
-        }
-        for k in 1..=w_max {
-            if let Some(e) = band.slot(r, k) {
-                let w = weights[e];
-                for d in 0..dim {
-                    row[d] += w * x[(r + k) * dim + d];
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Parallel chunked banded aggregation — bit-identical to
-/// [`banded_aggregate_serial`] for every thread count and chunk size.
-///
-/// The reduction concatenates owned row ranges in chunk order; no partial is
-/// ever summed across chunks.
-///
-/// # Panics
-///
-/// Panics if `x.len() != band.len() * dim`.
-pub fn banded_aggregate(
-    band: &BandMask,
-    x: &[f32],
-    dim: usize,
-    weights: &[f32],
-    par: &Parallelism,
-) -> Vec<f32> {
-    assert_eq!(x.len(), band.len() * dim, "x must be L x dim");
-    let _span = mega_obs::span("band_aggregate");
-    mega_obs::counter_add("core.band.aggregate_calls", 1);
-    // One worker cannot benefit from the per-row scan layout; the serial
-    // slot-walk produces the identical bits at a fraction of the cost.
-    if par.effective_threads() <= 1 {
-        return banded_aggregate_serial(band, x, dim, weights);
-    }
-    let plan = ChunkPlan::for_band(band, par);
-    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
-        let t0 = mega_obs::enabled().then(std::time::Instant::now);
-        let out = aggregate_chunk(band, chunk, x, dim, weights);
-        if let Some(t0) = t0 {
-            mega_obs::record_duration("core.parallel.chunk_fwd_ns", t0.elapsed());
-        }
-        out
-    });
-    let mut out = Vec::with_capacity(x.len());
-    for partial in partials {
-        out.extend_from_slice(&partial);
-    }
-    out
-}
-
-/// Backward pass through the aggregation, with respect to the inputs.
-///
-/// The aggregation is `out = A·x` with `A` the symmetric banded slot-weight
-/// matrix, so `dx = A·d_out` — the same kernel applied to the upstream
-/// gradient, inheriting the bit-identical chunking guarantee.
-pub fn banded_aggregate_backward_x(
-    band: &BandMask,
-    d_out: &[f32],
-    dim: usize,
-    weights: &[f32],
-    par: &Parallelism,
-) -> Vec<f32> {
-    banded_aggregate(band, d_out, dim, weights, par)
-}
-
-/// Backward pass with respect to the per-edge weights (serial reference).
-///
-/// `dw[e] = ⟨d_out[lo], x[hi]⟩ + ⟨d_out[hi], x[lo]⟩` for the slot claimed by
-/// edge `e`.
-pub fn banded_weight_grad_serial(
-    band: &BandMask,
-    x: &[f32],
-    d_out: &[f32],
-    dim: usize,
-    edge_count: usize,
-) -> Vec<f32> {
-    let mut dw = vec![0.0f32; edge_count];
-    for s in band.active_slots() {
-        let mut acc = 0.0f32;
-        for d in 0..dim {
-            acc += d_out[s.lo * dim + d] * x[s.hi * dim + d];
-            acc += d_out[s.hi * dim + d] * x[s.lo * dim + d];
-        }
-        dw[s.edge] = acc;
-    }
-    dw
-}
-
-/// Parallel weight gradient: slots are partitioned by their owning chunk
-/// (the chunk whose owned rows contain `slot.lo`); each edge claims exactly
-/// one slot, so writes never collide and each `dw[e]` is computed by a single
-/// chunk exactly as the serial kernel would — bit-identical by construction.
-pub fn banded_weight_grad(
-    band: &BandMask,
-    x: &[f32],
-    d_out: &[f32],
-    dim: usize,
-    edge_count: usize,
-    par: &Parallelism,
-) -> Vec<f32> {
-    let _span = mega_obs::span("band_wgrad");
-    mega_obs::counter_add("core.band.wgrad_calls", 1);
-    if par.effective_threads() <= 1 {
-        return banded_weight_grad_serial(band, x, d_out, dim, edge_count);
-    }
-    let plan = ChunkPlan::for_band(band, par);
-    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
-        let t0 = mega_obs::enabled().then(std::time::Instant::now);
-        let mut local: Vec<(usize, f32)> = Vec::new();
-        for s in band.active_slots() {
-            if s.lo < chunk.start || s.lo >= chunk.end {
-                continue;
-            }
-            let mut acc = 0.0f32;
-            for d in 0..dim {
-                acc += d_out[s.lo * dim + d] * x[s.hi * dim + d];
-                acc += d_out[s.hi * dim + d] * x[s.lo * dim + d];
-            }
-            local.push((s.edge, acc));
-        }
-        if let Some(t0) = t0 {
-            mega_obs::record_duration("core.parallel.chunk_wgrad_ns", t0.elapsed());
-        }
-        local
-    });
-    let mut dw = vec![0.0f32; edge_count];
-    for partial in partials {
-        for (e, v) in partial {
-            dw[e] = v;
-        }
-    }
-    dw
-}
-
+// The banded aggregation / weight-grad kernels that used to live here moved
+// to `mega-exec` (`mega_exec::kernels::banded_*`): they are execution-backend
+// concerns now, dispatched through the `Backend` trait alongside the dense
+// kernels. This module keeps the *scheduling* primitives they run on.
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MegaConfig, WindowPolicy};
-    use crate::traversal::traverse;
-    use mega_graph::generate;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn band_fixture(n: usize, w: usize) -> BandMask {
-        let g = generate::erdos_renyi(n, 0.2, &mut StdRng::seed_from_u64(n as u64)).unwrap();
-        let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(w));
-        BandMask::from_traversal(&traverse(&g, &cfg).unwrap())
-    }
-
-    fn random_rows(len: usize, dim: usize, seed: u64) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..len * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
-    }
 
     #[test]
     fn chunk_plan_partitions_and_overlaps() {
@@ -492,44 +289,6 @@ mod tests {
         assert!(plan.is_empty());
         assert_eq!(plan.chunks().len(), 1);
         assert_eq!(plan.chunks()[0].owned_len(), 0);
-    }
-
-    #[test]
-    fn parallel_aggregation_bit_identical_to_serial() {
-        let band = band_fixture(40, 3);
-        let dim = 5;
-        let x = random_rows(band.len(), dim, 7);
-        let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
-        let mut rng = StdRng::seed_from_u64(9);
-        let weights: Vec<f32> = (0..edges).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-        let serial = banded_aggregate_serial(&band, &x, dim, &weights);
-        for threads in [1usize, 2, 4, 8] {
-            for chunk in [band.window(), 4 * band.window(), band.len().max(1)] {
-                let par = Parallelism::with_threads(threads).with_chunk_size(chunk);
-                let got = banded_aggregate(&band, &x, dim, &weights, &par);
-                assert_eq!(serial.len(), got.len());
-                for (a, b) in serial.iter().zip(&got) {
-                    assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} chunk={chunk}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn weight_grad_bit_identical_to_serial() {
-        let band = band_fixture(30, 2);
-        let dim = 4;
-        let x = random_rows(band.len(), dim, 3);
-        let d_out = random_rows(band.len(), dim, 4);
-        let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
-        let serial = banded_weight_grad_serial(&band, &x, &d_out, dim, edges);
-        for threads in [1usize, 3, 8] {
-            let par = Parallelism::with_threads(threads).with_chunk_size(5);
-            let got = banded_weight_grad(&band, &x, &d_out, dim, edges, &par);
-            for (a, b) in serial.iter().zip(&got) {
-                assert_eq!(a.to_bits(), b.to_bits());
-            }
-        }
     }
 
     #[test]

@@ -154,7 +154,7 @@ proptest! {
             prop_assert!(c.end >= c.start);
             expected_start = c.end;
         }
-        prop_assert_eq!(expected_start, len.max(0));
+        prop_assert_eq!(expected_start, len);
         let covered: usize = plan.chunks().iter().map(|c| c.owned_len()).sum();
         prop_assert_eq!(covered, len);
     }

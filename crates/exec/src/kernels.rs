@@ -1,0 +1,532 @@
+//! Shared reference kernels — the single home of every hand-rolled loop.
+//!
+//! Each function here is the *reference* implementation the rest of the
+//! workspace dispatches to: plain scalar loops with a fixed, documented
+//! accumulation order and no floating-point reassociation. The dense kernels
+//! were lifted from `mega-tensor` (the former `Tensor::matmul` /
+//! `Tensor::matmul_with` inner loops) and the banded kernels from
+//! `mega_core::parallel`; their bit patterns are contractual — backends that
+//! override a kernel must preserve the per-output-element accumulation order
+//! (see `BlockedBackend`), and the parallel variants replay the serial order
+//! per owned output row so results are bit-identical for every thread count.
+//!
+//! Output conventions: `out` must have exactly the output length; kernels
+//! that accumulate (`matmul*`, `scatter_add_rows`, the banded aggregates)
+//! require `out` to be zeroed on entry, all others overwrite every element.
+
+use crate::Unary;
+use mega_core::band::BandMask;
+use mega_core::parallel::{ordered_map, Chunk, ChunkPlan, Parallelism};
+
+/// Below this many multiply-adds (`n·k·m`) the parallel matmul falls back to
+/// the serial kernel: spawn cost dominates, and the bits are identical either
+/// way, so the cutoff is purely a performance choice.
+pub const PAR_MATMUL_MIN_FLOPS: usize = 1 << 14;
+
+/// One output row of a matrix product: `out_row += a_row · b`, folding the
+/// `k` contributions in ascending order. Rows that came out of embedding
+/// lookups are mostly zero, hence the skip.
+#[inline]
+pub fn matmul_row(a_row: &[f32], b: &[f32], m: usize, out_row: &mut [f32]) {
+    for (kk, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * m..(kk + 1) * m];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += a * bv;
+        }
+    }
+}
+
+/// Serial matrix product `out += a · b` with `a` of shape `n × k` and `b` of
+/// shape `k × m`; `out` must be a zeroed `n × m` buffer.
+///
+/// # Panics
+///
+/// Panics when any slice length disagrees with the shapes.
+pub fn matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), n * k, "a must be {n}x{k}");
+    assert_eq!(b.len(), k * m, "b must be {k}x{m}");
+    assert_eq!(out.len(), n * m, "out must be {n}x{m}");
+    for i in 0..n {
+        matmul_row(&a[i * k..(i + 1) * k], b, m, &mut out[i * m..(i + 1) * m]);
+    }
+}
+
+/// Matrix product under a thread budget, bit-identical to [`matmul`] for
+/// every thread count: output rows are split into contiguous per-worker
+/// ranges and each row is produced by the exact serial row kernel.
+///
+/// # Panics
+///
+/// Panics when any slice length disagrees with the shapes.
+pub fn matmul_par(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    par: &Parallelism,
+    out: &mut [f32],
+) {
+    let threads = par.effective_threads().min(n.max(1));
+    if threads <= 1 || n * k * m < PAR_MATMUL_MIN_FLOPS {
+        return matmul(a, b, n, k, m, out);
+    }
+    assert_eq!(a.len(), n * k, "a must be {n}x{k}");
+    assert_eq!(b.len(), k * m, "b must be {k}x{m}");
+    assert_eq!(out.len(), n * m, "out must be {n}x{m}");
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * n / threads, (t + 1) * n / threads))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let parts = ordered_map(&ranges, threads, |_, &(lo, hi)| {
+        let mut part = vec![0.0f32; (hi - lo) * m];
+        for i in lo..hi {
+            matmul_row(&a[i * k..(i + 1) * k], b, m, &mut part[(i - lo) * m..(i - lo + 1) * m]);
+        }
+        part
+    });
+    let mut off = 0usize;
+    for p in parts {
+        out[off..off + p.len()].copy_from_slice(&p);
+        off += p.len();
+    }
+}
+
+/// `out = aᵀ` for a row-major `rows × cols` input.
+pub fn transpose(a: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), rows * cols, "a must be {rows}x{cols}");
+    assert_eq!(out.len(), rows * cols, "out must be {cols}x{rows}");
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = a[r * cols + c];
+        }
+    }
+}
+
+/// Elementwise `out = a + b`.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// Elementwise `out = a - b`.
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Elementwise (Hadamard) `out = a ⊙ b`.
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// Elementwise `out = k · a`.
+pub fn scale(a: &[f32], k: f32, out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = x * k;
+    }
+}
+
+/// Adds the `1 × m` bias row to every row of the `n × m` input.
+pub fn add_bias_rows(x: &[f32], bias: &[f32], n: usize, m: usize, out: &mut [f32]) {
+    assert_eq!(bias.len(), m, "bias must be 1x{m}");
+    for r in 0..n {
+        for c in 0..m {
+            out[r * m + c] = x[r * m + c] + bias[c];
+        }
+    }
+}
+
+/// Fused bias + ReLU applied in place: `out[r, c] = max(out[r, c] + bias[c], 0)`.
+///
+/// Same arithmetic as `add_bias_rows` followed by a ReLU pass — the fusion
+/// saves one full memory sweep, never a bit of precision.
+pub fn bias_relu_inplace(out: &mut [f32], bias: &[f32], n: usize, m: usize) {
+    assert_eq!(bias.len(), m, "bias must be 1x{m}");
+    for r in 0..n {
+        let row = &mut out[r * m..(r + 1) * m];
+        for (o, &b) in row.iter_mut().zip(bias) {
+            *o = (*o + b).max(0.0);
+        }
+    }
+}
+
+/// Elementwise unary activation.
+pub fn unary(op: Unary, x: &[f32], out: &mut [f32]) {
+    match op {
+        Unary::Relu => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = v.max(0.0);
+            }
+        }
+        Unary::LeakyRelu(slope) => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = if v > 0.0 { v } else { slope * v };
+            }
+        }
+        Unary::Sigmoid => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = 1.0 / (1.0 + (-v).exp());
+            }
+        }
+        Unary::Tanh => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = v.tanh();
+            }
+        }
+    }
+}
+
+/// Row gather: `out[i] = src[index[i]]` over `cols`-wide rows.
+///
+/// # Panics
+///
+/// Panics if any index is `>= src_rows`.
+pub fn gather_rows(src: &[f32], src_rows: usize, cols: usize, index: &[usize], out: &mut [f32]) {
+    assert_eq!(src.len(), src_rows * cols, "src must be {src_rows}x{cols}");
+    assert_eq!(out.len(), index.len() * cols, "out must be {}x{cols}", index.len());
+    for (i, &s) in index.iter().enumerate() {
+        assert!(s < src_rows, "gather index {s} out of range");
+        out[i * cols..(i + 1) * cols].copy_from_slice(&src[s * cols..(s + 1) * cols]);
+    }
+}
+
+/// Row scatter-add: `out[index[i]] += src[i]` with `out` a zeroed (or
+/// accumulating) `out_rows × cols` buffer, folding rows in input order.
+///
+/// # Panics
+///
+/// Panics if any index is `>= out_rows` or `index.len()` disagrees with
+/// `src`.
+pub fn scatter_add_rows(src: &[f32], index: &[usize], cols: usize, out_rows: usize, out: &mut [f32]) {
+    assert_eq!(src.len(), index.len() * cols, "index length must equal row count");
+    assert_eq!(out.len(), out_rows * cols, "out must be {out_rows}x{cols}");
+    for (i, &dst) in index.iter().enumerate() {
+        assert!(dst < out_rows, "scatter index {dst} out of range");
+        let s = &src[i * cols..(i + 1) * cols];
+        let d = &mut out[dst * cols..(dst + 1) * cols];
+        for (o, &v) in d.iter_mut().zip(s) {
+            *o += v;
+        }
+    }
+}
+
+/// Scales row `r` of the `rows × cols` input by `factors[r]`.
+///
+/// # Panics
+///
+/// Panics if `factors.len() != rows`.
+pub fn scale_rows(x: &[f32], factors: &[f32], cols: usize, out: &mut [f32]) {
+    assert_eq!(x.len(), factors.len() * cols, "one factor per row required");
+    for (r, &k) in factors.iter().enumerate() {
+        for c in 0..cols {
+            out[r * cols + c] = x[r * cols + c] * k;
+        }
+    }
+}
+
+/// Column-wise softmax within row segments: rows sharing `segments[i]` form
+/// one softmax group per column. Three passes (max, exp+sum, divide) in row
+/// order, exactly as the original tape op.
+///
+/// # Panics
+///
+/// Panics if `segments.len()` disagrees with `rows` or an id is out of range.
+pub fn segment_softmax(
+    x: &[f32],
+    rows: usize,
+    cols: usize,
+    segments: &[usize],
+    n_segments: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(segments.len(), rows, "one segment id per row required");
+    assert_eq!(x.len(), rows * cols, "x must be {rows}x{cols}");
+    assert_eq!(out.len(), rows * cols, "out must be {rows}x{cols}");
+    let mut maxes = vec![f32::NEG_INFINITY; n_segments * cols];
+    for i in 0..rows {
+        let s = segments[i];
+        assert!(s < n_segments, "segment id {s} out of range");
+        for j in 0..cols {
+            let m = &mut maxes[s * cols + j];
+            *m = m.max(x[i * cols + j]);
+        }
+    }
+    let mut sums = vec![0.0f32; n_segments * cols];
+    for i in 0..rows {
+        let s = segments[i];
+        for j in 0..cols {
+            let e = (x[i * cols + j] - maxes[s * cols + j]).exp();
+            out[i * cols + j] = e;
+            sums[s * cols + j] += e;
+        }
+    }
+    for i in 0..rows {
+        let s = segments[i];
+        for j in 0..cols {
+            let denom = sums[s * cols + j].max(f32::MIN_POSITIVE);
+            out[i * cols + j] /= denom;
+        }
+    }
+}
+
+/// Row-wise layer normalization with affine `gamma`, `beta` (each `1 × cols`).
+pub fn layer_norm(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    rows: usize,
+    cols: usize,
+    eps: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(gamma.len(), cols, "gamma shape");
+    assert_eq!(beta.len(), cols, "beta shape");
+    assert_eq!(x.len(), rows * cols, "x must be {rows}x{cols}");
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        let mean = row.iter().sum::<f32>() / row.len() as f32;
+        let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (cix, &xv) in row.iter().enumerate() {
+            let xhat = (xv - mean) * inv;
+            out[r * cols + cix] = gamma[cix] * xhat + beta[cix];
+        }
+    }
+}
+
+/// Column-wise batch normalization (training-mode statistics over rows) with
+/// affine `gamma`, `beta` (each `1 × cols`).
+pub fn batch_norm(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    rows: usize,
+    cols: usize,
+    eps: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(gamma.len(), cols, "gamma shape");
+    assert_eq!(beta.len(), cols, "beta shape");
+    assert_eq!(x.len(), rows * cols, "x must be {rows}x{cols}");
+    let rn = rows.max(1) as f32;
+    for j in 0..cols {
+        let mut mean = 0.0f32;
+        for i in 0..rows {
+            mean += x[i * cols + j];
+        }
+        mean /= rn;
+        let mut var = 0.0f32;
+        for i in 0..rows {
+            var += (x[i * cols + j] - mean).powi(2);
+        }
+        var /= rn;
+        let inv = 1.0 / (var + eps).sqrt();
+        for i in 0..rows {
+            let xhat = (x[i * cols + j] - mean) * inv;
+            out[i * cols + j] = gamma[j] * xhat + beta[j];
+        }
+    }
+}
+
+/// One active slot's weight-gradient contribution, folding the `lo`/`hi`
+/// products interleaved per feature — the shared inner loop of both the
+/// serial and the chunk-parallel weight-grad kernels (they must agree
+/// bit-for-bit, so there is exactly one copy of it).
+#[inline]
+fn slot_weight_grad(band_dim: usize, x: &[f32], d_out: &[f32], lo: usize, hi: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for d in 0..band_dim {
+        acc += d_out[lo * band_dim + d] * x[hi * band_dim + d];
+        acc += d_out[hi * band_dim + d] * x[lo * band_dim + d];
+    }
+    acc
+}
+
+/// Serial reference kernel: masked banded aggregation.
+///
+/// `x` is row-major `L × dim` (one row per path position), `weights` has one
+/// entry per working-graph edge. Every active slot `(lo, hi, e)` contributes
+/// `w[e] · x[hi]` to row `lo` and `w[e] · x[lo]` to row `hi` — the symmetric
+/// weighted 1-hop neighbor sum of banded attention, applied in ascending
+/// `(lo, offset)` slot order.
+///
+/// # Panics
+///
+/// Panics if `x.len() != band.len() * dim`.
+pub fn banded_aggregate_serial(
+    band: &BandMask,
+    x: &[f32],
+    dim: usize,
+    weights: &[f32],
+) -> Vec<f32> {
+    assert_eq!(x.len(), band.len() * dim, "x must be L x dim");
+    let mut out = vec![0.0f32; x.len()];
+    for s in band.active_slots() {
+        let w = weights[s.edge];
+        for d in 0..dim {
+            out[s.lo * dim + d] += w * x[s.hi * dim + d];
+            out[s.hi * dim + d] += w * x[s.lo * dim + d];
+        }
+    }
+    out
+}
+
+/// Contributions to owned rows of `chunk`, folded in serial slot order.
+///
+/// For each owned row `r`, the serial kernel's contributions arrive in
+/// ascending slot order: first slots `(lo, r)` with `lo` ascending in
+/// `[r - ω, r)` (row `r` is the `hi` side), then slots `(r, r + k)` with `k`
+/// ascending (row `r` is the `lo` side). Replaying exactly that order makes
+/// each owned row bit-identical to the serial result.
+fn aggregate_chunk(
+    band: &BandMask,
+    chunk: &Chunk,
+    x: &[f32],
+    dim: usize,
+    weights: &[f32],
+) -> Vec<f32> {
+    let w_max = band.window();
+    let mut out = vec![0.0f32; chunk.owned_len() * dim];
+    for r in chunk.start..chunk.end {
+        let row = &mut out[(r - chunk.start) * dim..(r - chunk.start + 1) * dim];
+        for lo in r.saturating_sub(w_max)..r {
+            if let Some(e) = band.slot(lo, r - lo) {
+                let w = weights[e];
+                for d in 0..dim {
+                    row[d] += w * x[lo * dim + d];
+                }
+            }
+        }
+        for k in 1..=w_max {
+            if let Some(e) = band.slot(r, k) {
+                let w = weights[e];
+                for d in 0..dim {
+                    row[d] += w * x[(r + k) * dim + d];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parallel chunked banded aggregation — bit-identical to
+/// [`banded_aggregate_serial`] for every thread count and chunk size.
+///
+/// The reduction concatenates owned row ranges in chunk order; no partial is
+/// ever summed across chunks.
+///
+/// # Panics
+///
+/// Panics if `x.len() != band.len() * dim`.
+pub fn banded_aggregate(
+    band: &BandMask,
+    x: &[f32],
+    dim: usize,
+    weights: &[f32],
+    par: &Parallelism,
+) -> Vec<f32> {
+    assert_eq!(x.len(), band.len() * dim, "x must be L x dim");
+    let _span = mega_obs::span("band_aggregate");
+    mega_obs::counter_add("core.band.aggregate_calls", 1);
+    // One worker cannot benefit from the per-row scan layout; the serial
+    // slot-walk produces the identical bits at a fraction of the cost.
+    if par.effective_threads() <= 1 {
+        return banded_aggregate_serial(band, x, dim, weights);
+    }
+    let plan = ChunkPlan::for_band(band, par);
+    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
+        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+        let out = aggregate_chunk(band, chunk, x, dim, weights);
+        if let Some(t0) = t0 {
+            mega_obs::record_duration("core.parallel.chunk_fwd_ns", t0.elapsed());
+        }
+        out
+    });
+    let mut out = Vec::with_capacity(x.len());
+    for partial in partials {
+        out.extend_from_slice(&partial);
+    }
+    out
+}
+
+/// Backward pass through the aggregation, with respect to the inputs.
+///
+/// The aggregation is `out = A·x` with `A` the symmetric banded slot-weight
+/// matrix, so `dx = A·d_out` — the same kernel applied to the upstream
+/// gradient, inheriting the bit-identical chunking guarantee.
+pub fn banded_aggregate_backward_x(
+    band: &BandMask,
+    d_out: &[f32],
+    dim: usize,
+    weights: &[f32],
+    par: &Parallelism,
+) -> Vec<f32> {
+    banded_aggregate(band, d_out, dim, weights, par)
+}
+
+/// Backward pass with respect to the per-edge weights (serial reference).
+///
+/// `dw[e] = ⟨d_out[lo], x[hi]⟩ + ⟨d_out[hi], x[lo]⟩` for the slot claimed by
+/// edge `e`.
+pub fn banded_weight_grad_serial(
+    band: &BandMask,
+    x: &[f32],
+    d_out: &[f32],
+    dim: usize,
+    edge_count: usize,
+) -> Vec<f32> {
+    let mut dw = vec![0.0f32; edge_count];
+    for s in band.active_slots() {
+        dw[s.edge] = slot_weight_grad(dim, x, d_out, s.lo, s.hi);
+    }
+    dw
+}
+
+/// Parallel weight gradient: slots are partitioned by their owning chunk
+/// (the chunk whose owned rows contain `slot.lo`); each edge claims exactly
+/// one slot, so writes never collide and each `dw[e]` is computed by a single
+/// chunk exactly as the serial kernel would — bit-identical by construction.
+pub fn banded_weight_grad(
+    band: &BandMask,
+    x: &[f32],
+    d_out: &[f32],
+    dim: usize,
+    edge_count: usize,
+    par: &Parallelism,
+) -> Vec<f32> {
+    let _span = mega_obs::span("band_wgrad");
+    mega_obs::counter_add("core.band.wgrad_calls", 1);
+    if par.effective_threads() <= 1 {
+        return banded_weight_grad_serial(band, x, d_out, dim, edge_count);
+    }
+    let plan = ChunkPlan::for_band(band, par);
+    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
+        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+        let mut local: Vec<(usize, f32)> = Vec::new();
+        for s in band.active_slots() {
+            if s.lo < chunk.start || s.lo >= chunk.end {
+                continue;
+            }
+            local.push((s.edge, slot_weight_grad(dim, x, d_out, s.lo, s.hi)));
+        }
+        if let Some(t0) = t0 {
+            mega_obs::record_duration("core.parallel.chunk_wgrad_ns", t0.elapsed());
+        }
+        local
+    });
+    let mut dw = vec![0.0f32; edge_count];
+    for partial in partials {
+        for (e, v) in partial {
+            dw[e] = v;
+        }
+    }
+    dw
+}

@@ -1,0 +1,277 @@
+//! Pluggable kernel execution backends for MEGA.
+//!
+//! Every kernel the training stack executes — dense GEMM, elementwise ops,
+//! row gather/scatter, segment softmax, layer/batch norm, and the banded
+//! attention kernels — is dispatched through the [`Backend`] trait. The
+//! autograd tape in `mega-tensor`, the GNN layers, and the `BandScheduler`
+//! all call through a `dyn Backend`, so swapping in a faster implementation
+//! (or a profiling decorator — see `mega-gpu-sim`'s `SimBackend`) is a
+//! one-crate change.
+//!
+//! Two concrete backends live here:
+//!
+//! * [`ReferenceBackend`] — the default-method loops of [`kernels`], the
+//!   exact arithmetic the workspace has always used.
+//! * [`BlockedBackend`] — cache-tiled GEMM plus fused bias-activation.
+//!   Bit-identical to the reference (tiling only reorders *memory* traffic;
+//!   each output element folds its `k` products in the same ascending
+//!   order), just faster on matrices that overflow cache.
+//!
+//! [`BufferPool`] supplies recycled output buffers so steady-state training
+//! stops allocating per tape node.
+
+pub mod kernels;
+mod blocked;
+mod pool;
+mod reference;
+
+pub use blocked::BlockedBackend;
+pub use pool::BufferPool;
+pub use reference::ReferenceBackend;
+
+use mega_core::band::BandMask;
+use mega_core::Parallelism;
+use std::sync::Arc;
+
+/// Elementwise activation selector for [`Backend::unary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Unary {
+    /// `max(x, 0)`.
+    Relu,
+    /// `x` if positive, else `slope · x`.
+    LeakyRelu(f32),
+    /// `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// One execution backend: every kernel the system runs, behind one dispatch
+/// point.
+///
+/// All tensors are row-major `f32` slices with explicit shapes. Kernels that
+/// accumulate (`matmul`, `scatter_add_rows`, `banded_*`) expect a zeroed
+/// `out`; the rest overwrite every element. Default methods delegate to the
+/// reference loops in [`kernels`], so a backend only overrides the kernels
+/// it actually accelerates — and every override must keep the documented
+/// per-output-element accumulation order, because training histories are
+/// compared bit-for-bit across backends and thread counts.
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Stable name, as accepted by [`backend_by_name`] and the CLI.
+    fn name(&self) -> &'static str;
+
+    /// Dense GEMM `out += a · b` (`n × k` times `k × m`), parallelized under
+    /// `par` with bit-identical results for every thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn matmul(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        m: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        kernels::matmul_par(a, b, n, k, m, par, out);
+    }
+
+    /// Fused dense layer + activation: `out = relu(x · w + bias)`.
+    ///
+    /// Same arithmetic as `matmul` → add bias row → ReLU; fusing saves
+    /// memory sweeps, never precision.
+    #[allow(clippy::too_many_arguments)]
+    fn linear_relu(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        n: usize,
+        k: usize,
+        m: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        kernels::matmul_par(x, w, n, k, m, par, out);
+        kernels::bias_relu_inplace(out, bias, n, m);
+    }
+
+    /// Elementwise `out = a + b`.
+    fn add(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        kernels::add(a, b, out);
+    }
+
+    /// Elementwise `out = a - b`.
+    fn sub(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        kernels::sub(a, b, out);
+    }
+
+    /// Elementwise `out = a ⊙ b`.
+    fn mul(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        kernels::mul(a, b, out);
+    }
+
+    /// Elementwise `out = k · a`.
+    fn scale(&self, a: &[f32], k: f32, out: &mut [f32]) {
+        kernels::scale(a, k, out);
+    }
+
+    /// Adds a `1 × m` bias row to every row of the `n × m` input.
+    fn add_bias_rows(&self, x: &[f32], bias: &[f32], n: usize, m: usize, out: &mut [f32]) {
+        kernels::add_bias_rows(x, bias, n, m, out);
+    }
+
+    /// Elementwise activation.
+    fn unary(&self, op: Unary, x: &[f32], out: &mut [f32]) {
+        kernels::unary(op, x, out);
+    }
+
+    /// Row gather `out[i] = src[index[i]]`.
+    fn gather_rows(&self, src: &[f32], src_rows: usize, cols: usize, index: &[usize], out: &mut [f32]) {
+        kernels::gather_rows(src, src_rows, cols, index, out);
+    }
+
+    /// Row scatter-add `out[index[i]] += src[i]` into `out_rows` buckets.
+    fn scatter_add_rows(
+        &self,
+        src: &[f32],
+        index: &[usize],
+        cols: usize,
+        out_rows: usize,
+        out: &mut [f32],
+    ) {
+        kernels::scatter_add_rows(src, index, cols, out_rows, out);
+    }
+
+    /// Scales row `r` by `factors[r]`.
+    fn scale_rows(&self, x: &[f32], factors: &[f32], cols: usize, out: &mut [f32]) {
+        kernels::scale_rows(x, factors, cols, out);
+    }
+
+    /// Column-wise softmax within row segments.
+    fn segment_softmax(
+        &self,
+        x: &[f32],
+        rows: usize,
+        cols: usize,
+        segments: &[usize],
+        n_segments: usize,
+        out: &mut [f32],
+    ) {
+        kernels::segment_softmax(x, rows, cols, segments, n_segments, out);
+    }
+
+    /// Row-wise layer normalization with affine parameters.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_norm(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        rows: usize,
+        cols: usize,
+        eps: f32,
+        out: &mut [f32],
+    ) {
+        kernels::layer_norm(x, gamma, beta, rows, cols, eps, out);
+    }
+
+    /// Column-wise batch normalization with affine parameters.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_norm(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        rows: usize,
+        cols: usize,
+        eps: f32,
+        out: &mut [f32],
+    ) {
+        kernels::batch_norm(x, gamma, beta, rows, cols, eps, out);
+    }
+
+    /// Banded attention aggregation: `out = A·x` with `A` the symmetric
+    /// banded slot-weight matrix. `out` must be a zeroed `L × dim` buffer.
+    fn banded_aggregate(
+        &self,
+        band: &BandMask,
+        x: &[f32],
+        dim: usize,
+        weights: &[f32],
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        let v = kernels::banded_aggregate(band, x, dim, weights, par);
+        out.copy_from_slice(&v);
+    }
+
+    /// Banded attention per-edge weight gradient into a zeroed
+    /// `edge_count`-length buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn banded_weight_grad(
+        &self,
+        band: &BandMask,
+        x: &[f32],
+        d_out: &[f32],
+        dim: usize,
+        edge_count: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        let v = kernels::banded_weight_grad(band, x, d_out, dim, edge_count, par);
+        out.copy_from_slice(&v);
+    }
+}
+
+/// Resolves a backend by its CLI name (`reference` or `blocked`).
+pub fn backend_by_name(name: &str) -> Option<Arc<dyn Backend>> {
+    match name {
+        "reference" => Some(Arc::new(ReferenceBackend)),
+        "blocked" => Some(Arc::new(BlockedBackend)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_lookup_by_name() {
+        assert_eq!(backend_by_name("reference").unwrap().name(), "reference");
+        assert_eq!(backend_by_name("blocked").unwrap().name(), "blocked");
+        assert!(backend_by_name("cuda").is_none());
+    }
+
+    #[test]
+    fn default_methods_match_kernels() {
+        let b = ReferenceBackend;
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let c = [5.0f32, 6.0, 7.0, 8.0];
+        let mut out = [0.0f32; 4];
+        b.matmul(&a, &c, 2, 2, 2, &Parallelism::with_threads(1), &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+        b.add(&a, &c, &mut out);
+        assert_eq!(out, [6.0, 8.0, 10.0, 12.0]);
+        b.unary(Unary::Relu, &[-1.0, 2.0], &mut out[..2]);
+        assert_eq!(&out[..2], &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn linear_relu_fuses_bias_and_activation() {
+        let b = ReferenceBackend;
+        // x = [[1, -1]], w = [[1, 2], [3, 4]], bias = [0.5, -10]
+        let x = [1.0f32, -1.0];
+        let w = [1.0f32, 2.0, 3.0, 4.0];
+        let bias = [0.5f32, -10.0];
+        let mut out = [0.0f32; 2];
+        b.linear_relu(&x, &w, &bias, 1, 2, 2, &Parallelism::with_threads(1), &mut out);
+        // x·w = [-2, -2]; +bias = [-1.5, -12]; relu = [0, 0]
+        assert_eq!(out, [0.0, 0.0]);
+        let x2 = [1.0f32, 1.0];
+        b.linear_relu(&x2, &w, &bias, 1, 2, 2, &Parallelism::with_threads(1), &mut out);
+        // x·w = [4, 6]; +bias = [4.5, -4]; relu = [4.5, 0]
+        assert_eq!(out, [4.5, 0.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Size-class freelist of `f32` buffers.
+//!
+//! Training builds and drops one autograd tape per batch; every tape node
+//! used to allocate (and free) a fresh `Vec<f32>`. The pool intercepts that
+//! churn: released buffers are binned by the largest power of two that fits
+//! their capacity, and an acquire takes any buffer from the bin of the
+//! *next* power of two of the requested length — so a recycled buffer always
+//! has enough capacity, whatever exact shape it used to hold.
+//!
+//! Ownership rules (see DESIGN.md §6):
+//!
+//! * `acquire` transfers ownership of a **zeroed** buffer of exactly the
+//!   requested length to the caller — pool reuse is never observable in the
+//!   values a kernel computes.
+//! * `release` transfers ownership back. Releasing a buffer the pool never
+//!   issued is fine (that is how fresh allocations enter circulation);
+//!   dropping an acquired buffer instead of releasing it is also fine, the
+//!   pool just loses one reuse candidate.
+//! * Each size class keeps at most [`BufferPool::MAX_PER_CLASS`] buffers;
+//!   beyond that, released buffers are simply dropped, bounding the pool's
+//!   resident memory.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A thread-safe size-class freelist of `Vec<f32>` buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    classes: Mutex<HashMap<u32, Vec<Vec<f32>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// Buffers retained per size class; further releases are dropped.
+    pub const MAX_PER_CLASS: usize = 32;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// The class a request of `len` elements draws from: index of the next
+    /// power of two, so any buffer stored there has capacity `>= len`.
+    fn class_of_request(len: usize) -> u32 {
+        len.max(1).next_power_of_two().trailing_zeros()
+    }
+
+    /// The class a buffer of `capacity` is stored under: index of the
+    /// largest power of two that fits, so the buffer satisfies every request
+    /// routed to that class.
+    fn class_of_capacity(capacity: usize) -> u32 {
+        (usize::BITS - 1).saturating_sub(capacity.leading_zeros())
+    }
+
+    /// Takes a zeroed buffer of exactly `len` elements, recycling a pooled
+    /// allocation when one is available.
+    pub fn acquire(&self, len: usize) -> Vec<f32> {
+        let recycled = {
+            let mut classes = self.classes.lock().expect("buffer pool poisoned");
+            classes.get_mut(&Self::class_of_request(len)).and_then(Vec::pop)
+        };
+        match recycled {
+            Some(mut buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if mega_obs::enabled() {
+                    mega_obs::counter_add("exec.pool.hits", 1);
+                }
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if mega_obs::enabled() {
+                    mega_obs::counter_add("exec.pool.misses", 1);
+                }
+                vec![0.0f32; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Zero-capacity buffers and
+    /// overflow beyond the per-class cap are dropped.
+    pub fn release(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let class = Self::class_of_capacity(buf.capacity());
+        let mut classes = self.classes.lock().expect("buffer pool poisoned");
+        let bucket = classes.entry(class).or_default();
+        if bucket.len() < Self::MAX_PER_CLASS {
+            bucket.push(buf);
+        }
+    }
+
+    /// Number of acquires served from the freelist.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of acquires that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently parked in the pool, across all classes.
+    pub fn pooled(&self) -> usize {
+        self.classes.lock().expect("buffer pool poisoned").values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_returns_zeroed_exact_length() {
+        let pool = BufferPool::new();
+        let mut b = pool.acquire(10);
+        assert_eq!(b.len(), 10);
+        assert!(b.iter().all(|&v| v == 0.0));
+        b.iter_mut().for_each(|v| *v = 7.0);
+        pool.release(b);
+        // The capacity-10 buffer parks in class 3 (floor: 8) and serves a
+        // request of up to 8 elements, still zeroed.
+        let again = pool.acquire(8);
+        assert_eq!(again.len(), 8);
+        assert!(again.iter().all(|&v| v == 0.0));
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn release_bins_by_capacity_floor() {
+        let pool = BufferPool::new();
+        // A capacity-100 buffer lands in class 6 (64) and must not serve a
+        // request of 128 (class 7).
+        pool.release(Vec::with_capacity(100));
+        let b = pool.acquire(128);
+        assert_eq!(b.len(), 128);
+        assert_eq!(pool.misses(), 1);
+        // But it does serve a request of 64 or less.
+        let c = pool.acquire(64);
+        assert_eq!(c.len(), 64);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn per_class_cap_bounds_growth() {
+        let pool = BufferPool::new();
+        for _ in 0..(BufferPool::MAX_PER_CLASS + 5) {
+            pool.release(vec![0.0; 8]);
+        }
+        assert_eq!(pool.pooled(), BufferPool::MAX_PER_CLASS);
+    }
+
+    #[test]
+    fn zero_length_requests_work() {
+        let pool = BufferPool::new();
+        let b = pool.acquire(0);
+        assert!(b.is_empty());
+        pool.release(b);
+    }
+}

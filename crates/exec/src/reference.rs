@@ -1,0 +1,17 @@
+//! The default backend: exactly the shared reference kernels.
+
+use crate::Backend;
+
+/// Executes every kernel with the reference loops in [`crate::kernels`] —
+/// the same arithmetic, in the same order, as the pre-backend workspace.
+/// Every trait default already delegates there, so the impl is empty; this
+/// type is the living proof that [`Backend`]'s defaults *are* the reference
+/// semantics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReferenceBackend;
+
+impl Backend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+}

@@ -1,0 +1,66 @@
+//! Bit-identity of the parallel banded kernels against their serial
+//! counterparts, on real traversal-derived bands.
+//!
+//! These tests moved here from `mega-core` along with the kernels: the
+//! scheduling primitives (chunk plans, ordered map) stayed in core, but the
+//! determinism contract is a property of the kernels and lives with them.
+
+use mega_core::band::BandMask;
+use mega_core::config::{MegaConfig, WindowPolicy};
+use mega_core::parallel::Parallelism;
+use mega_core::traversal::traverse;
+use mega_exec::kernels::{
+    banded_aggregate, banded_aggregate_serial, banded_weight_grad, banded_weight_grad_serial,
+};
+use mega_graph::generate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn band_fixture(n: usize, w: usize) -> BandMask {
+    let g = generate::erdos_renyi(n, 0.2, &mut StdRng::seed_from_u64(n as u64)).unwrap();
+    let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(w));
+    BandMask::from_traversal(&traverse(&g, &cfg).unwrap())
+}
+
+fn random_rows(len: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+#[test]
+fn parallel_aggregation_bit_identical_to_serial() {
+    let band = band_fixture(40, 3);
+    let dim = 5;
+    let x = random_rows(band.len(), dim, 7);
+    let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
+    let mut rng = StdRng::seed_from_u64(9);
+    let weights: Vec<f32> = (0..edges).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let serial = banded_aggregate_serial(&band, &x, dim, &weights);
+    for threads in [1usize, 2, 4, 8] {
+        for chunk in [band.window(), 4 * band.window(), band.len().max(1)] {
+            let par = Parallelism::with_threads(threads).with_chunk_size(chunk);
+            let got = banded_aggregate(&band, &x, dim, &weights, &par);
+            assert_eq!(serial.len(), got.len());
+            for (a, b) in serial.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+}
+
+#[test]
+fn weight_grad_bit_identical_to_serial() {
+    let band = band_fixture(30, 2);
+    let dim = 4;
+    let x = random_rows(band.len(), dim, 3);
+    let d_out = random_rows(band.len(), dim, 4);
+    let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
+    let serial = banded_weight_grad_serial(&band, &x, &d_out, dim, edges);
+    for threads in [1usize, 3, 8] {
+        let par = Parallelism::with_threads(threads).with_chunk_size(5);
+        let got = banded_weight_grad(&band, &x, &d_out, dim, edges, &par);
+        for (a, b) in serial.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -208,7 +208,7 @@ impl Batch {
         let mut pos_offset = 0usize;
         for (gi, (seg, s)) in segments.into_iter().zip(samples).enumerate() {
             node_feats.extend_from_slice(&seg.node_feats);
-            graph_of_node.extend(std::iter::repeat(gi).take(seg.n_nodes));
+            graph_of_node.extend(std::iter::repeat_n(gi, seg.n_nodes));
             node_to_work.extend(seg.node_to_work.iter().map(|&v| node_offset + v));
             for &(src, dst, dst_node, feat) in &seg.msgs {
                 msg_src.push(pos_offset + src);

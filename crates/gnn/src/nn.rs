@@ -64,6 +64,21 @@ impl Linear {
         let y = tape.matmul(x, w);
         tape.add_row(y, b)
     }
+
+    /// Applies the layer followed by a ReLU as one fused tape node
+    /// (`relu(x·W + b)`), letting backends run the fused kernel. Matches
+    /// `relu(forward(..))` value-for-value.
+    pub fn forward_relu(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        store: &ParamStore,
+        x: Var,
+    ) -> Var {
+        let w = binder.bind(tape, store, self.weight);
+        let b = binder.bind(tape, store, self.bias);
+        tape.linear_relu(x, w, b)
+    }
 }
 
 /// Learnable affine normalization parameters (shared by layer/batch norm).
@@ -145,10 +160,10 @@ impl Mlp {
         }
     }
 
-    /// Applies `fc2(relu(fc1(x)))`.
+    /// Applies `fc2(relu(fc1(x)))`, with the first layer and its ReLU fused
+    /// into one node.
     pub fn forward(&self, tape: &mut Tape, binder: &mut Binder, store: &ParamStore, x: Var) -> Var {
-        let h = self.fc1.forward(tape, binder, store, x);
-        let h = tape.relu(h);
+        let h = self.fc1.forward_relu(tape, binder, store, x);
         self.fc2.forward(tape, binder, store, h)
     }
 }

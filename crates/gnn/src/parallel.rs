@@ -1,11 +1,11 @@
 //! Chunked parallel execution of banded attention schedules.
 //!
-//! This is the GNN-side face of the parallel band engine in
-//! [`mega_core::parallel`]: a [`BandScheduler`] pins one preprocessed
-//! [`AttentionSchedule`] to a [`ChunkPlan`] and runs the banded
-//! forward/backward kernels over it under a [`Parallelism`] budget, and
-//! [`preprocess_samples`] fans the per-graph preprocessing of a batch out
-//! across the same thread pool.
+//! This is the GNN-side face of the parallel band engine: a
+//! [`BandScheduler`] pins one preprocessed [`AttentionSchedule`] to a
+//! [`ChunkPlan`] and dispatches the banded forward/backward kernels (now
+//! living in `mega-exec`, behind the [`Backend`] trait) over it under a
+//! [`Parallelism`] budget, and [`preprocess_samples`] fans the per-graph
+//! preprocessing of a batch out across the same thread pool.
 //!
 //! Determinism: every kernel here inherits the row-ownership guarantee of
 //! the core engine — chunks own disjoint output row ranges and fold
@@ -15,7 +15,9 @@
 use mega_core::parallel::{self, ChunkPlan, Parallelism};
 use mega_core::{preprocess, AttentionSchedule, MegaConfig, MegaError};
 use mega_datasets::GraphSample;
+use mega_exec::{Backend, ReferenceBackend};
 use mega_tensor::Tensor;
+use std::sync::Arc;
 
 /// Preprocesses every sample of a batch, fanning the independent per-graph
 /// traversals out across the thread budget of `par`.
@@ -46,14 +48,25 @@ pub struct BandScheduler<'a> {
     par: Parallelism,
     plan: ChunkPlan,
     edge_count: usize,
+    backend: Arc<dyn Backend>,
 }
 
 impl<'a> BandScheduler<'a> {
-    /// Builds the chunk plan for `sched` under the budget of `par`.
+    /// Builds the chunk plan for `sched` under the budget of `par`, running
+    /// kernels on the default [`ReferenceBackend`].
     pub fn new(sched: &'a AttentionSchedule, par: Parallelism) -> Self {
+        Self::with_backend(sched, par, Arc::new(ReferenceBackend))
+    }
+
+    /// Builds the scheduler with an explicit execution backend.
+    pub fn with_backend(
+        sched: &'a AttentionSchedule,
+        par: Parallelism,
+        backend: Arc<dyn Backend>,
+    ) -> Self {
         let plan = ChunkPlan::for_band(sched.band(), &par);
         let edge_count = sched.working_graph().edge_count();
-        BandScheduler { sched, par, plan, edge_count }
+        BandScheduler { sched, par, plan, edge_count, backend }
     }
 
     /// The chunk plan (owned row ranges plus ±ω read extents).
@@ -80,7 +93,8 @@ impl<'a> BandScheduler<'a> {
         let band = self.sched.band();
         assert_eq!(x.rows(), band.len(), "x must have one row per path position");
         assert!(weights.len() >= self.edge_count, "one weight per working edge");
-        let out = parallel::banded_aggregate(band, x.as_slice(), x.cols(), weights, &self.par);
+        let mut out = vec![0.0f32; x.rows() * x.cols()];
+        self.backend.banded_aggregate(band, x.as_slice(), x.cols(), weights, &self.par, &mut out);
         Tensor::from_vec(x.rows(), x.cols(), out)
     }
 
@@ -93,12 +107,15 @@ impl<'a> BandScheduler<'a> {
     pub fn backward_x(&self, d_out: &Tensor, weights: &[f32]) -> Tensor {
         let band = self.sched.band();
         assert_eq!(d_out.rows(), band.len(), "d_out must have one row per path position");
-        let dx = parallel::banded_aggregate_backward_x(
+        // The band matrix is symmetric, so dx = A·d_out — the same kernel.
+        let mut dx = vec![0.0f32; d_out.rows() * d_out.cols()];
+        self.backend.banded_aggregate(
             band,
             d_out.as_slice(),
             d_out.cols(),
             weights,
             &self.par,
+            &mut dx,
         );
         Tensor::from_vec(d_out.rows(), d_out.cols(), dx)
     }
@@ -115,14 +132,17 @@ impl<'a> BandScheduler<'a> {
         let band = self.sched.band();
         assert_eq!(x.shape(), d_out.shape(), "x and d_out must match");
         assert_eq!(x.rows(), band.len(), "x must have one row per path position");
-        parallel::banded_weight_grad(
+        let mut dw = vec![0.0f32; self.edge_count];
+        self.backend.banded_weight_grad(
             band,
             x.as_slice(),
             d_out.as_slice(),
             x.cols(),
             self.edge_count,
             &self.par,
-        )
+            &mut dw,
+        );
+        dw
     }
 }
 
@@ -169,9 +189,15 @@ mod tests {
             let x = random_rows(&mut rng, len, dim);
             let d_out = random_rows(&mut rng, len, dim);
             let weights: Vec<f32> = (0..edges).map(|_| rng.gen_range(0.0f32..1.0)).collect();
-            let fwd_serial = parallel::banded_aggregate_serial(band, x.as_slice(), dim, &weights);
-            let dw_serial =
-                parallel::banded_weight_grad_serial(band, x.as_slice(), d_out.as_slice(), dim, edges);
+            let fwd_serial =
+                mega_exec::kernels::banded_aggregate_serial(band, x.as_slice(), dim, &weights);
+            let dw_serial = mega_exec::kernels::banded_weight_grad_serial(
+                band,
+                x.as_slice(),
+                d_out.as_slice(),
+                dim,
+                edges,
+            );
             for threads in [1, 2, 4, 8] {
                 let ex = BandScheduler::new(&sched, Parallelism::with_threads(threads));
                 let fwd = ex.forward(&x, &weights);
@@ -180,8 +206,12 @@ mod tests {
                 for (a, b) in fwd.as_slice().iter().zip(&fwd_serial) {
                     assert_eq!(a.to_bits(), b.to_bits(), "forward, threads={threads}");
                 }
-                let bwd_serial =
-                    parallel::banded_aggregate_serial(band, d_out.as_slice(), dim, &weights);
+                let bwd_serial = mega_exec::kernels::banded_aggregate_serial(
+                    band,
+                    d_out.as_slice(),
+                    dim,
+                    &weights,
+                );
                 for (a, b) in bwd.as_slice().iter().zip(&bwd_serial) {
                     assert_eq!(a.to_bits(), b.to_bits(), "backward_x, threads={threads}");
                 }

@@ -8,11 +8,13 @@ use crate::model::Gnn;
 use crate::nn::Binder;
 use mega_core::{AttentionSchedule, MegaConfig, Parallelism};
 use mega_datasets::{Dataset, GraphSample, Task};
+use mega_exec::{Backend, BufferPool, ReferenceBackend};
 use mega_tensor::{Adam, Optimizer, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Host wall-clock seconds of one epoch, split by training phase.
@@ -138,6 +140,10 @@ pub struct Trainer {
     /// paths are bit-deterministic, so training histories are identical for
     /// every setting.
     pub parallelism: Parallelism,
+    /// Kernel execution backend for every tape op. All backends are
+    /// bit-compatible with [`ReferenceBackend`], so training histories are
+    /// identical across backends too.
+    pub backend: Arc<dyn Backend>,
 }
 
 impl Trainer {
@@ -154,7 +160,14 @@ impl Trainer {
             early_stop_patience: 0,
             shuffle_seed: None,
             parallelism: Parallelism::with_threads(1),
+            backend: Arc::new(ReferenceBackend),
         }
+    }
+
+    /// Sets the kernel execution backend (see `mega_exec::backend_by_name`).
+    pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Enables per-epoch batch shuffling.
@@ -272,6 +285,9 @@ impl Trainer {
 
         let mut shuffle_rng = self.shuffle_seed.map(StdRng::seed_from_u64);
         let mut shuffled_samples = dataset.train.clone();
+        // One pool for the whole run: tapes recycle node buffers batch to
+        // batch instead of re-allocating.
+        let pool = Arc::new(BufferPool::new());
         for epoch in 1..=self.epochs {
             let _epoch_span = mega_obs::span("epoch");
             mega_obs::counter_add("gnn.train.epochs", 1);
@@ -291,7 +307,7 @@ impl Trainer {
             let mut loss_sum = 0.0f64;
             for batch in epoch_batches {
                 mega_obs::counter_add("gnn.train.batches", 1);
-                let mut tape = Tape::new();
+                let mut tape = Tape::with_exec(self.backend.clone(), pool.clone());
                 tape.set_parallelism(self.parallelism);
                 let mut binder = Binder::new();
                 let t_fwd = Instant::now();
@@ -386,8 +402,9 @@ impl Trainer {
         let mut loss_sum = 0.0f64;
         let mut metric_sum = 0.0f64;
         let mut graphs = 0usize;
+        let pool = Arc::new(BufferPool::new());
         for batch in batches {
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_exec(self.backend.clone(), pool.clone());
             tape.set_parallelism(self.parallelism);
             let mut binder = Binder::new();
             let pred = model.forward(&mut tape, &mut binder, store, batch);

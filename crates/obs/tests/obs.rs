@@ -65,7 +65,7 @@ fn percentiles_match_sorted_oracle_skewed() {
         let samples: Vec<u64> = (0..4096)
             .map(|_| {
                 let v = rng.next();
-                if v % 100 == 0 {
+                if v.is_multiple_of(100) {
                     v % 1_000_000_000
                 } else {
                     v % 64

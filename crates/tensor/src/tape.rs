@@ -6,8 +6,16 @@
 //! training: dense linear algebra, activations, normalizations, losses, and
 //! the index-driven graph ops (row gather, scatter-add, segment softmax)
 //! that express both the DGL-style baseline and MEGA's banded attention.
+//!
+//! Tape ops are thin autograd wrappers: the numeric work — forward kernels
+//! and the matrix products of the backward pass — dispatches through a
+//! [`Backend`] (default [`ReferenceBackend`], bit-identical to the
+//! pre-backend tape), and output buffers come from a shared [`BufferPool`]
+//! so steady-state training recycles allocations instead of making fresh
+//! ones per node. Dropped tapes return their node buffers to the pool.
 
 use crate::tensor::Tensor;
+use mega_exec::{kernels, Backend, BufferPool, ReferenceBackend, Unary};
 use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
@@ -18,6 +26,7 @@ pub struct Var(usize);
 enum Op {
     Leaf,
     MatMul(Var, Var),
+    LinearRelu(Var, Var, Var),
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -51,6 +60,7 @@ impl Op {
         match self {
             Op::Leaf => "leaf",
             Op::MatMul(..) => "matmul",
+            Op::LinearRelu(..) => "linear_relu",
             Op::Add(..) => "add",
             Op::Sub(..) => "sub",
             Op::Mul(..) => "mul",
@@ -102,18 +112,69 @@ impl Gradients {
     }
 }
 
+/// `t += s` elementwise — the slice-level twin of [`Tensor::add_assign`],
+/// used by the backward pass to fold pooled kernel outputs into gradient
+/// accumulators without wrapping them in a temporary tensor.
+fn add_slice(t: &mut Tensor, s: &[f32]) {
+    debug_assert_eq!(t.as_slice().len(), s.len());
+    for (o, &v) in t.as_mut_slice().iter_mut().zip(s) {
+        *o += v;
+    }
+}
+
 /// Reverse-mode autograd tape. Build values with the op methods, then call
 /// [`Tape::backward`] on a scalar node.
-#[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     par: mega_core::Parallelism,
+    backend: Arc<dyn Backend>,
+    pool: Arc<BufferPool>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Tape::new()
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        // Recycle every node's buffer; with a shared pool the next tape's
+        // forward pass allocates (almost) nothing.
+        for node in self.nodes.drain(..) {
+            self.pool.release(node.value.into_data());
+        }
+    }
 }
 
 impl Tape {
-    /// A fresh, empty tape.
+    /// A fresh, empty tape on the default [`ReferenceBackend`] with a
+    /// private buffer pool.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new(), par: mega_core::Parallelism::default() }
+        Tape::with_exec(Arc::new(ReferenceBackend), Arc::new(BufferPool::new()))
+    }
+
+    /// A fresh tape dispatching kernels to `backend` and drawing output
+    /// buffers from `pool` (share one pool across tapes to recycle
+    /// allocations between batches).
+    pub fn with_exec(backend: Arc<dyn Backend>, pool: Arc<BufferPool>) -> Self {
+        Tape { nodes: Vec::new(), par: mega_core::Parallelism::default(), backend, pool }
+    }
+
+    /// Swaps the execution backend. Every backend is bit-compatible with the
+    /// reference (enforced by property tests), so this never changes values.
+    pub fn set_backend(&mut self, backend: Arc<dyn Backend>) {
+        self.backend = backend;
+    }
+
+    /// The tape's execution backend.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// Swaps the buffer pool future nodes draw from.
+    pub fn set_pool(&mut self, pool: Arc<BufferPool>) {
+        self.pool = pool;
     }
 
     /// Sets the thread budget used by the tape's heavy kernels (currently the
@@ -163,6 +224,11 @@ impl Tape {
         self.push(t, Op::Leaf)
     }
 
+    /// Acquires a pooled buffer sized for an `rows × cols` output.
+    fn out_buf(&self, rows: usize, cols: usize) -> Vec<f32> {
+        self.pool.acquire(rows * cols)
+    }
+
     /// Matrix product.
     ///
     /// # Panics
@@ -170,29 +236,94 @@ impl Tape {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let t0 = mega_obs::enabled().then(std::time::Instant::now);
-        let v = self.value(a).matmul_with(self.value(b), &self.par);
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(
+            x.cols(),
+            y.rows(),
+            "matmul: inner dims {}x{} · {}x{}",
+            x.rows(),
+            x.cols(),
+            y.rows(),
+            y.cols()
+        );
+        let (n, k, m) = (x.rows(), x.cols(), y.cols());
+        let mut out = self.out_buf(n, m);
+        self.backend.matmul(x.as_slice(), y.as_slice(), n, k, m, &self.par, &mut out);
         if let Some(t0) = t0 {
             mega_obs::record_duration("tensor.matmul_ns", t0.elapsed());
         }
-        self.push(v, Op::MatMul(a, b))
+        self.push(Tensor::from_vec(n, m, out), Op::MatMul(a, b))
+    }
+
+    /// Fused dense layer: `relu(x · w + bias)` in one node.
+    ///
+    /// Forward and backward match the unfused `matmul` → `add_row` → `relu`
+    /// chain value-for-value while saving two intermediate tensors and two
+    /// memory sweeps; backends may fuse further (see `BlockedBackend`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `bias` is not `1 × w.cols()`.
+    pub fn linear_relu(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+        let (vx, vw, vb) = (self.value(x), self.value(w), self.value(bias));
+        assert_eq!(
+            vx.cols(),
+            vw.rows(),
+            "linear_relu: inner dims {}x{} · {}x{}",
+            vx.rows(),
+            vx.cols(),
+            vw.rows(),
+            vw.cols()
+        );
+        assert_eq!(vb.rows(), 1, "bias must be a single row");
+        assert_eq!(vb.cols(), vw.cols(), "bias width mismatch");
+        let (n, k, m) = (vx.rows(), vx.cols(), vw.cols());
+        let mut out = self.out_buf(n, m);
+        self.backend.linear_relu(
+            vx.as_slice(),
+            vw.as_slice(),
+            vb.as_slice(),
+            n,
+            k,
+            m,
+            &self.par,
+            &mut out,
+        );
+        if let Some(t0) = t0 {
+            mega_obs::record_duration("tensor.matmul_ns", t0.elapsed());
+        }
+        self.push(Tensor::from_vec(n, m, out), Op::LinearRelu(x, w, bias))
     }
 
     /// Elementwise sum of same-shape tensors.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add(a, b))
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "add: shape mismatch {:?} vs {:?}", x.shape(), y.shape());
+        let mut out = self.out_buf(x.rows(), x.cols());
+        self.backend.add(x.as_slice(), y.as_slice(), &mut out);
+        let t = Tensor::from_vec(x.rows(), x.cols(), out);
+        self.push(t, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub(a, b))
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "sub: shape mismatch {:?} vs {:?}", x.shape(), y.shape());
+        let mut out = self.out_buf(x.rows(), x.cols());
+        self.backend.sub(x.as_slice(), y.as_slice(), &mut out);
+        let t = Tensor::from_vec(x.rows(), x.cols(), out);
+        self.push(t, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v, Op::Mul(a, b))
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "mul: shape mismatch {:?} vs {:?}", x.shape(), y.shape());
+        let mut out = self.out_buf(x.rows(), x.cols());
+        self.backend.mul(x.as_slice(), y.as_slice(), &mut out);
+        let t = Tensor::from_vec(x.rows(), x.cols(), out);
+        self.push(t, Op::Mul(a, b))
     }
 
     /// Adds a `1 × c` bias row to every row of `a`.
@@ -204,32 +335,38 @@ impl Tape {
         let (x, b) = (self.value(a), self.value(bias));
         assert_eq!(b.rows(), 1, "bias must be a single row");
         assert_eq!(b.cols(), x.cols(), "bias width mismatch");
-        let mut out = x.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for (o, &bb) in row.iter_mut().zip(b.as_slice()) {
-                *o += bb;
-            }
-        }
-        self.push(out, Op::AddRow(a, bias))
+        let mut out = self.out_buf(x.rows(), x.cols());
+        self.backend.add_bias_rows(x.as_slice(), b.as_slice(), x.rows(), x.cols(), &mut out);
+        let t = Tensor::from_vec(x.rows(), x.cols(), out);
+        self.push(t, Op::AddRow(a, bias))
     }
 
     /// Multiplies every element by `k`.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let v = self.value(a).scale(k);
-        self.push(v, Op::Scale(a, k))
+        let x = self.value(a);
+        let mut out = self.out_buf(x.rows(), x.cols());
+        self.backend.scale(x.as_slice(), k, &mut out);
+        let t = Tensor::from_vec(x.rows(), x.cols(), out);
+        self.push(t, Op::Scale(a, k))
+    }
+
+    /// Elementwise activation through the backend.
+    fn unary_op(&mut self, a: Var, unary: Unary, op: Op) -> Var {
+        let x = self.value(a);
+        let mut out = self.out_buf(x.rows(), x.cols());
+        self.backend.unary(unary, x.as_slice(), &mut out);
+        let t = Tensor::from_vec(x.rows(), x.cols(), out);
+        self.push(t, op)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        self.unary_op(a, Unary::Relu, Op::Relu(a))
     }
 
     /// Leaky rectified linear unit: `x` if positive, else `slope * x`.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
-        self.push(v, Op::LeakyRelu(a, slope))
+        self.unary_op(a, Unary::LeakyRelu(slope), Op::LeakyRelu(a, slope))
     }
 
     /// Inverted dropout with a precomputed keep-mask: kept elements are
@@ -254,14 +391,12 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a))
+        self.unary_op(a, Unary::Sigmoid, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
-        self.push(v, Op::Tanh(a))
+        self.unary_op(a, Unary::Tanh, Op::Tanh(a))
     }
 
     /// Sum of all elements (scalar `1 × 1`).
@@ -339,15 +474,21 @@ impl Tape {
     /// Gathers rows of `a` by `index` (e.g. node features → per-edge source
     /// features, or node features → path positions).
     pub fn gather_rows(&mut self, a: Var, index: Arc<Vec<usize>>) -> Var {
-        let v = self.value(a).gather_rows(&index);
-        self.push(v, Op::GatherRows(a, index))
+        let x = self.value(a);
+        let mut out = self.out_buf(index.len(), x.cols());
+        self.backend.gather_rows(x.as_slice(), x.rows(), x.cols(), &index, &mut out);
+        let t = Tensor::from_vec(index.len(), x.cols(), out);
+        self.push(t, Op::GatherRows(a, index))
     }
 
     /// Scatter-adds rows of `a` into `out_rows` buckets by `index` (e.g.
     /// per-edge messages → destination nodes, or path positions → nodes).
     pub fn scatter_add_rows(&mut self, a: Var, index: Arc<Vec<usize>>, out_rows: usize) -> Var {
-        let v = self.value(a).scatter_add_rows(&index, out_rows);
-        self.push(v, Op::ScatterAddRows(a, index))
+        let x = self.value(a);
+        let mut out = self.out_buf(out_rows, x.cols());
+        self.backend.scatter_add_rows(x.as_slice(), &index, x.cols(), out_rows, &mut out);
+        let t = Tensor::from_vec(out_rows, x.cols(), out);
+        self.push(t, Op::ScatterAddRows(a, index))
     }
 
     /// Scales row `i` by `factors[i]` (segment means, appearance averaging).
@@ -358,14 +499,10 @@ impl Tape {
     pub fn scale_rows(&mut self, a: Var, factors: Arc<Vec<f32>>) -> Var {
         let x = self.value(a);
         assert_eq!(factors.len(), x.rows(), "one factor per row required");
-        let mut out = x.clone();
-        for r in 0..out.rows() {
-            let k = factors[r];
-            for o in out.row_mut(r) {
-                *o *= k;
-            }
-        }
-        self.push(out, Op::ScaleRows(a, factors))
+        let mut out = self.out_buf(x.rows(), x.cols());
+        self.backend.scale_rows(x.as_slice(), &factors, x.cols(), &mut out);
+        let t = Tensor::from_vec(x.rows(), x.cols(), out);
+        self.push(t, Op::ScaleRows(a, factors))
     }
 
     /// Column-wise softmax within row segments: rows sharing `segments[i]`
@@ -379,86 +516,36 @@ impl Tape {
         let x = self.value(a);
         assert_eq!(segments.len(), x.rows(), "one segment id per row required");
         let (r, c) = x.shape();
-        let mut maxes = vec![f32::NEG_INFINITY; n_segments * c];
-        for i in 0..r {
-            let s = segments[i];
-            assert!(s < n_segments, "segment id {s} out of range");
-            for j in 0..c {
-                let m = &mut maxes[s * c + j];
-                *m = m.max(x.at(i, j));
-            }
-        }
-        let mut out = Tensor::zeros(r, c);
-        let mut sums = vec![0.0f32; n_segments * c];
-        for i in 0..r {
-            let s = segments[i];
-            for j in 0..c {
-                let e = (x.at(i, j) - maxes[s * c + j]).exp();
-                out.set(i, j, e);
-                sums[s * c + j] += e;
-            }
-        }
-        for i in 0..r {
-            let s = segments[i];
-            for j in 0..c {
-                let denom = sums[s * c + j].max(f32::MIN_POSITIVE);
-                out.set(i, j, out.at(i, j) / denom);
-            }
-        }
-        self.push(out, Op::SegmentSoftmax(a, segments, n_segments))
+        let mut out = self.out_buf(r, c);
+        self.backend.segment_softmax(x.as_slice(), r, c, &segments, n_segments, &mut out);
+        let t = Tensor::from_vec(r, c, out);
+        self.push(t, Op::SegmentSoftmax(a, segments, n_segments))
     }
 
     /// Row-wise layer normalization with learnable `gamma`, `beta` (each
     /// `1 × c`).
     pub fn layer_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        let x = self.value(a).clone();
-        let g = self.value(gamma).clone();
-        let b = self.value(beta).clone();
+        let (x, g, b) = (self.value(a), self.value(gamma), self.value(beta));
         assert_eq!(g.shape(), (1, x.cols()), "gamma shape");
         assert_eq!(b.shape(), (1, x.cols()), "beta shape");
-        let mut out = Tensor::zeros(x.rows(), x.cols());
-        for r in 0..x.rows() {
-            let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / row.len() as f32;
-            let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / row.len() as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for (cix, &xv) in row.iter().enumerate() {
-                let xhat = (xv - mean) * inv;
-                out.set(r, cix, g.at(0, cix) * xhat + b.at(0, cix));
-            }
-        }
-        self.push(out, Op::LayerNorm(a, gamma, beta, eps))
+        let (r, c) = x.shape();
+        let mut out = self.out_buf(r, c);
+        self.backend.layer_norm(x.as_slice(), g.as_slice(), b.as_slice(), r, c, eps, &mut out);
+        let t = Tensor::from_vec(r, c, out);
+        self.push(t, Op::LayerNorm(a, gamma, beta, eps))
     }
 
     /// Column-wise batch normalization (statistics over rows) with learnable
     /// `gamma`, `beta` (each `1 × c`). Training-mode statistics only.
     pub fn batch_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        let x = self.value(a).clone();
-        let g = self.value(gamma).clone();
-        let b = self.value(beta).clone();
+        let (x, g, b) = (self.value(a), self.value(gamma), self.value(beta));
         assert_eq!(g.shape(), (1, x.cols()), "gamma shape");
         assert_eq!(b.shape(), (1, x.cols()), "beta shape");
         let (r, c) = x.shape();
-        let rn = r.max(1) as f32;
-        let mut out = Tensor::zeros(r, c);
-        for j in 0..c {
-            let mut mean = 0.0f32;
-            for i in 0..r {
-                mean += x.at(i, j);
-            }
-            mean /= rn;
-            let mut var = 0.0f32;
-            for i in 0..r {
-                var += (x.at(i, j) - mean).powi(2);
-            }
-            var /= rn;
-            let inv = 1.0 / (var + eps).sqrt();
-            for i in 0..r {
-                let xhat = (x.at(i, j) - mean) * inv;
-                out.set(i, j, g.at(0, j) * xhat + b.at(0, j));
-            }
-        }
-        self.push(out, Op::BatchNorm(a, gamma, beta, eps))
+        let mut out = self.out_buf(r, c);
+        self.backend.batch_norm(x.as_slice(), g.as_slice(), b.as_slice(), r, c, eps, &mut out);
+        let t = Tensor::from_vec(r, c, out);
+        self.push(t, Op::BatchNorm(a, gamma, beta, eps))
     }
 
     /// Mean absolute error against a constant target (scalar output).
@@ -526,10 +613,63 @@ impl Tape {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
                     let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    let da = g.matmul_with(&vb.transpose(), &self.par);
-                    let db = va.transpose().matmul_with(&g, &self.par);
-                    grads[a.0].add_assign(&da);
-                    grads[b.0].add_assign(&db);
+                    let (n, k, m) = (va.rows(), va.cols(), vb.cols());
+                    // da = g · bᵀ, db = aᵀ · g — both through the backend so
+                    // an accelerated GEMM speeds the backward pass too.
+                    let mut bt = self.pool.acquire(k * m);
+                    kernels::transpose(vb.as_slice(), k, m, &mut bt);
+                    let mut da = self.pool.acquire(n * k);
+                    self.backend.matmul(g.as_slice(), &bt, n, m, k, &self.par, &mut da);
+                    add_slice(&mut grads[a.0], &da);
+                    self.pool.release(bt);
+                    self.pool.release(da);
+                    let mut at = self.pool.acquire(n * k);
+                    kernels::transpose(va.as_slice(), n, k, &mut at);
+                    let mut db = self.pool.acquire(k * m);
+                    self.backend.matmul(&at, g.as_slice(), k, n, m, &self.par, &mut db);
+                    add_slice(&mut grads[b.0], &db);
+                    self.pool.release(at);
+                    self.pool.release(db);
+                }
+                Op::LinearRelu(x, w, bias) => {
+                    let (vx, vw) = (&self.nodes[x.0].value, &self.nodes[w.0].value);
+                    let out = &self.nodes[idx].value;
+                    let (n, k, m) = (vx.rows(), vx.cols(), vw.cols());
+                    // Mask the upstream gradient by the activation: the kept
+                    // pre-activations are exactly the positive outputs.
+                    let mut gm = self.pool.acquire(n * m);
+                    for ((o, &gv), &ov) in
+                        gm.iter_mut().zip(g.as_slice()).zip(out.as_slice())
+                    {
+                        *o = if ov > 0.0 { gv } else { 0.0 };
+                    }
+                    // dbias = column sums of gm, folded row-major as the
+                    // unfused AddRow backward does.
+                    let mut db = self.pool.acquire(m);
+                    for r in 0..n {
+                        for c in 0..m {
+                            db[c] += gm[r * m + c];
+                        }
+                    }
+                    add_slice(&mut grads[bias.0], &db);
+                    self.pool.release(db);
+                    // dx = gm · wᵀ, dw = xᵀ · gm — the MatMul backward on the
+                    // masked gradient.
+                    let mut wt = self.pool.acquire(k * m);
+                    kernels::transpose(vw.as_slice(), k, m, &mut wt);
+                    let mut dx = self.pool.acquire(n * k);
+                    self.backend.matmul(&gm, &wt, n, m, k, &self.par, &mut dx);
+                    add_slice(&mut grads[x.0], &dx);
+                    self.pool.release(wt);
+                    self.pool.release(dx);
+                    let mut xt = self.pool.acquire(n * k);
+                    kernels::transpose(vx.as_slice(), n, k, &mut xt);
+                    let mut dw = self.pool.acquire(k * m);
+                    self.backend.matmul(&xt, &gm, k, n, m, &self.par, &mut dw);
+                    add_slice(&mut grads[w.0], &dw);
+                    self.pool.release(xt);
+                    self.pool.release(dw);
+                    self.pool.release(gm);
                 }
                 Op::Add(a, b) => {
                     grads[a.0].add_assign(&g);
@@ -857,6 +997,69 @@ mod tests {
             let y = t.matmul(x, w);
             t.sum(y)
         }, 1e-2);
+    }
+
+    #[test]
+    fn grad_linear_relu() {
+        check_grad(sample(3, 4, 28), |t, x| {
+            let w = t.leaf(sample(4, 2, 29));
+            let b = t.leaf(sample(1, 2, 31));
+            let y = t.linear_relu(x, w, b);
+            t.sum(y)
+        }, 2e-2);
+        // Weight and bias gradients via the weight as the probed leaf.
+        check_grad(sample(4, 2, 32), |t, w| {
+            let x = t.leaf(sample(3, 4, 33));
+            let b = t.leaf(sample(1, 2, 34));
+            let y = t.linear_relu(x, w, b);
+            t.sum(y)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn linear_relu_matches_unfused_chain() {
+        let x = sample(5, 7, 40);
+        let w = sample(7, 3, 41);
+        let b = sample(1, 3, 42);
+
+        let mut fused = Tape::new();
+        let (fx, fw, fb) = (fused.leaf(x.clone()), fused.leaf(w.clone()), fused.leaf(b.clone()));
+        let fy = fused.linear_relu(fx, fw, fb);
+        let floss = fused.sum(fy);
+        let fg = fused.backward(floss);
+
+        let mut unfused = Tape::new();
+        let (ux, uw, ub) = (unfused.leaf(x), unfused.leaf(w), unfused.leaf(b));
+        let um = unfused.matmul(ux, uw);
+        let ua = unfused.add_row(um, ub);
+        let uy = unfused.relu(ua);
+        let uloss = unfused.sum(uy);
+        let ug = unfused.backward(uloss);
+
+        for (a, c) in fused.value(fy).as_slice().iter().zip(unfused.value(uy).as_slice()) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+        for (v_f, v_u) in [(fx, ux), (fw, uw), (fb, ub)] {
+            for (a, c) in fg.wrt(v_f).as_slice().iter().zip(ug.wrt(v_u).as_slice()) {
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_pool_recycles_node_buffers() {
+        use mega_exec::{BufferPool, ReferenceBackend};
+        let pool = Arc::new(BufferPool::new());
+        for _ in 0..3 {
+            let mut tape = Tape::with_exec(Arc::new(ReferenceBackend), pool.clone());
+            let a = tape.leaf(sample(8, 8, 50));
+            let b = tape.leaf(sample(8, 8, 51));
+            let c = tape.matmul(a, b);
+            let loss = tape.sum(c);
+            let _ = tape.backward(loss);
+        }
+        // Later tapes must have drawn buffers recycled from earlier drops.
+        assert!(pool.hits() > 0, "pool never recycled a buffer");
     }
 
     #[test]

@@ -86,6 +86,12 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, yielding its flat row-major buffer (so the
+    /// allocation can be recycled, e.g. via `mega_exec::BufferPool`).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Element at `(r, c)`.
     ///
     /// # Panics
@@ -214,28 +220,17 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        mega_exec::kernels::matmul(&self.data, &other.data, n, k, m, &mut out);
         Tensor { rows: n, cols: m, data: out }
     }
 
     /// Matrix product computed under the thread budget of `par`.
     ///
-    /// Output rows are split into contiguous chunks, one per worker, and each
-    /// row is produced by the exact scalar kernel of [`Tensor::matmul`] —
-    /// chunks never share an output row, so the result is bit-identical to
-    /// the serial product for every thread count.
+    /// Delegates to the shared reference kernel in `mega-exec`: output rows
+    /// are split into contiguous chunks, one per worker, and each row is
+    /// produced by the exact scalar kernel of [`Tensor::matmul`] — chunks
+    /// never share an output row, so the result is bit-identical to the
+    /// serial product for every thread count.
     ///
     /// # Panics
     ///
@@ -247,38 +242,9 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let threads = par.effective_threads().min(n.max(1));
-        // Below ~16k multiply-adds the spawn cost dominates; the serial kernel
-        // produces the identical bits, so this cutoff is purely a perf choice.
-        if threads <= 1 || n * k * m < (1 << 14) {
-            return self.matmul(other);
-        }
-        let ranges: Vec<(usize, usize)> = (0..threads)
-            .map(|t| (t * n / threads, (t + 1) * n / threads))
-            .filter(|(lo, hi)| lo < hi)
-            .collect();
-        let parts = mega_core::parallel::ordered_map(&ranges, threads, |_, &(lo, hi)| {
-            let mut out = vec![0.0f32; (hi - lo) * m];
-            for i in lo..hi {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[kk * m..(kk + 1) * m];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-            out
-        });
-        let mut data = Vec::with_capacity(n * m);
-        for p in parts {
-            data.extend_from_slice(&p);
-        }
-        Tensor { rows: n, cols: m, data }
+        let mut out = vec![0.0f32; n * m];
+        mega_exec::kernels::matmul_par(&self.data, &other.data, n, k, m, par, &mut out);
+        Tensor { rows: n, cols: m, data: out }
     }
 
     /// Transpose.

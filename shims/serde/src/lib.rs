@@ -311,7 +311,7 @@ mod tests {
         assert_eq!(usize::deserialize(&usize::MAX.serialize()).unwrap(), usize::MAX);
         assert_eq!(i64::deserialize(&(-42i64).serialize()).unwrap(), -42);
         assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
-        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
         assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
     }
 

@@ -17,6 +17,7 @@
 pub use mega_core as core;
 pub use mega_datasets as datasets;
 pub use mega_dist as dist;
+pub use mega_exec as exec;
 pub use mega_gnn as gnn;
 pub use mega_gpu_sim as gpu_sim;
 pub use mega_graph as graph;

@@ -9,11 +9,11 @@
 //!    serial kernel for every thread count and chunk size, because chunks
 //!    own disjoint output rows and fold contributions in serial slot order.
 
-use mega::core::parallel::{
-    banded_aggregate, banded_aggregate_serial, banded_weight_grad, banded_weight_grad_serial,
-    Parallelism,
-};
+use mega::core::parallel::Parallelism;
 use mega::core::{preprocess, traverse, traverse_parallel, MegaConfig};
+use mega::exec::kernels::{
+    banded_aggregate, banded_aggregate_serial, banded_weight_grad, banded_weight_grad_serial,
+};
 use mega::datasets::{zinc, DatasetSpec};
 use mega::graph::generate;
 use mega::tensor::Tensor;

@@ -39,7 +39,9 @@ fn trainer() -> (mega_datasets::Dataset, GnnConfig, Trainer) {
         .with_hidden(16)
         .with_layers(2)
         .with_heads(2);
-    let tr = Trainer::new(EngineChoice::Mega).with_epochs(2).with_batch_size(8);
+    let tr = Trainer::new(EngineChoice::Mega)
+        .with_epochs(2)
+        .with_batch_size(8);
     (ds, cfg, tr)
 }
 
@@ -51,7 +53,10 @@ fn main() {
     // cost is single-digit ns) so slow CI machines don't flake.
     let per_call = disabled_per_call_ns();
     mega_obs::data!("disabled per-call cost: {per_call:.2} ns");
-    assert!(per_call < 250.0, "disabled path too slow: {per_call:.1} ns/call");
+    assert!(
+        per_call < 250.0,
+        "disabled path too slow: {per_call:.1} ns/call"
+    );
 
     // 2. A disabled run records nothing.
     mega_obs::reset();
@@ -59,7 +64,10 @@ fn main() {
     let t0 = Instant::now();
     let hist = tr.run(&ds, cfg.clone());
     let train_ns = t0.elapsed().as_nanos() as f64;
-    assert!(hist.records.last().is_some_and(|r| r.train_loss.is_finite()));
+    assert!(hist
+        .records
+        .last()
+        .is_some_and(|r| r.train_loss.is_finite()));
     let snap = mega_obs::snapshot();
     assert!(
         snap.counters.is_empty()

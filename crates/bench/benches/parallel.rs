@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mega_core::parallel::Parallelism;
-use mega_exec::kernels::{banded_aggregate, banded_aggregate_serial};
 use mega_core::{preprocess, MegaConfig};
+use mega_exec::kernels::{banded_aggregate, banded_aggregate_serial};
 use mega_graph::generate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,9 +21,12 @@ fn bench_banded_aggregate(c: &mut Criterion) {
     let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
     let band = schedule.band();
     let len = band.len();
-    let x: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-    let weights: Vec<f32> =
-        (0..schedule.working_graph().edge_count()).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let x: Vec<f32> = (0..len * FEAT)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let weights: Vec<f32> = (0..schedule.working_graph().edge_count())
+        .map(|_| rng.gen_range(0.0f32..1.0))
+        .collect();
 
     let mut group = c.benchmark_group("banded_aggregate");
     group.bench_function(BenchmarkId::new("serial", format!("ba-{NODES}")), |b| {

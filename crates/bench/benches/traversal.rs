@@ -10,10 +10,22 @@ use rand::SeedableRng;
 fn topologies() -> Vec<(String, Graph)> {
     let mut rng = StdRng::seed_from_u64(1);
     vec![
-        ("molecular-23".into(), generate::molecular_chain(23, 3, 3, &mut rng).unwrap()),
-        ("csl-41".into(), generate::circular_skip_links(41, 5).unwrap()),
-        ("ba-500".into(), generate::barabasi_albert(500, 3, &mut rng).unwrap()),
-        ("er-500".into(), generate::erdos_renyi(500, 0.02, &mut rng).unwrap()),
+        (
+            "molecular-23".into(),
+            generate::molecular_chain(23, 3, 3, &mut rng).unwrap(),
+        ),
+        (
+            "csl-41".into(),
+            generate::circular_skip_links(41, 5).unwrap(),
+        ),
+        (
+            "ba-500".into(),
+            generate::barabasi_albert(500, 3, &mut rng).unwrap(),
+        ),
+        (
+            "er-500".into(),
+            generate::erdos_renyi(500, 0.02, &mut rng).unwrap(),
+        ),
     ]
 }
 
@@ -52,5 +64,10 @@ fn bench_preprocess_windows(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_traversal, bench_band, bench_preprocess_windows);
+criterion_group!(
+    benches,
+    bench_traversal,
+    bench_band,
+    bench_preprocess_windows
+);
 criterion_main!(benches);

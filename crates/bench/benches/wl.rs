@@ -26,7 +26,9 @@ fn bench_similarity(c: &mut Criterion) {
     let s = preprocess(&g, &MegaConfig::default()).unwrap();
     group.bench_function("path_2hop", |b| b.iter(|| path_similarity(&g, &s, 2)));
     let h = generate::erdos_renyi(150, 0.05, &mut rng).unwrap();
-    group.bench_function("subtree_kernel", |b| b.iter(|| subtree_similarity(&g, &h, 3)));
+    group.bench_function("subtree_kernel", |b| {
+        b.iter(|| subtree_similarity(&g, &h, 3))
+    });
     group.finish();
 }
 

@@ -27,7 +27,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(4);
     let g = generate::erdos_renyi(200, 0.08, &mut rng).unwrap();
     mega_obs::data!("graph: n={} m={}\n", g.node_count(), g.edge_count());
-    let mut table = TableWriter::new(&["theta", "coverage", "path len", "expansion", "1-hop sim", "2-hop sim"]);
+    let mut table = TableWriter::new(&[
+        "theta",
+        "coverage",
+        "path len",
+        "expansion",
+        "1-hop sim",
+        "2-hop sim",
+    ]);
     let mut rows = Vec::new();
     for &theta in &[0.3f64, 0.5, 0.7, 0.85, 0.95, 1.0] {
         let cfg = MegaConfig::default()

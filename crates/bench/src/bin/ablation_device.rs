@@ -23,7 +23,12 @@ struct Row {
 
 fn main() {
     mega_obs::report::init_from_env();
-    let ds = zinc(&DatasetSpec { train: 64, val: 1, test: 1, seed: 19 });
+    let ds = zinc(&DatasetSpec {
+        train: 64,
+        val: 1,
+        test: 1,
+        seed: 19,
+    });
     let graphs: Vec<_> = ds.train.iter().map(|s| s.graph.clone()).collect();
     let schedules: Vec<_> = graphs
         .iter()
@@ -32,8 +37,15 @@ fn main() {
     let base_topo = BatchTopology::from_graphs(&graphs);
     let mega_topo = BatchTopology::from_graphs_with_schedules(&graphs, &schedules);
 
-    let devices = [DeviceConfig::gtx_1050(), DeviceConfig::gtx_1080(), DeviceConfig::rtx_3080()];
-    let specs = [ModelSpec::gated_gcn(64, 2), ModelSpec::graph_transformer(64, 2)];
+    let devices = [
+        DeviceConfig::gtx_1050(),
+        DeviceConfig::gtx_1080(),
+        DeviceConfig::rtx_3080(),
+    ];
+    let specs = [
+        ModelSpec::gated_gcn(64, 2),
+        ModelSpec::graph_transformer(64, 2),
+    ];
 
     let mut table = TableWriter::new(&["device", "model", "DGL(ms)", "Mega(ms)", "speedup"]);
     let mut rows = Vec::new();

@@ -26,12 +26,28 @@ fn main() {
     mega_obs::report::init_from_env();
     let mut rng = StdRng::seed_from_u64(5);
     let graphs: Vec<(String, Graph)> = vec![
-        ("BA(400,3)".into(), generate::barabasi_albert(400, 3, &mut rng).unwrap()),
-        ("ER(300,0.05)".into(), generate::erdos_renyi(300, 0.05, &mut rng).unwrap()),
-        ("CSL(41,5)".into(), generate::circular_skip_links(41, 5).unwrap()),
+        (
+            "BA(400,3)".into(),
+            generate::barabasi_albert(400, 3, &mut rng).unwrap(),
+        ),
+        (
+            "ER(300,0.05)".into(),
+            generate::erdos_renyi(300, 0.05, &mut rng).unwrap(),
+        ),
+        (
+            "CSL(41,5)".into(),
+            generate::circular_skip_links(41, 5).unwrap(),
+        ),
         ("complete(40)".into(), generate::complete(40).unwrap()),
     ];
-    let mut table = TableWriter::new(&["graph", "policy", "path len", "revisits", "virtual", "expansion"]);
+    let mut table = TableWriter::new(&[
+        "graph",
+        "policy",
+        "path len",
+        "revisits",
+        "virtual",
+        "expansion",
+    ]);
     let mut rows = Vec::new();
     for (name, g) in &graphs {
         for policy in [

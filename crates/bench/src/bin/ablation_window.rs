@@ -34,7 +34,13 @@ fn main() {
         g.max_degree()
     );
     let mut table = TableWriter::new(&[
-        "window", "path len", "expansion", "revisits", "paper bound", "virtual", "band density",
+        "window",
+        "path len",
+        "expansion",
+        "revisits",
+        "paper bound",
+        "virtual",
+        "band density",
     ]);
     let mut rows = Vec::new();
     for w in [1usize, 2, 3, 4, 6, 8, 12, 16] {

@@ -12,12 +12,21 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn run(engine: EngineChoice, backend: Arc<dyn Backend>) -> TrainingHistory {
-    let ds = zinc(&DatasetSpec { train: 64, val: 16, test: 16, seed: 7 });
+    let ds = zinc(&DatasetSpec {
+        train: 64,
+        val: 16,
+        test: 16,
+        seed: 7,
+    });
     let cfg = GnnConfig::new(ModelKind::GatedGcn, ds.node_vocab, ds.edge_vocab, 1)
         .with_hidden(32)
         .with_layers(2)
         .with_heads(4);
-    Trainer::new(engine).with_epochs(3).with_batch_size(8).with_backend(backend).run(&ds, cfg)
+    Trainer::new(engine)
+        .with_epochs(3)
+        .with_batch_size(8)
+        .with_backend(backend)
+        .run(&ds, cfg)
 }
 
 fn print_history(label: &str, hist: &TrainingHistory) {
@@ -34,8 +43,11 @@ fn print_history(label: &str, hist: &TrainingHistory) {
 
 /// Loss trajectory as exact bit patterns, for comparison across backends.
 fn bits(hist: &TrainingHistory) -> Vec<u64> {
-    let mut v: Vec<u64> =
-        hist.records.iter().flat_map(|r| [r.train_loss.to_bits(), r.val_loss.to_bits()]).collect();
+    let mut v: Vec<u64> = hist
+        .records
+        .iter()
+        .flat_map(|r| [r.train_loss.to_bits(), r.val_loss.to_bits()])
+        .collect();
     v.push(hist.test_loss.to_bits());
     v
 }
@@ -52,7 +64,7 @@ fn main() -> ExitCode {
     let mut trajectories: Vec<(String, Vec<u64>)> = Vec::new();
     for name in &names {
         let Some(backend) = backend_by_name(name) else {
-            eprintln!("unknown backend `{name}` (expected reference or blocked)");
+            eprintln!("unknown backend `{name}` (expected reference, blocked, or simd)");
             return ExitCode::FAILURE;
         };
         for engine in [EngineChoice::Baseline, EngineChoice::Mega] {

@@ -39,7 +39,14 @@ fn main() {
         schedule.path().expansion_factor()
     );
     let mut table = TableWriter::new(&[
-        "k", "hash pairs", "hash vol", "bfs pairs", "bfs vol", "path pairs", "path vol", "replicas",
+        "k",
+        "hash pairs",
+        "hash vol",
+        "bfs pairs",
+        "bfs vol",
+        "path pairs",
+        "path vol",
+        "replicas",
     ]);
     let mut rows = Vec::new();
     for &k in &[2usize, 4, 8, 16, 32, 64] {
@@ -74,7 +81,10 @@ fn main() {
          growing with cut edges; the path partition needs exactly k-1 adjacent exchanges (O(k))\n\
          at the cost of {} replica rows ({}% of nodes).",
         rows.last().unwrap().path_replicas,
-        fmt(100.0 * rows.last().unwrap().path_replicas as f64 / 2000.0, 1)
+        fmt(
+            100.0 * rows.last().unwrap().path_replicas as f64 / 2000.0,
+            1
+        )
     );
     save_json("dist_comm_analysis", &rows);
 }

@@ -50,7 +50,11 @@ fn main() {
     );
 
     let mut table = TableWriter::new(&[
-        "k", "cut speedup", "path speedup", "cut comm(ms)", "path comm(ms)",
+        "k",
+        "cut speedup",
+        "path speedup",
+        "cut comm(ms)",
+        "path comm(ms)",
     ]);
     let mut rows = Vec::new();
     for &k in &[2usize, 4, 8, 16, 32, 64] {

@@ -57,7 +57,8 @@ fn main() {
     mega_obs::report::init_from_env();
     const SPARSITY: f64 = 0.05;
     let mut rng = StdRng::seed_from_u64(1);
-    let mut table = TableWriter::new(&["nodes", "feat", "edges", "graph(ms)", "global(ms)", "ratio"]);
+    let mut table =
+        TableWriter::new(&["nodes", "feat", "edges", "graph(ms)", "global(ms)", "ratio"]);
     let mut points = Vec::new();
     for &n in &[512usize, 1024, 2048, 4096] {
         for &feat in &[16usize, 64, 256] {
@@ -73,12 +74,23 @@ fn main() {
                 fmt(tf * 1e3, 3),
                 fmt(ratio, 2),
             ]);
-            points.push(Point { nodes: n, feat_dim: feat, edges: m, graph_seconds: tg, global_seconds: tf, ratio });
+            points.push(Point {
+                nodes: n,
+                feat_dim: feat,
+                edges: m,
+                graph_seconds: tg,
+                global_seconds: tf,
+                ratio,
+            });
         }
     }
-    mega_obs::data!("Figure 1b — graph-attention / global-attention time ratio (sparsity {SPARSITY})\n");
+    mega_obs::data!(
+        "Figure 1b — graph-attention / global-attention time ratio (sparsity {SPARSITY})\n"
+    );
     table.print();
-    mega_obs::data!("\nPaper claim: ratio > 1 and growing with graph size, worst at small feature dims.");
+    mega_obs::data!(
+        "\nPaper claim: ratio > 1 and growing with graph size, worst at small feature dims."
+    );
     // Sanity note for the reader: kernel taxonomy involved.
     let _ = KernelKind::DglGather;
     save_json("fig01_attention_ratio", &points);

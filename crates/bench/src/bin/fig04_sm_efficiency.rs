@@ -24,7 +24,14 @@ fn main() {
     mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(7);
     let (batch, hidden, layers) = (64usize, 128usize, 2usize);
-    let mut table = TableWriter::new(&["dataset", "model", "sgemm", "cub", "dgl-gather", "dgl-scatter"]);
+    let mut table = TableWriter::new(&[
+        "dataset",
+        "model",
+        "sgemm",
+        "cub",
+        "dgl-gather",
+        "dgl-scatter",
+    ]);
     let mut rows = Vec::new();
     for ds in bench_datasets(&spec) {
         for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer] {

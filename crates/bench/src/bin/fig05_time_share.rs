@@ -25,8 +25,15 @@ fn main() {
     mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(5);
     let (hidden, layers) = (64usize, 2usize);
-    let mut table =
-        TableWriter::new(&["dataset", "model", "batch", "sgemm%", "graph-ops%", "memcpy%", "eltwise%"]);
+    let mut table = TableWriter::new(&[
+        "dataset",
+        "model",
+        "batch",
+        "sgemm%",
+        "graph-ops%",
+        "memcpy%",
+        "eltwise%",
+    ]);
     let mut rows = Vec::new();
     for ds in bench_datasets(&spec) {
         for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer] {

@@ -24,11 +24,20 @@ fn main() {
     mega_obs::report::init_from_env();
     let spec = DatasetSpec::small(6);
     let (batch, hidden, layers) = (64usize, 128usize, 2usize);
-    let mut table = TableWriter::new(&["dataset", "model", "kernel", "calls", "ld_txns", "stall%", "l2-hit%"]);
+    let mut table = TableWriter::new(&[
+        "dataset", "model", "kernel", "calls", "ld_txns", "stall%", "l2-hit%",
+    ]);
     let mut rows = Vec::new();
     for ds in bench_datasets(&spec) {
         for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer] {
-            let cost = mega_bench::profile_config(&ds, kind, EngineChoice::Baseline, batch, hidden, layers);
+            let cost = mega_bench::profile_config(
+                &ds,
+                kind,
+                EngineChoice::Baseline,
+                batch,
+                hidden,
+                layers,
+            );
             for k in cost.report.kernels() {
                 let hit = if k.load_transactions == 0 {
                     1.0
@@ -58,6 +67,8 @@ fn main() {
     }
     mega_obs::data!("Figure 6 — per-kernel profile (batch 64, hidden 128, DGL baseline)\n");
     table.print();
-    mega_obs::data!("\nPaper claim: cub/dgl kernels show high stall percentages and heavy global-load traffic.");
+    mega_obs::data!(
+        "\nPaper claim: cub/dgl kernels show high stall percentages and heavy global-load traffic."
+    );
     save_json("fig06_kernel_profile", &rows);
 }

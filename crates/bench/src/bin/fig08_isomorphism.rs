@@ -40,9 +40,27 @@ fn main() {
                 let p = path_similarity(&g, &schedule, hops);
                 let q = global_similarity(&g, hops);
                 let m = path_similarity_merged(&g, &schedule, hops);
-                rows.push(Row { representation: "path".into(), nodes: n, sparsity, hops, similarity: p });
-                rows.push(Row { representation: "global".into(), nodes: n, sparsity, hops, similarity: q });
-                rows.push(Row { representation: "path-merged".into(), nodes: n, sparsity, hops, similarity: m });
+                rows.push(Row {
+                    representation: "path".into(),
+                    nodes: n,
+                    sparsity,
+                    hops,
+                    similarity: p,
+                });
+                rows.push(Row {
+                    representation: "global".into(),
+                    nodes: n,
+                    sparsity,
+                    hops,
+                    similarity: q,
+                });
+                rows.push(Row {
+                    representation: "path-merged".into(),
+                    nodes: n,
+                    sparsity,
+                    hops,
+                    similarity: m,
+                });
                 p_scores.push(p);
                 g_scores.push(q);
                 m_scores.push(m);
@@ -73,7 +91,9 @@ fn main() {
             ]);
         }
     }
-    mega_obs::data!("Figure 8 — aggregation similarity: path representation (p) vs global attention (g)\n");
+    mega_obs::data!(
+        "Figure 8 — aggregation similarity: path representation (p) vs global attention (g)\n"
+    );
     table.print();
     mega_obs::data!(
         "\nPaper claims: p-rows are exactly 1.0 at 1 hop and stay high at more hops;\n\

@@ -27,7 +27,14 @@ fn main() {
     let spec = DatasetSpec::small(10);
     let (hidden, layers) = (64usize, 2usize);
     let mut table = TableWriter::new(&[
-        "dataset", "model", "batch", "DGL(ms)", "Mega(ms)", "speedup", "DGL sgemm%", "Mega sgemm%",
+        "dataset",
+        "model",
+        "batch",
+        "DGL(ms)",
+        "Mega(ms)",
+        "speedup",
+        "DGL sgemm%",
+        "Mega sgemm%",
     ]);
     let mut rows = Vec::new();
     for ds in bench_datasets(&spec) {

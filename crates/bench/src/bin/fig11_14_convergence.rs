@@ -27,7 +27,12 @@ struct Experiment {
     mega: TrainingHistory,
 }
 
-fn run_pair(ds: &Dataset, kind: ModelKind, out_dim: usize, epochs: usize) -> (TrainingHistory, TrainingHistory) {
+fn run_pair(
+    ds: &Dataset,
+    kind: ModelKind,
+    out_dim: usize,
+    epochs: usize,
+) -> (TrainingHistory, TrainingHistory) {
     let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, out_dim)
         .with_hidden(64)
         .with_layers(2)
@@ -47,7 +52,10 @@ fn run_pair(ds: &Dataset, kind: ModelKind, out_dim: usize, epochs: usize) -> (Tr
 /// Simulated-time speedup to reach the baseline's best validation loss.
 fn speedup(dgl: &TrainingHistory, mega: &TrainingHistory) -> f64 {
     let target = dgl.best_val_loss() * 1.02; // 2% tolerance band
-    match (dgl.sim_seconds_to_loss(target), mega.sim_seconds_to_loss(target)) {
+    match (
+        dgl.sim_seconds_to_loss(target),
+        mega.sim_seconds_to_loss(target),
+    ) {
         (Some(td), Some(tm)) if tm > 0.0 => td / tm,
         // Mega never reached the target: fall back to per-epoch time ratio.
         _ => dgl.epoch_sim_seconds / mega.epoch_sim_seconds,
@@ -65,8 +73,15 @@ fn main() {
         ("Fig 14", cycles(&spec), ModelKind::GatedGcn, 2, 1.6),
     ];
     let mut table = TableWriter::new(&[
-        "figure", "dataset", "model", "paper speedup", "measured speedup",
-        "DGL loss", "Mega loss", "DGL metric", "Mega metric",
+        "figure",
+        "dataset",
+        "model",
+        "paper speedup",
+        "measured speedup",
+        "DGL loss",
+        "Mega loss",
+        "DGL metric",
+        "Mega metric",
     ]);
     let mut results = Vec::new();
     for (figure, ds, kind, out_dim, paper_speedup) in cases {
@@ -85,8 +100,14 @@ fn main() {
             fmt(dl.val_metric, 4),
             fmt(ml.val_metric, 4),
         ]);
-        mega_obs::data!("\n=== {} — {} / {} : loss vs simulated seconds ===", figure, ds.name, kind.label());
-        let mut curve = TableWriter::new(&["epoch", "DGL t(s)", "DGL val", "Mega t(s)", "Mega val"]);
+        mega_obs::data!(
+            "\n=== {} — {} / {} : loss vs simulated seconds ===",
+            figure,
+            ds.name,
+            kind.label()
+        );
+        let mut curve =
+            TableWriter::new(&["epoch", "DGL t(s)", "DGL val", "Mega t(s)", "Mega val"]);
         for (a, b) in dgl.records.iter().zip(&mega.records) {
             curve.row(&[
                 a.epoch.to_string(),
@@ -113,6 +134,8 @@ fn main() {
     }
     mega_obs::data!("\nFigures 11–14 — convergence summary\n");
     table.print();
-    mega_obs::data!("\nPaper claims: Mega converges to equal quality in a fraction of the wall clock.");
+    mega_obs::data!(
+        "\nPaper claims: Mega converges to equal quality in a fraction of the wall clock."
+    );
     save_json("fig11_14_convergence", &results);
 }

@@ -56,10 +56,19 @@ fn main() {
     let target = dgl.best_val_loss() * 1.02;
     let base_time = dgl.sim_seconds_to_loss(target).unwrap_or(f64::INFINITY);
     let mut table = TableWriter::new(&[
-        "variant", "epoch sim(ms)", "final val loss", "final MAE", "epoch speedup", "convergence speedup",
+        "variant",
+        "epoch sim(ms)",
+        "final val loss",
+        "final MAE",
+        "epoch speedup",
+        "convergence speedup",
     ]);
     let mut results = Vec::new();
-    for (name, h) in [("DGL", &dgl), ("Mega", &mega), ("Mega + drop 20%", &mega_drop)] {
+    for (name, h) in [
+        ("DGL", &dgl),
+        ("Mega", &mega),
+        ("Mega + drop 20%", &mega_drop),
+    ] {
         let last = h.records.last().unwrap();
         let speedup = base_epoch / h.epoch_sim_seconds;
         let conv_speedup = h

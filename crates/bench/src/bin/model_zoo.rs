@@ -23,12 +23,26 @@ struct Row {
 
 fn main() {
     mega_obs::report::init_from_env();
-    let ds = zinc(&DatasetSpec { train: 256, val: 64, test: 64, seed: 33 });
+    let ds = zinc(&DatasetSpec {
+        train: 256,
+        val: 64,
+        test: 64,
+        seed: 33,
+    });
     let mut table = TableWriter::new(&[
-        "model", "DGL epoch(ms)", "Mega epoch(ms)", "speedup", "DGL MAE", "Mega MAE",
+        "model",
+        "DGL epoch(ms)",
+        "Mega epoch(ms)",
+        "speedup",
+        "DGL MAE",
+        "Mega MAE",
     ]);
     let mut rows = Vec::new();
-    for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer, ModelKind::Gat] {
+    for kind in [
+        ModelKind::GatedGcn,
+        ModelKind::GraphTransformer,
+        ModelKind::Gat,
+    ] {
         mega_obs::info!("training {}...", kind.label());
         let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, 1)
             .with_hidden(32)

@@ -105,9 +105,12 @@ fn main() {
     let schedule = preprocess(&g, &MegaConfig::default()).unwrap();
     let band = schedule.band();
     let len = band.len();
-    let x: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-    let weights: Vec<f32> =
-        (0..schedule.working_graph().edge_count()).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let x: Vec<f32> = (0..len * FEAT)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let weights: Vec<f32> = (0..schedule.working_graph().edge_count())
+        .map(|_| rng.gen_range(0.0f32..1.0))
+        .collect();
 
     let serial_ms = median_ms(|| banded_aggregate_serial(band, &x, FEAT, &weights));
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -117,21 +120,32 @@ fn main() {
         serial_ms
     );
 
-    let mut table =
-        TableWriter::new(&["threads", "chunks", "model speedup", "model eff", "host(ms)", "host speedup"]);
+    let mut table = TableWriter::new(&[
+        "threads",
+        "chunks",
+        "model speedup",
+        "model eff",
+        "host(ms)",
+        "host speedup",
+    ]);
     let mut rows = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         let par = Parallelism::with_threads(threads);
         let plan = ChunkPlan::for_band(band, &par);
-        let work: Vec<u64> = (0..plan.chunks().len()).map(|i| chunk_work(&plan, band, i)).collect();
+        let work: Vec<u64> = (0..plan.chunks().len())
+            .map(|i| chunk_work(&plan, band, i))
+            .collect();
         let span = makespan(&work, threads);
         // The serial kernel walks active slots directly (2 row updates of
         // `dim` lanes per slot, no offset scan); the chunked engine pays its
         // full scan cost, so the model charges it against serial honestly.
         let serial_units: u64 = 2 * FEAT as u64 * band.active_slots().len() as u64;
         // At one worker the engine dispatches straight to the serial kernel.
-        let model_speedup =
-            if threads <= 1 { 1.0 } else { serial_units as f64 / span.max(1) as f64 };
+        let model_speedup = if threads <= 1 {
+            1.0
+        } else {
+            serial_units as f64 / span.max(1) as f64
+        };
         let host_ms = median_ms(|| banded_aggregate(band, &x, FEAT, &weights, &par));
         let row = Row {
             threads,

@@ -52,13 +52,17 @@ fn measure(threads: usize) -> Row {
 
     let band = schedule.band();
     let len = band.len();
-    let x: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let x: Vec<f32> = (0..len * FEAT)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
     let weights: Vec<f32> = (0..schedule.working_graph().edge_count())
         .map(|_| rng.gen_range(0.0f32..1.0))
         .collect();
 
     // Banded attention: forward aggregation + weight gradient.
-    let grad: Vec<f32> = (0..len * FEAT).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let grad: Vec<f32> = (0..len * FEAT)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
     {
         let _s = mega_obs::span("timeshare_band");
         for _ in 0..REPS {
@@ -80,7 +84,9 @@ fn measure(threads: usize) -> Row {
     let wt = Tensor::from_vec(
         FEAT,
         FEAT,
-        (0..FEAT * FEAT).map(|_| rng.gen_range(-0.1f32..0.1)).collect(),
+        (0..FEAT * FEAT)
+            .map(|_| rng.gen_range(-0.1f32..0.1))
+            .collect(),
     );
     {
         let _s = mega_obs::span("timeshare_dense");

@@ -37,11 +37,17 @@ fn main() {
             ModelKind::Gat => ModelSpec::gat(d, 1),
         };
         let mut store = ParamStore::new();
-        let cfg = GnnConfig::new(kind, 8, 4, 1).with_hidden(d).with_layers(1).with_heads(4);
+        let cfg = GnnConfig::new(kind, 8, 4, 1)
+            .with_hidden(d)
+            .with_layers(1)
+            .with_heads(4);
         let _ = Gnn::new(&mut store, cfg);
         // Subtract embedding + head parameters to isolate the layer.
         let mut layer_only = ParamStore::new();
-        let cfg0 = GnnConfig::new(kind, 8, 4, 1).with_hidden(d).with_layers(2).with_heads(4);
+        let cfg0 = GnnConfig::new(kind, 8, 4, 1)
+            .with_hidden(d)
+            .with_layers(2)
+            .with_heads(4);
         let _ = Gnn::new(&mut layer_only, cfg0);
         let per_layer = layer_only.scalar_count() - store.scalar_count();
         table.row(&[

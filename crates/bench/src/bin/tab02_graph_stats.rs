@@ -21,8 +21,15 @@ fn main() {
     // Generated at a CPU-friendly scale; topology statistics are
     // per-graph and independent of split size.
     let spec = DatasetSpec::small(2024);
-    let mut table =
-        TableWriter::new(&["Datasets", "train", "validation", "test", "nodes", "edges(2m)", "sparsity"]);
+    let mut table = TableWriter::new(&[
+        "Datasets",
+        "train",
+        "validation",
+        "test",
+        "nodes",
+        "edges(2m)",
+        "sparsity",
+    ]);
     let mut rows = Vec::new();
     for ds in bench_datasets(&spec) {
         let st = ds.stats(128);

@@ -22,8 +22,7 @@ impl Args {
         while i < tokens.len() {
             let t = &tokens[i];
             if let Some(name) = t.strip_prefix("--") {
-                let value_next =
-                    tokens.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                let value_next = tokens.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 match value_next {
                     Some(v) => {
                         args.options.insert(name.to_string(), v);

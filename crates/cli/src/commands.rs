@@ -62,7 +62,18 @@ fn engine_by_name(name: &str) -> Result<EngineChoice, String> {
 /// `mega demo` — preprocess the paper's Fig. 3a graph and print the path.
 pub fn demo() -> Result<(), String> {
     let g = mega_graph::GraphBuilder::undirected(7)
-        .edges([(0, 1), (0, 5), (1, 2), (1, 5), (2, 3), (2, 6), (3, 6), (3, 4), (4, 6), (5, 6)])
+        .edges([
+            (0, 1),
+            (0, 5),
+            (1, 2),
+            (1, 5),
+            (2, 3),
+            (2, 6),
+            (3, 6),
+            (3, 4),
+            (4, 6),
+            (5, 6),
+        ])
         .map_err(|e| e.to_string())?
         .build()
         .map_err(|e| e.to_string())?;
@@ -117,7 +128,11 @@ pub fn preprocess(args: &Args) -> Result<(), String> {
         data!("graph: {} nodes, {} edges", stats.nodes, stats.edges);
         data!(
             "path length {} (expansion {:.2}x) | window {} | revisits {} | virtual {}",
-            stats.path_len, stats.expansion, stats.window, stats.revisits, stats.virtual_edges
+            stats.path_len,
+            stats.expansion,
+            stats.window,
+            stats.revisits,
+            stats.virtual_edges
         );
         data!(
             "band: coverage {:.1}% | density {:.3}",
@@ -138,7 +153,13 @@ pub fn stats(args: &Args) -> Result<(), String> {
     };
     data!(
         "{:<8} {:>7} {:>9} {:>9} {:>11} {:>10} {:>8}",
-        "dataset", "nodes", "edges(2m)", "sparsity", "mu(sig(d))", "sig(dmax)", "mu(eps)"
+        "dataset",
+        "nodes",
+        "edges(2m)",
+        "sparsity",
+        "mu(sig(d))",
+        "sig(dmax)",
+        "mu(eps)"
     );
     for name in names {
         let ds = dataset_by_name(name, &spec)?;
@@ -159,7 +180,12 @@ pub fn stats(args: &Args) -> Result<(), String> {
 
 /// `mega train` — train one model/engine combination and print the history.
 pub fn train(args: &Args) -> Result<(), String> {
-    let spec = DatasetSpec { train: 256, val: 64, test: 64, seed: 7 };
+    let spec = DatasetSpec {
+        train: 256,
+        val: 64,
+        test: 64,
+        seed: 7,
+    };
     let ds = dataset_by_name(args.get("dataset").unwrap_or("zinc"), &spec)?;
     let kind = model_by_name(args.get("model").unwrap_or("gcn"))?;
     let engine = engine_by_name(args.get("engine").unwrap_or("mega"))?;
@@ -174,21 +200,28 @@ pub fn train(args: &Args) -> Result<(), String> {
     // --threads 0 = auto (RAYON_NUM_THREADS, then hardware); parallel paths
     // are bit-deterministic, so the history is identical for every value.
     let threads = args.get_or("threads", 1usize)?;
-    // Backends are bit-identical too: `sim` decorates the reference kernels
-    // with the simulated-GPU profiler and reports the launches afterwards.
+    // Backends are bit-identical too: `sim` decorates another backend's
+    // kernels with the simulated-GPU profiler and reports the launches
+    // afterwards — `sim` alone wraps the reference loops, `sim:simd` (or
+    // `sim:blocked`) wraps the named backend so simulated profiling sees
+    // the same launch shapes the accelerated run executes.
     let backend_name = args.get("backend").unwrap_or("reference");
     let mut sim: Option<std::sync::Arc<mega_gpu_sim::SimBackend>> = None;
+    let unknown = |name: &str| {
+        format!("unknown backend `{name}` (reference | blocked | simd | sim | sim:<inner>)")
+    };
     let backend: std::sync::Arc<dyn mega_exec::Backend> = match backend_name {
-        "sim" => {
+        name if name == "sim" || name.starts_with("sim:") => {
+            let inner_name = name.strip_prefix("sim:").unwrap_or("reference");
+            let inner = mega_exec::backend_by_name(inner_name).ok_or_else(|| unknown(name))?;
             let s = std::sync::Arc::new(mega_gpu_sim::SimBackend::new(
-                std::sync::Arc::new(mega_exec::ReferenceBackend),
+                inner,
                 mega_gpu_sim::DeviceConfig::gtx_1080(),
             ));
             sim = Some(s.clone());
             s
         }
-        name => mega_exec::backend_by_name(name)
-            .ok_or_else(|| format!("unknown backend `{name}` (reference | blocked | sim)"))?,
+        name => mega_exec::backend_by_name(name).ok_or_else(|| unknown(name))?,
     };
     let trainer = Trainer::new(engine)
         .with_epochs(args.get_or("epochs", 5usize)?)
@@ -216,14 +249,31 @@ pub fn train(args: &Args) -> Result<(), String> {
     if let Some(sim) = &sim {
         data!("\n=== simulated kernel launches (--backend sim, GTX 1080) ===");
         data!("{}", sim.report());
-        data!("simulated backend time: {:.3} ms", sim.elapsed_seconds() * 1e3);
+        data!(
+            "simulated backend time: {:.3} ms",
+            sim.elapsed_seconds() * 1e3
+        );
     }
-    data!("simulated GPU epoch: {:.3} ms", hist.epoch_sim_seconds * 1e3);
-    data!("{:>5} {:>12} {:>10} {:>10} {:>12}", "epoch", "train-loss", "val-loss", "metric", "sim-clock(s)");
+    data!(
+        "simulated GPU epoch: {:.3} ms",
+        hist.epoch_sim_seconds * 1e3
+    );
+    data!(
+        "{:>5} {:>12} {:>10} {:>10} {:>12}",
+        "epoch",
+        "train-loss",
+        "val-loss",
+        "metric",
+        "sim-clock(s)"
+    );
     for r in &hist.records {
         data!(
             "{:>5} {:>12.4} {:>10.4} {:>10.4} {:>12.4}",
-            r.epoch, r.train_loss, r.val_loss, r.val_metric, r.sim_seconds
+            r.epoch,
+            r.train_loss,
+            r.val_loss,
+            r.val_metric,
+            r.sim_seconds
         );
     }
     write_obs_outputs(args)
@@ -237,7 +287,12 @@ pub fn train(args: &Args) -> Result<(), String> {
 /// (`gpusim.dgl.*` / `gpusim.mega.*`), and prints a span tree showing
 /// where host time went. `--trace-out` / `--metrics-out` export the run.
 pub fn profile(args: &Args) -> Result<(), String> {
-    let spec = DatasetSpec { train: 64, val: 8, test: 8, seed: 9 };
+    let spec = DatasetSpec {
+        train: 64,
+        val: 8,
+        test: 8,
+        seed: 9,
+    };
     let ds = dataset_by_name(args.get("dataset").unwrap_or("zinc"), &spec)?;
     let kind = model_by_name(args.get("model").unwrap_or("gt"))?;
     let batch = args.get_or("batch", 64usize)?;
@@ -262,7 +317,11 @@ pub fn profile(args: &Args) -> Result<(), String> {
         // Simulated-GPU kernel profile of one training step.
         let cost = mega_bench_profile(&ds, kind, engine, batch, hidden)?;
         cost.report.export_obs(gpusim_prefix);
-        data!("\n=== {} engine — one epoch ({} steps) ===", engine.label(), cost.steps);
+        data!(
+            "\n=== {} engine — one epoch ({} steps) ===",
+            engine.label(),
+            cost.steps
+        );
         data!("{}", cost.report);
         data!("simulated epoch: {:.3} ms", cost.epoch_seconds * 1e3);
 
@@ -318,7 +377,9 @@ fn mega_bench_profile(
         EngineChoice::Mega => Some(
             samples
                 .iter()
-                .map(|s| mega_preprocess(&s.graph, &MegaConfig::default()).map_err(|e| e.to_string()))
+                .map(|s| {
+                    mega_preprocess(&s.graph, &MegaConfig::default()).map_err(|e| e.to_string())
+                })
                 .collect::<Result<_, _>>()?,
         ),
         EngineChoice::Baseline => None,
@@ -328,5 +389,11 @@ fn mega_bench_profile(
         .with_layers(2)
         .with_heads(4);
     let steps = ds.train.len().div_ceil(batch).max(1);
-    Ok(mega_gnn::cost::epoch_cost(&cfg, engine, samples, schedules.as_deref(), steps))
+    Ok(mega_gnn::cost::epoch_cost(
+        &cfg,
+        engine,
+        samples,
+        schedules.as_deref(),
+        steps,
+    ))
 }

@@ -34,7 +34,7 @@ COMMANDS:
         --dataset NAME        zinc | aqsol | csl | cycles (default zinc)
         --model NAME          gcn | gt | gat (default gcn)
         --engine NAME         dgl | mega (default mega)
-        --backend NAME        kernel backend: reference | blocked | sim
+        --backend NAME        kernel backend: reference | blocked | simd | sim[:inner]
                               (default reference). All backends are
                               bit-identical; `blocked` uses cache-tiled
                               GEMMs, `sim` wraps reference and prints a

@@ -95,12 +95,22 @@ impl BandMask {
                     if !claimed[eid] {
                         claimed[eid] = true;
                         slots[i * window + (k - 1)] = eid;
-                        active.push(BandSlot { lo: i, hi: j, edge: eid });
+                        active.push(BandSlot {
+                            lo: i,
+                            hi: j,
+                            edge: eid,
+                        });
                     }
                 }
             }
         }
-        BandMask { len, window, working_edges: g.edge_count(), slots, active }
+        BandMask {
+            len,
+            window,
+            working_edges: g.edge_count(),
+            slots,
+            active,
+        }
     }
 
     /// Path length `L`.
@@ -124,7 +134,11 @@ impl BandMask {
     ///
     /// Panics if `k` is 0 or greater than the window.
     pub fn slot(&self, i: usize, k: usize) -> Option<usize> {
-        assert!(k >= 1 && k <= self.window, "offset {k} outside 1..={}", self.window);
+        assert!(
+            k >= 1 && k <= self.window,
+            "offset {k} outside 1..={}",
+            self.window
+        );
         if i + k >= self.len {
             return None;
         }

@@ -137,7 +137,9 @@ impl MegaConfig {
             WindowPolicy::Adaptive { min, max } if min == 0 || min > max => {
                 return Err(MegaError::InvalidConfig {
                     field: "window",
-                    reason: format!("adaptive bounds must satisfy 1 <= min <= max, got [{min}, {max}]"),
+                    reason: format!(
+                        "adaptive bounds must satisfy 1 <= min <= max, got [{min}, {max}]"
+                    ),
                 });
             }
             _ => {}
@@ -176,7 +178,13 @@ mod tests {
     #[test]
     fn rejects_zero_window() {
         let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(0));
-        assert!(matches!(cfg.validate(), Err(MegaError::InvalidConfig { field: "window", .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(MegaError::InvalidConfig {
+                field: "window",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -189,9 +197,18 @@ mod tests {
     fn rejects_out_of_range_coverage_and_drop() {
         assert!(MegaConfig::default().with_coverage(0.0).validate().is_err());
         assert!(MegaConfig::default().with_coverage(1.2).validate().is_err());
-        assert!(MegaConfig::default().with_edge_drop(1.0).validate().is_err());
-        assert!(MegaConfig::default().with_edge_drop(-0.1).validate().is_err());
-        assert!(MegaConfig::default().with_edge_drop(0.999).validate().is_ok());
+        assert!(MegaConfig::default()
+            .with_edge_drop(1.0)
+            .validate()
+            .is_err());
+        assert!(MegaConfig::default()
+            .with_edge_drop(-0.1)
+            .validate()
+            .is_err());
+        assert!(MegaConfig::default()
+            .with_edge_drop(0.999)
+            .validate()
+            .is_ok());
     }
 
     #[test]

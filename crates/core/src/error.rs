@@ -32,7 +32,10 @@ impl fmt::Display for MegaError {
             MegaError::InvalidConfig { field, reason } => {
                 write!(f, "invalid config field `{field}`: {reason}")
             }
-            MegaError::CoverageUnreachable { requested, achieved } => {
+            MegaError::CoverageUnreachable {
+                requested,
+                achieved,
+            } => {
                 write!(
                     f,
                     "requested edge coverage {requested} unreachable; achieved {achieved}"
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn display_mentions_field() {
-        let e = MegaError::InvalidConfig { field: "window", reason: "must be >= 1".into() };
+        let e = MegaError::InvalidConfig {
+            field: "window",
+            reason: "must be >= 1".into(),
+        };
         assert!(e.to_string().contains("window"));
     }
 

@@ -48,7 +48,11 @@ impl HeteroGraph {
                 reason: format!("type id {bad} out of range 0..{type_count}"),
             });
         }
-        Ok(HeteroGraph { graph, node_types, type_count })
+        Ok(HeteroGraph {
+            graph,
+            node_types,
+            type_count,
+        })
     }
 
     /// The underlying graph.
@@ -104,9 +108,16 @@ pub struct MultiPathSchedule {
 impl MultiPathSchedule {
     /// Total edges covered across all schedules.
     pub fn covered_edge_count(&self) -> usize {
-        let intra: usize =
-            self.per_type.iter().map(|t| t.schedule.band().covered_edge_count()).sum();
-        intra + self.cross.as_ref().map_or(0, |c| c.band().covered_edge_count())
+        let intra: usize = self
+            .per_type
+            .iter()
+            .map(|t| t.schedule.band().covered_edge_count())
+            .sum();
+        intra
+            + self
+                .cross
+                .as_ref()
+                .map_or(0, |c| c.band().covered_edge_count())
     }
 
     /// Total path positions across all schedules.
@@ -130,8 +141,9 @@ pub fn preprocess_hetero(
     let g = h.graph();
     let mut per_type = Vec::new();
     for t in 0..h.type_count() {
-        let local_to_global: Vec<usize> =
-            (0..g.node_count()).filter(|&v| h.node_types[v] == t).collect();
+        let local_to_global: Vec<usize> = (0..g.node_count())
+            .filter(|&v| h.node_types[v] == t)
+            .collect();
         if local_to_global.is_empty() {
             continue;
         }
@@ -196,7 +208,11 @@ mod tests {
 
     #[test]
     fn validates_type_vector() {
-        let g = GraphBuilder::undirected(2).edges([(0, 1)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(2)
+            .edges([(0, 1)])
+            .unwrap()
+            .build()
+            .unwrap();
         assert!(HeteroGraph::new(g.clone(), vec![0], 1).is_err());
         assert!(HeteroGraph::new(g.clone(), vec![0, 3], 2).is_err());
         assert!(HeteroGraph::new(g, vec![0, 1], 2).is_ok());
@@ -245,7 +261,11 @@ mod tests {
 
     #[test]
     fn empty_type_is_skipped() {
-        let g = GraphBuilder::undirected(3).edges([(0, 1), (1, 2)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(3)
+            .edges([(0, 1), (1, 2)])
+            .unwrap()
+            .build()
+            .unwrap();
         let h = HeteroGraph::new(g, vec![0, 0, 0], 3).unwrap();
         let mp = preprocess_hetero(&h, &MegaConfig::default()).unwrap();
         assert_eq!(mp.per_type.len(), 1);

@@ -4,7 +4,7 @@
 //! `(i, j)` with an active slot satisfies `|i - j| ≤ ω`. This module exploits
 //! that locality to split the path into `ceil(L / chunk)` segments whose read
 //! extents overlap by exactly ω positions, so **no in-band pair straddles a
-//! cut**: every active [`BandSlot`] relevant to a chunk's owned rows is fully
+//! cut**: every active [`BandSlot`](crate::band::BandSlot) relevant to a chunk's owned rows is fully
 //! visible inside that chunk's extent.
 //!
 //! # Determinism guarantee
@@ -45,7 +45,10 @@ pub struct Parallelism {
 impl Parallelism {
     /// A config pinned to `threads` workers (0 = auto).
     pub fn with_threads(threads: usize) -> Self {
-        Parallelism { threads, chunk_size: 0 }
+        Parallelism {
+            threads,
+            chunk_size: 0,
+        }
     }
 
     /// Sets the owned-rows-per-chunk size (0 = auto).
@@ -145,15 +148,27 @@ impl ChunkPlan {
         }
         if len == 0 {
             // A single empty chunk keeps downstream map/reduce uniform.
-            chunks.push(Chunk { start: 0, end: 0, read_lo: 0, read_hi: 0 });
+            chunks.push(Chunk {
+                start: 0,
+                end: 0,
+                read_lo: 0,
+                read_hi: 0,
+            });
         }
-        ChunkPlan { len, window, chunks }
+        ChunkPlan {
+            len,
+            window,
+            chunks,
+        }
     }
 
     /// The plan a `Parallelism` config resolves to for this band geometry.
     pub fn for_band(band: &BandMask, par: &Parallelism) -> Self {
-        let plan =
-            Self::build(band.len(), band.window(), par.effective_chunk_size(band.len(), band.window()));
+        let plan = Self::build(
+            band.len(),
+            band.window(),
+            par.effective_chunk_size(band.len(), band.window()),
+        );
         if mega_obs::enabled() {
             mega_obs::counter_add("core.parallel.plans", 1);
             mega_obs::record_value("core.parallel.plan_chunks", plan.chunks.len() as u64);
@@ -190,9 +205,12 @@ impl ChunkPlan {
     ///
     /// Panics if `pos >= len`.
     pub fn owner_of(&self, pos: usize) -> usize {
-        assert!(pos < self.len, "position {pos} outside path of length {}", self.len);
-        self.chunks
-            .partition_point(|c| c.end <= pos)
+        assert!(
+            pos < self.len,
+            "position {pos} outside path of length {}",
+            self.len
+        );
+        self.chunks.partition_point(|c| c.end <= pos)
     }
 }
 

@@ -121,7 +121,9 @@ impl PathRepresentation {
     /// Total revisits: `len() - node_count()` (every appearance past a node's
     /// first), saturating at 0 for paths that omit isolated nodes.
     pub fn revisit_count(&self) -> usize {
-        self.path.len().saturating_sub(self.node_positions.iter().filter(|p| !p.is_empty()).count())
+        self.path
+            .len()
+            .saturating_sub(self.node_positions.iter().filter(|p| !p.is_empty()).count())
     }
 
     /// Number of virtual steps in the path.

@@ -125,7 +125,7 @@ impl AttentionSchedule {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::config::{MegaConfig, WindowPolicy};
     use crate::preprocess;
     use mega_graph::generate;

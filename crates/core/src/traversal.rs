@@ -107,8 +107,7 @@ impl<'g> State<'g> {
         for v in 0..n {
             open_nbrs.push(g.neighbors(v).to_vec());
         }
-        let open_nodes: BTreeSet<usize> =
-            (0..n).filter(|&v| !open_nbrs[v].is_empty()).collect();
+        let open_nodes: BTreeSet<usize> = (0..n).filter(|&v| !open_nbrs[v].is_empty()).collect();
         let mut edge_of = HashMap::with_capacity(g.edge_count());
         for (eid, (s, d)) in g.edges().enumerate() {
             edge_of.insert((s.min(d), s.max(d)), eid);
@@ -437,14 +436,17 @@ pub fn traverse_parallel(
             };
             for (s, d) in working.edges() {
                 if (lo..hi).contains(&s) && (lo..hi).contains(&d) {
-                    b.edge(s - lo, d - lo).expect("induced edge ids are in range");
+                    b.edge(s - lo, d - lo)
+                        .expect("induced edge ids are in range");
                 }
             }
             let sub = b.build().expect("induced subgraph is well-formed");
             let local = traverse_working(
                 sub,
                 &local_base.clone().with_seed(
-                    config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a as u64 + 1)),
+                    config
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a as u64 + 1)),
                 ),
             )?;
             if let Some(t0) = walk_start {
@@ -483,7 +485,18 @@ mod tests {
     fn fig3a() -> Graph {
         // The 7-node demonstration graph of Fig. 3a.
         GraphBuilder::undirected(7)
-            .edges([(0, 1), (0, 5), (1, 2), (1, 5), (2, 3), (2, 6), (3, 6), (3, 4), (4, 6), (5, 6)])
+            .edges([
+                (0, 1),
+                (0, 5),
+                (1, 2),
+                (1, 5),
+                (2, 3),
+                (2, 6),
+                (3, 6),
+                (3, 4),
+                (4, 6),
+                (5, 6),
+            ])
             .unwrap()
             .build()
             .unwrap()
@@ -553,7 +566,11 @@ mod tests {
 
     #[test]
     fn isolated_nodes_appear_in_path() {
-        let g = GraphBuilder::undirected(4).edges([(0, 1)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1)])
+            .unwrap()
+            .build()
+            .unwrap();
         let t = traverse(&g, &full_cfg(1)).unwrap();
         for v in 0..4 {
             assert!(t.path.contains(&v), "node {v} missing from path");
@@ -695,9 +712,13 @@ mod tests {
     #[test]
     fn parallel_agents_clamped_to_node_count() {
         let g = generate::cycle(5).unwrap();
-        let t =
-            traverse_parallel(&g, &full_cfg(1), 64, &crate::parallel::Parallelism::with_threads(2))
-                .unwrap();
+        let t = traverse_parallel(
+            &g,
+            &full_cfg(1),
+            64,
+            &crate::parallel::Parallelism::with_threads(2),
+        )
+        .unwrap();
         assert_eq!(t.covered_edges, 5);
     }
 

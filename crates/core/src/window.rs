@@ -109,7 +109,10 @@ mod tests {
         let g = generate::cycle(6).unwrap();
         assert_eq!(resolve_window(&g, WindowPolicy::Fixed(7)), 7);
         assert_eq!(resolve_window(&g, WindowPolicy::Fixed(0)), 1); // floor at 1
-        assert_eq!(resolve_window(&g, WindowPolicy::Adaptive { min: 2, max: 8 }), 2);
+        assert_eq!(
+            resolve_window(&g, WindowPolicy::Adaptive { min: 2, max: 8 }),
+            2
+        );
     }
 
     #[test]

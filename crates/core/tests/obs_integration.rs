@@ -43,10 +43,16 @@ fn worker_thread_spans_are_thread_local_roots() {
         .unwrap_or_else(|| panic!("no root worker_op span in {paths:?}"));
     assert_eq!(worker.count, 64, "one span per item");
     assert!(paths.contains(&"outer"));
-    assert!(!paths.contains(&"outer/worker_op"), "worker spans leaked into caller tree");
+    assert!(
+        !paths.contains(&"outer/worker_op"),
+        "worker spans leaked into caller tree"
+    );
     // Workers get distinct thread ids in the raw span records.
     let tids: std::collections::BTreeSet<u64> = mega_obs::trace_tids();
-    assert!(tids.len() >= 2, "expected multiple thread ids, got {tids:?}");
+    assert!(
+        tids.len() >= 2,
+        "expected multiple thread ids, got {tids:?}"
+    );
     mega_obs::reset();
 }
 
@@ -67,7 +73,10 @@ fn inline_path_nests_under_caller_span() {
     mega_obs::set_enabled(false);
     let snap = mega_obs::snapshot();
     let inline = snap.spans.iter().find(|s| s.path == "outer/worker_op");
-    assert!(inline.is_some_and(|s| s.count == 8), "inline spans must nest under outer");
+    assert!(
+        inline.is_some_and(|s| s.count == 8),
+        "inline spans must nest under outer"
+    );
     let counters: std::collections::BTreeMap<_, _> = snap.counters.iter().cloned().collect();
     assert_eq!(counters.get("core.parallel.inline_runs"), Some(&1));
     mega_obs::reset();

@@ -34,8 +34,16 @@ mod tests {
         let ds = aqsol(&DatasetSpec::small(11));
         assert!(ds.validate());
         let st = ds.stats(64);
-        assert!((st.mean_nodes - 18.0).abs() < 2.0, "nodes {}", st.mean_nodes);
-        assert!((st.mean_sparsity - 0.148).abs() < 0.05, "sparsity {}", st.mean_sparsity);
+        assert!(
+            (st.mean_nodes - 18.0).abs() < 2.0,
+            "nodes {}",
+            st.mean_nodes
+        );
+        assert!(
+            (st.mean_sparsity - 0.148).abs() < 0.05,
+            "sparsity {}",
+            st.mean_sparsity
+        );
     }
 
     #[test]

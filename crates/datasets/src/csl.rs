@@ -45,7 +45,9 @@ pub fn csl(spec: &DatasetSpec) -> Dataset {
     let test = make(spec.test, &mut rng);
     Dataset {
         name: "CSL".to_string(),
-        task: Task::Classification { classes: CSL_SKIPS.len() },
+        task: Task::Classification {
+            classes: CSL_SKIPS.len(),
+        },
         node_vocab: CSL_NODES,
         edge_vocab: 2,
         train,
@@ -90,12 +92,16 @@ mod tests {
         let st = ds.stats(32);
         assert!((st.mean_nodes - 41.0).abs() < 1e-9);
         assert!((st.mean_edges - 82.0).abs() < 1e-9); // 164 slots / 2
-        // Table III row CSL: all-zero degree variance, μ(ε) = 1.
+                                                      // Table III row CSL: all-zero degree variance, μ(ε) = 1.
         assert!(st.mean_degree_std.abs() < 1e-9);
         assert!(st.std_min_degree.abs() < 1e-9);
         assert!(st.std_max_degree.abs() < 1e-9);
         assert!((st.mean_ks_similarity - 1.0).abs() < 1e-9);
-        assert!((st.mean_sparsity - 0.098).abs() < 0.005, "sparsity {}", st.mean_sparsity);
+        assert!(
+            (st.mean_sparsity - 0.098).abs() < 0.005,
+            "sparsity {}",
+            st.mean_sparsity
+        );
     }
 
     #[test]

@@ -48,8 +48,9 @@ pub fn cycles(spec: &DatasetSpec) -> Dataset {
 
 fn cycle_sample(positive: bool, rng: &mut StdRng) -> GraphSample {
     let graph = build_components(positive, rng).expect("component builder produces valid graphs");
-    let node_features: Vec<usize> =
-        (0..graph.node_count()).map(|_| rng.gen_range(0..NODE_VOCAB)).collect();
+    let node_features: Vec<usize> = (0..graph.node_count())
+        .map(|_| rng.gen_range(0..NODE_VOCAB))
+        .collect();
     let edge_features = vec![0usize; graph.edge_count()];
     GraphSample {
         graph,
@@ -132,8 +133,16 @@ mod tests {
         let ds = cycles(&DatasetSpec::small(2));
         assert!(ds.validate());
         let st = ds.stats(64);
-        assert!((st.mean_nodes - 49.0).abs() < 3.0, "nodes {}", st.mean_nodes);
-        assert!((st.mean_sparsity - 0.036).abs() < 0.01, "sparsity {}", st.mean_sparsity);
+        assert!(
+            (st.mean_nodes - 49.0).abs() < 3.0,
+            "nodes {}",
+            st.mean_nodes
+        );
+        assert!(
+            (st.mean_sparsity - 0.036).abs() < 0.01,
+            "sparsity {}",
+            st.mean_sparsity
+        );
         // Table III: constant min degree across graphs.
         assert!(st.std_min_degree.abs() < 1e-9);
         // Degree mixture of 1s and 2s.
@@ -149,7 +158,11 @@ mod tests {
 
     #[test]
     fn has_triangle_detector_is_correct() {
-        let tri = GraphBuilder::undirected(3).edges([(0, 1), (1, 2), (2, 0)]).unwrap().build().unwrap();
+        let tri = GraphBuilder::undirected(3)
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .unwrap()
+            .build()
+            .unwrap();
         assert!(has_triangle(&tri));
         let square = GraphBuilder::undirected(4)
             .edges([(0, 1), (1, 2), (2, 3), (3, 0)])

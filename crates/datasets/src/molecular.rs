@@ -57,8 +57,14 @@ pub(crate) fn molecular_dataset(spec: &DatasetSpec, p: &MolecularParams) -> Data
 }
 
 fn molecular_sample(p: &MolecularParams, rng: &mut StdRng) -> GraphSample {
-    let jitter = if p.nodes_jitter == 0 { 0 } else { rng.gen_range(0..=2 * p.nodes_jitter) };
-    let n = (p.nodes_mean + jitter).saturating_sub(p.nodes_jitter).max(4);
+    let jitter = if p.nodes_jitter == 0 {
+        0
+    } else {
+        rng.gen_range(0..=2 * p.nodes_jitter)
+    };
+    let n = (p.nodes_mean + jitter)
+        .saturating_sub(p.nodes_jitter)
+        .max(4);
     let rings = rng.gen_range(0..=p.ring_closures);
     let graph: Graph = generate::molecular_chain(n, rings, p.max_branch, rng)
         .expect("molecular generator with n >= 4 cannot fail");
@@ -75,10 +81,16 @@ fn molecular_sample(p: &MolecularParams, rng: &mut StdRng) -> GraphSample {
             }
         })
         .collect();
-    let edge_features: Vec<usize> =
-        (0..graph.edge_count()).map(|_| rng.gen_range(0..EDGE_VOCAB)).collect();
+    let edge_features: Vec<usize> = (0..graph.edge_count())
+        .map(|_| rng.gen_range(0..EDGE_VOCAB))
+        .collect();
     let target = Target::Regression(molecular_target(&graph, &node_features, &edge_features));
-    GraphSample { graph, node_features, edge_features, target }
+    GraphSample {
+        graph,
+        node_features,
+        edge_features,
+        target,
+    }
 }
 
 /// The synthetic solubility target (documented in the module docs).
@@ -120,11 +132,23 @@ mod tests {
         let ds = zinc(&DatasetSpec::small(1));
         assert!(ds.validate());
         let st = ds.stats(64);
-        assert!((st.mean_nodes - 23.0).abs() < 2.0, "nodes {}", st.mean_nodes);
+        assert!(
+            (st.mean_nodes - 23.0).abs() < 2.0,
+            "nodes {}",
+            st.mean_nodes
+        );
         // Table II sparsity 0.096.
-        assert!((st.mean_sparsity - 0.096).abs() < 0.03, "sparsity {}", st.mean_sparsity);
+        assert!(
+            (st.mean_sparsity - 0.096).abs() < 0.03,
+            "sparsity {}",
+            st.mean_sparsity
+        );
         // Table III: tight degree distribution, high KS similarity.
-        assert!(st.mean_degree_std < 1.2, "degree std {}", st.mean_degree_std);
+        assert!(
+            st.mean_degree_std < 1.2,
+            "degree std {}",
+            st.mean_degree_std
+        );
         assert!(st.mean_ks_similarity > 0.75, "ks {}", st.mean_ks_similarity);
     }
 

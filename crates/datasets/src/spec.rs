@@ -16,32 +16,62 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// The paper's ZINC split sizes (10000/1000/1000).
     pub fn paper_zinc(seed: u64) -> Self {
-        DatasetSpec { train: 10_000, val: 1_000, test: 1_000, seed }
+        DatasetSpec {
+            train: 10_000,
+            val: 1_000,
+            test: 1_000,
+            seed,
+        }
     }
 
     /// The paper's AQSOL split sizes (7985/996/996).
     pub fn paper_aqsol(seed: u64) -> Self {
-        DatasetSpec { train: 7_985, val: 996, test: 996, seed }
+        DatasetSpec {
+            train: 7_985,
+            val: 996,
+            test: 996,
+            seed,
+        }
     }
 
     /// The paper's CSL split sizes (90/30/30).
     pub fn paper_csl(seed: u64) -> Self {
-        DatasetSpec { train: 90, val: 30, test: 30, seed }
+        DatasetSpec {
+            train: 90,
+            val: 30,
+            test: 30,
+            seed,
+        }
     }
 
     /// The paper's CYCLES split sizes (9000/1000/10000).
     pub fn paper_cycles(seed: u64) -> Self {
-        DatasetSpec { train: 9_000, val: 1_000, test: 10_000, seed }
+        DatasetSpec {
+            train: 9_000,
+            val: 1_000,
+            test: 10_000,
+            seed,
+        }
     }
 
     /// A small split for CPU-scale experiments (400/80/80).
     pub fn small(seed: u64) -> Self {
-        DatasetSpec { train: 400, val: 80, test: 80, seed }
+        DatasetSpec {
+            train: 400,
+            val: 80,
+            test: 80,
+            seed,
+        }
     }
 
     /// A tiny split for unit tests (24/8/8).
     pub fn tiny(seed: u64) -> Self {
-        DatasetSpec { train: 24, val: 8, test: 8, seed }
+        DatasetSpec {
+            train: 24,
+            val: 8,
+            test: 8,
+            seed,
+        }
     }
 
     /// Total samples across splits.

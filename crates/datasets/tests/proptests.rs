@@ -5,7 +5,12 @@ use mega_graph::algo;
 use proptest::prelude::*;
 
 fn spec(seed: u64, train: usize) -> DatasetSpec {
-    DatasetSpec { train, val: 4, test: 4, seed }
+    DatasetSpec {
+        train,
+        val: 4,
+        test: 4,
+        seed,
+    }
 }
 
 fn check_common(ds: &Dataset) -> Result<(), TestCaseError> {

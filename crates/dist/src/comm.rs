@@ -39,7 +39,12 @@ pub fn edge_cut_volume(g: &Graph, parts: &[usize], k: usize) -> CommStats {
             volume += 2; // one row each direction per aggregation round
         }
     }
-    CommStats { partitions: k, comm_pairs: pairs.len(), volume_rows: volume, replica_rows: 0 }
+    CommStats {
+        partitions: k,
+        comm_pairs: pairs.len(),
+        volume_rows: volume,
+        replica_rows: 0,
+    }
 }
 
 /// Communication of MEGA's path-segment partitioning: adjacent segments
@@ -132,7 +137,12 @@ mod tests {
         let s = preprocess(&g, &MegaConfig::default()).unwrap();
         let cut = edge_cut_volume(&g, &hash_partition(&g, k), k);
         let path = path_partition_volume(&s, k);
-        assert!(path.volume_rows < cut.volume_rows, "path {} vs cut {}", path.volume_rows, cut.volume_rows);
+        assert!(
+            path.volume_rows < cut.volume_rows,
+            "path {} vs cut {}",
+            path.volume_rows,
+            cut.volume_rows
+        );
         assert!(path.comm_pairs < cut.comm_pairs);
     }
 

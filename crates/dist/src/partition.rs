@@ -103,7 +103,10 @@ mod tests {
         let p = path_segments(&s, 3);
         assert_eq!(p.len(), s.path().len());
         for w in p.windows(2) {
-            assert!(w[1] == w[0] || w[1] == w[0] + 1, "segments must be contiguous");
+            assert!(
+                w[1] == w[0] || w[1] == w[0] + 1,
+                "segments must be contiguous"
+            );
         }
         assert_eq!(*p.last().unwrap(), 2);
     }

@@ -22,12 +22,18 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// A 10 GbE-class cluster: 1.25 GB/s links, 50 µs messages.
     pub fn ten_gbe() -> Self {
-        ClusterConfig { bandwidth: 1.25e9, latency: 50e-6 }
+        ClusterConfig {
+            bandwidth: 1.25e9,
+            latency: 50e-6,
+        }
     }
 
     /// An NVLink-class fabric: 50 GB/s links, 5 µs messages.
     pub fn nvlink() -> Self {
-        ClusterConfig { bandwidth: 50e9, latency: 5e-6 }
+        ClusterConfig {
+            bandwidth: 50e9,
+            latency: 5e-6,
+        }
     }
 }
 

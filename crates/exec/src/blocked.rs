@@ -24,10 +24,29 @@ use crate::Backend;
 use mega_core::parallel::{ordered_map, Parallelism};
 
 /// Output rows per tile: one tile of rows shares each cache-resident strip
-/// of packed `b`.
-const MC: usize = 32;
+/// of packed `b`. Shared with `SimdBackend`, which reuses the same packed
+/// layout.
+pub(crate) const MC: usize = 32;
 /// Output columns held in registers at once (8 SSE / 4 AVX vectors).
-const NR: usize = 32;
+pub(crate) const NR: usize = 32;
+
+/// Packs `b` (`k × m`, row-major) into contiguous `k × NR` column strips,
+/// zero-padded to `NR` wide — the layout both the blocked and the SIMD
+/// micro-kernels stream through. The copy is O(k·m) against O(n·k·m)
+/// multiply-adds that reuse it.
+pub(crate) fn pack_strips(b: &[f32], k: usize, m: usize) -> Vec<f32> {
+    let strips = m.div_ceil(NR);
+    let mut packed = vec![0.0f32; strips * k * NR];
+    for s in 0..strips {
+        let jt = s * NR;
+        let w = NR.min(m - jt);
+        let slab = &mut packed[s * k * NR..(s + 1) * k * NR];
+        for kk in 0..k {
+            slab[kk * NR..kk * NR + w].copy_from_slice(&b[kk * m + jt..kk * m + jt + w]);
+        }
+    }
+    packed
+}
 
 /// Accumulates a full column strip into `NR` output columns held in
 /// registers. `strip` is the packed, contiguous `k × NR` slab for this
@@ -62,18 +81,8 @@ fn gemm_blocked_rows(
     bias_relu: Option<&[f32]>,
     out: &mut [f32],
 ) {
-    // Pack `b` column strips contiguous and zero-padded to NR wide. The
-    // copy is O(k·m) against O(n·k·m) multiply-adds that reuse it.
     let strips = m.div_ceil(NR);
-    let mut packed = vec![0.0f32; strips * k * NR];
-    for s in 0..strips {
-        let jt = s * NR;
-        let w = NR.min(m - jt);
-        let slab = &mut packed[s * k * NR..(s + 1) * k * NR];
-        for kk in 0..k {
-            slab[kk * NR..kk * NR + w].copy_from_slice(&b[kk * m + jt..kk * m + jt + w]);
-        }
-    }
+    let packed = pack_strips(b, k, m);
 
     let mut ib = lo;
     while ib < hi {
@@ -205,7 +214,13 @@ mod tests {
     #[test]
     fn blocked_matmul_bit_identical_to_reference() {
         // Shapes straddling the tile sizes and the parallel cutoff.
-        for &(n, k, m) in &[(1usize, 1usize, 1usize), (7, 13, 5), (33, 64, 17), (40, 70, 65), (64, 128, 32)] {
+        for &(n, k, m) in &[
+            (1usize, 1usize, 1usize),
+            (7, 13, 5),
+            (33, 64, 17),
+            (40, 70, 65),
+            (64, 128, 32),
+        ] {
             let a = sample(n * k, (n * 31 + k) as u32);
             let b = sample(k * m, (k * 17 + m) as u32);
             for threads in [1usize, 2, 4] {

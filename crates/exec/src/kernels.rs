@@ -84,7 +84,12 @@ pub fn matmul_par(
     let parts = ordered_map(&ranges, threads, |_, &(lo, hi)| {
         let mut part = vec![0.0f32; (hi - lo) * m];
         for i in lo..hi {
-            matmul_row(&a[i * k..(i + 1) * k], b, m, &mut part[(i - lo) * m..(i - lo + 1) * m]);
+            matmul_row(
+                &a[i * k..(i + 1) * k],
+                b,
+                m,
+                &mut part[(i - lo) * m..(i - lo + 1) * m],
+            );
         }
         part
     });
@@ -191,7 +196,12 @@ pub fn unary(op: Unary, x: &[f32], out: &mut [f32]) {
 /// Panics if any index is `>= src_rows`.
 pub fn gather_rows(src: &[f32], src_rows: usize, cols: usize, index: &[usize], out: &mut [f32]) {
     assert_eq!(src.len(), src_rows * cols, "src must be {src_rows}x{cols}");
-    assert_eq!(out.len(), index.len() * cols, "out must be {}x{cols}", index.len());
+    assert_eq!(
+        out.len(),
+        index.len() * cols,
+        "out must be {}x{cols}",
+        index.len()
+    );
     for (i, &s) in index.iter().enumerate() {
         assert!(s < src_rows, "gather index {s} out of range");
         out[i * cols..(i + 1) * cols].copy_from_slice(&src[s * cols..(s + 1) * cols]);
@@ -205,8 +215,18 @@ pub fn gather_rows(src: &[f32], src_rows: usize, cols: usize, index: &[usize], o
 ///
 /// Panics if any index is `>= out_rows` or `index.len()` disagrees with
 /// `src`.
-pub fn scatter_add_rows(src: &[f32], index: &[usize], cols: usize, out_rows: usize, out: &mut [f32]) {
-    assert_eq!(src.len(), index.len() * cols, "index length must equal row count");
+pub fn scatter_add_rows(
+    src: &[f32],
+    index: &[usize],
+    cols: usize,
+    out_rows: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(
+        src.len(),
+        index.len() * cols,
+        "index length must equal row count"
+    );
     assert_eq!(out.len(), out_rows * cols, "out must be {out_rows}x{cols}");
     for (i, &dst) in index.iter().enumerate() {
         assert!(dst < out_rows, "scatter index {dst} out of range");

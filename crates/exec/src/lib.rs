@@ -8,7 +8,7 @@
 //! (or a profiling decorator — see `mega-gpu-sim`'s `SimBackend`) is a
 //! one-crate change.
 //!
-//! Two concrete backends live here:
+//! Three concrete backends live here:
 //!
 //! * [`ReferenceBackend`] — the default-method loops of [`kernels`], the
 //!   exact arithmetic the workspace has always used.
@@ -16,18 +16,25 @@
 //!   Bit-identical to the reference (tiling only reorders *memory* traffic;
 //!   each output element folds its `k` products in the same ascending
 //!   order), just faster on matrices that overflow cache.
+//! * [`SimdBackend`] — explicit-width vector lanes (AVX intrinsics with a
+//!   portable scalar-lane fallback) over the blocked strip layout, for the
+//!   GEMM micro-kernel, the elementwise family, and the fused epilogue.
+//!   Bit-identical too: lanes vectorize across output elements, never
+//!   across a single element's `k` fold.
 //!
 //! [`BufferPool`] supplies recycled output buffers so steady-state training
 //! stops allocating per tape node.
 
-pub mod kernels;
 mod blocked;
+pub mod kernels;
 mod pool;
 mod reference;
+mod simd;
 
 pub use blocked::BlockedBackend;
 pub use pool::BufferPool;
 pub use reference::ReferenceBackend;
+pub use simd::SimdBackend;
 
 use mega_core::band::BandMask;
 use mega_core::Parallelism;
@@ -127,7 +134,14 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     }
 
     /// Row gather `out[i] = src[index[i]]`.
-    fn gather_rows(&self, src: &[f32], src_rows: usize, cols: usize, index: &[usize], out: &mut [f32]) {
+    fn gather_rows(
+        &self,
+        src: &[f32],
+        src_rows: usize,
+        cols: usize,
+        index: &[usize],
+        out: &mut [f32],
+    ) {
         kernels::gather_rows(src, src_rows, cols, index, out);
     }
 
@@ -224,11 +238,12 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     }
 }
 
-/// Resolves a backend by its CLI name (`reference` or `blocked`).
+/// Resolves a backend by its CLI name (`reference`, `blocked`, or `simd`).
 pub fn backend_by_name(name: &str) -> Option<Arc<dyn Backend>> {
     match name {
         "reference" => Some(Arc::new(ReferenceBackend)),
         "blocked" => Some(Arc::new(BlockedBackend)),
+        "simd" => Some(Arc::new(SimdBackend::new())),
         _ => None,
     }
 }
@@ -241,6 +256,7 @@ mod tests {
     fn backend_lookup_by_name() {
         assert_eq!(backend_by_name("reference").unwrap().name(), "reference");
         assert_eq!(backend_by_name("blocked").unwrap().name(), "blocked");
+        assert_eq!(backend_by_name("simd").unwrap().name(), "simd");
         assert!(backend_by_name("cuda").is_none());
     }
 
@@ -266,11 +282,29 @@ mod tests {
         let w = [1.0f32, 2.0, 3.0, 4.0];
         let bias = [0.5f32, -10.0];
         let mut out = [0.0f32; 2];
-        b.linear_relu(&x, &w, &bias, 1, 2, 2, &Parallelism::with_threads(1), &mut out);
+        b.linear_relu(
+            &x,
+            &w,
+            &bias,
+            1,
+            2,
+            2,
+            &Parallelism::with_threads(1),
+            &mut out,
+        );
         // x·w = [-2, -2]; +bias = [-1.5, -12]; relu = [0, 0]
         assert_eq!(out, [0.0, 0.0]);
         let x2 = [1.0f32, 1.0];
-        b.linear_relu(&x2, &w, &bias, 1, 2, 2, &Parallelism::with_threads(1), &mut out);
+        b.linear_relu(
+            &x2,
+            &w,
+            &bias,
+            1,
+            2,
+            2,
+            &Parallelism::with_threads(1),
+            &mut out,
+        );
         // x·w = [4, 6]; +bias = [4.5, -4]; relu = [4.5, 0]
         assert_eq!(out, [4.5, 0.0]);
     }

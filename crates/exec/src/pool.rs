@@ -59,7 +59,9 @@ impl BufferPool {
     pub fn acquire(&self, len: usize) -> Vec<f32> {
         let recycled = {
             let mut classes = self.classes.lock().expect("buffer pool poisoned");
-            classes.get_mut(&Self::class_of_request(len)).and_then(Vec::pop)
+            classes
+                .get_mut(&Self::class_of_request(len))
+                .and_then(Vec::pop)
         };
         match recycled {
             Some(mut buf) => {
@@ -107,7 +109,12 @@ impl BufferPool {
 
     /// Buffers currently parked in the pool, across all classes.
     pub fn pooled(&self) -> usize {
-        self.classes.lock().expect("buffer pool poisoned").values().map(Vec::len).sum()
+        self.classes
+            .lock()
+            .expect("buffer pool poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 }
 

@@ -24,7 +24,9 @@ fn band_fixture(n: usize, w: usize) -> BandMask {
 
 fn random_rows(len: usize, dim: usize, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    (0..len * dim)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect()
 }
 
 #[test]
@@ -32,7 +34,12 @@ fn parallel_aggregation_bit_identical_to_serial() {
     let band = band_fixture(40, 3);
     let dim = 5;
     let x = random_rows(band.len(), dim, 7);
-    let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
+    let edges = band
+        .active_slots()
+        .iter()
+        .map(|s| s.edge)
+        .max()
+        .map_or(0, |m| m + 1);
     let mut rng = StdRng::seed_from_u64(9);
     let weights: Vec<f32> = (0..edges).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     let serial = banded_aggregate_serial(&band, &x, dim, &weights);
@@ -54,7 +61,12 @@ fn weight_grad_bit_identical_to_serial() {
     let dim = 4;
     let x = random_rows(band.len(), dim, 3);
     let d_out = random_rows(band.len(), dim, 4);
-    let edges = band.active_slots().iter().map(|s| s.edge).max().map_or(0, |m| m + 1);
+    let edges = band
+        .active_slots()
+        .iter()
+        .map(|s| s.edge)
+        .max()
+        .map_or(0, |m| m + 1);
     let serial = banded_weight_grad_serial(&band, &x, &d_out, dim, edges);
     for threads in [1usize, 3, 8] {
         let par = Parallelism::with_threads(threads).with_chunk_size(5);

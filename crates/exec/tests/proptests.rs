@@ -7,13 +7,37 @@
 //!    including shapes that straddle the `MC`/`KC` tile boundaries and the
 //!    serial/parallel flop cutoff, and inputs with exact zeros (the
 //!    zero-skip fast path must fire identically in both).
-//! 2. **Adjoint structure** — `scatter_add_rows` is the exact adjoint of
+//! 2. **SIMD ≡ reference** — the vectorized [`SimdBackend`] must be
+//!    bit-for-bit identical to the reference for every GEMM shape and every
+//!    lane implementation (native intrinsics and all portable widths), and
+//!    its elementwise family must match element-for-element.
+//! 3. **Adjoint structure** — `scatter_add_rows` is the exact adjoint of
 //!    `gather_rows` (⟨G x, y⟩ = ⟨x, Gᵀ y⟩), and both agree with central
 //!    finite differences of the induced scalar loss.
 
 use mega_core::Parallelism;
-use mega_exec::{Backend, BlockedBackend, ReferenceBackend, Unary};
+use mega_exec::{Backend, BlockedBackend, ReferenceBackend, SimdBackend, Unary};
 use proptest::prelude::*;
+
+/// Every lane implementation of the SIMD backend: the portable widths
+/// everywhere, plus the auto-detected native path when the host has it.
+fn simd_modes() -> Vec<SimdBackend> {
+    let mut v = vec![
+        SimdBackend::with_portable_lanes(4),
+        SimdBackend::with_portable_lanes(8),
+        SimdBackend::with_portable_lanes(16),
+    ];
+    let auto = SimdBackend::new();
+    if auto.is_accelerated() {
+        v.push(auto);
+    }
+    v
+}
+
+/// Exact bit patterns of a float slice, for whole-vector equality asserts.
+fn bit_vec(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
 
 /// Row-major matrix entries with exact zeros mixed in, so the zero-skip
 /// branch in the inner kernel is exercised as well as the dense path.
@@ -82,6 +106,78 @@ proptest! {
         ReferenceBackend.unary(Unary::Relu, &biased, &mut relued);
         for (g, w) in want.iter().zip(&relued) {
             prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// SimdBackend's vectorized GEMM is bit-identical to the reference
+    /// loops for every shape, every lane width, and both thread counts —
+    /// the lanes split the output columns, never a single element's fold.
+    #[test]
+    fn simd_matmul_bit_identical_to_reference(
+        (n, k, m) in (1usize..70, 1usize..70, 1usize..70),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> =
+            (0..n * k).map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-2.0f32..2.0) }).collect();
+        let b: Vec<f32> =
+            (0..k * m).map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-2.0f32..2.0) }).collect();
+        for backend in simd_modes() {
+            for threads in [1usize, 4] {
+                let par = Parallelism::with_threads(threads);
+                let mut want = vec![0.0f32; n * m];
+                ReferenceBackend.matmul(&a, &b, n, k, m, &par, &mut want);
+                let mut got = vec![0.0f32; n * m];
+                backend.matmul(&a, &b, n, k, m, &par, &mut got);
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(
+                        g.to_bits(), w.to_bits(),
+                        "lanes={} threads={}", backend.lane_width(), threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// The SIMD fused linear+ReLU and the elementwise family match the
+    /// reference bit-for-bit, including the scalar tail past the last full
+    /// vector and the transcendental delegation.
+    #[test]
+    fn simd_elementwise_and_fused_bit_identical_to_reference(
+        (n, k, m, slope) in (1usize..40, 1usize..40, 1usize..40, 0.01f32..0.5),
+        x in arb_matrix(40 * 40),
+        w in arb_matrix(40 * 40),
+        bias in arb_matrix(40),
+    ) {
+        let par = Parallelism::with_threads(1);
+        let x = &x[..n * k];
+        let w = &w[..k * m];
+        let bias = &bias[..m];
+        for backend in simd_modes() {
+            let lanes = backend.lane_width();
+            let mut want = vec![0.0f32; n * m];
+            ReferenceBackend.linear_relu(x, w, bias, n, k, m, &par, &mut want);
+            let mut got = vec![0.0f32; n * m];
+            backend.linear_relu(x, w, bias, n, k, m, &par, &mut got);
+            for (g, r) in got.iter().zip(&want) {
+                prop_assert_eq!(g.to_bits(), r.to_bits(), "linear_relu lanes={}", lanes);
+            }
+            let len = (n * k).min(k * m);
+            let (a, b) = (&x[..len], &w[..len]);
+            let mut want = vec![0.0f32; len];
+            let mut got = vec![0.0f32; len];
+            ReferenceBackend.add(a, b, &mut want);
+            backend.add(a, b, &mut got);
+            prop_assert_eq!(bit_vec(&got), bit_vec(&want), "add lanes={}", lanes);
+            ReferenceBackend.mul(a, b, &mut want);
+            backend.mul(a, b, &mut got);
+            prop_assert_eq!(bit_vec(&got), bit_vec(&want), "mul lanes={}", lanes);
+            for op in [Unary::Relu, Unary::LeakyRelu(slope), Unary::Sigmoid, Unary::Tanh] {
+                ReferenceBackend.unary(op, a, &mut want);
+                backend.unary(op, a, &mut got);
+                prop_assert_eq!(bit_vec(&got), bit_vec(&want), "{:?} lanes={}", op, lanes);
+            }
         }
     }
 

@@ -77,7 +77,10 @@ impl MegaSegment {
             let (a, b) = working_pairs[slot.edge];
             // Map the working-graph edge back to the sample edge id for
             // its feature (identical when nothing was dropped).
-            let feat = match sample_pairs.iter().position(|&p| p == (a, b) || p == (b, a)) {
+            let feat = match sample_pairs
+                .iter()
+                .position(|&p| p == (a, b) || p == (b, a))
+            {
                 Some(eid) => s.edge_features[eid],
                 None => 0,
             };
@@ -189,11 +192,10 @@ impl Batch {
         assert_eq!(samples.len(), schedules.len(), "one schedule per sample");
         let pairs: Vec<(&GraphSample, &AttentionSchedule)> =
             samples.iter().zip(schedules).collect();
-        let segments = mega_core::parallel::ordered_map(
-            &pairs,
-            par.effective_threads(),
-            |_, &(s, sched)| MegaSegment::build(s, sched),
-        );
+        let segments =
+            mega_core::parallel::ordered_map(&pairs, par.effective_threads(), |_, &(s, sched)| {
+                MegaSegment::build(s, sched)
+            });
 
         let mut node_feats = Vec::new();
         let mut graph_of_node = Vec::new();
@@ -271,7 +273,11 @@ mod tests {
     use mega_datasets::{zinc, DatasetSpec};
 
     fn samples() -> Vec<GraphSample> {
-        zinc(&DatasetSpec::tiny(1)).train.into_iter().take(4).collect()
+        zinc(&DatasetSpec::tiny(1))
+            .train
+            .into_iter()
+            .take(4)
+            .collect()
     }
 
     #[test]
@@ -293,15 +299,20 @@ mod tests {
         for i in 0..b.indices.msg_count() {
             let s = b.indices.msg_src_work[i];
             let d = b.indices.msg_dst_node[i];
-            assert_eq!(b.graph_of_node[s], b.graph_of_node[d], "message crosses graphs");
+            assert_eq!(
+                b.graph_of_node[s], b.graph_of_node[d],
+                "message crosses graphs"
+            );
         }
     }
 
     #[test]
     fn mega_batch_has_equal_message_multiset_per_node() {
         let ss = samples();
-        let schedules: Vec<_> =
-            ss.iter().map(|s| preprocess(&s.graph, &MegaConfig::default()).unwrap()).collect();
+        let schedules: Vec<_> = ss
+            .iter()
+            .map(|s| preprocess(&s.graph, &MegaConfig::default()).unwrap())
+            .collect();
         let base = Batch::baseline(&ss);
         let mega = Batch::mega(&ss, &schedules);
         assert_eq!(base.indices.msg_count(), mega.indices.msg_count());
@@ -328,8 +339,10 @@ mod tests {
     #[test]
     fn parallel_batch_construction_matches_serial() {
         let ss = samples();
-        let schedules: Vec<_> =
-            ss.iter().map(|s| preprocess(&s.graph, &MegaConfig::default()).unwrap()).collect();
+        let schedules: Vec<_> = ss
+            .iter()
+            .map(|s| preprocess(&s.graph, &MegaConfig::default()).unwrap())
+            .collect();
         let serial = Batch::mega(&ss, &schedules);
         for threads in [1, 2, 4, 8] {
             let par = mega_core::Parallelism::with_threads(threads);

@@ -52,7 +52,9 @@ mod tests {
 
     #[test]
     fn spec_mapping() {
-        let cfg = GnnConfig::new(ModelKind::GatedGcn, 4, 4, 1).with_hidden(64).with_layers(3);
+        let cfg = GnnConfig::new(ModelKind::GatedGcn, 4, 4, 1)
+            .with_hidden(64)
+            .with_layers(3);
         let spec = model_spec(&cfg);
         assert_eq!(spec.scatter_calls, 1);
         let cfg = GnnConfig::new(ModelKind::GraphTransformer, 4, 4, 1);

@@ -42,8 +42,17 @@ impl GatLayer {
     /// # Panics
     ///
     /// Panics if `heads` does not divide `d`.
-    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, d: usize, heads: usize, rng: &mut R) -> Self {
-        assert!(heads > 0 && d.is_multiple_of(heads), "heads {heads} must divide width {d}");
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        d: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            heads > 0 && d.is_multiple_of(heads),
+            "heads {heads} must divide width {d}"
+        );
         let hd = d / heads;
         let mut per_head = |what: &str, d_in: usize, d_out: usize, rng: &mut R| -> Vec<Linear> {
             (0..heads)
@@ -110,7 +119,11 @@ mod tests {
 
     #[test]
     fn forward_shapes_and_gradients() {
-        let samples: Vec<_> = zinc(&DatasetSpec::tiny(31)).train.into_iter().take(2).collect();
+        let samples: Vec<_> = zinc(&DatasetSpec::tiny(31))
+            .train
+            .into_iter()
+            .take(2)
+            .collect();
         let batch = Batch::baseline(&samples);
         let d = 8;
         let mut store = ParamStore::new();
@@ -123,7 +136,8 @@ mod tests {
         let varied = |rows: usize, seed: u32| {
             let data: Vec<f32> = (0..rows * d)
                 .map(|i| {
-                    (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 9) % 997) as f32 / 997.0
+                    (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 9) % 997) as f32
+                        / 997.0
                         - 0.5
                 })
                 .collect();
@@ -141,7 +155,10 @@ mod tests {
         let w0 = store.id_of("g0.W0.w").unwrap();
         assert!(store.grad(w0).norm() > 0.0, "gradient must reach W");
         let a0 = store.id_of("g0.a_src0.w").unwrap();
-        assert!(store.grad(a0).norm() > 0.0, "gradient must reach attention vector");
+        assert!(
+            store.grad(a0).norm() > 0.0,
+            "gradient must reach attention vector"
+        );
     }
 
     #[test]
@@ -149,7 +166,11 @@ mod tests {
         // Indirect check: with one head and identity-ish setup the aggregated
         // output is a convex combination of neighbor z rows, so its per-row
         // magnitude is bounded by the max neighbor magnitude.
-        let samples: Vec<_> = zinc(&DatasetSpec::tiny(32)).train.into_iter().take(1).collect();
+        let samples: Vec<_> = zinc(&DatasetSpec::tiny(32))
+            .train
+            .into_iter()
+            .take(1)
+            .collect();
         let batch = Batch::baseline(&samples);
         let d = 4;
         let mut store = ParamStore::new();

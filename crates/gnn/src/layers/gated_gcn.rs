@@ -99,7 +99,11 @@ mod tests {
 
     #[test]
     fn forward_shapes_and_gradients() {
-        let samples: Vec<_> = zinc(&DatasetSpec::tiny(1)).train.into_iter().take(2).collect();
+        let samples: Vec<_> = zinc(&DatasetSpec::tiny(1))
+            .train
+            .into_iter()
+            .take(2)
+            .collect();
         let batch = Batch::baseline(&samples);
         let d = 8;
         let mut store = ParamStore::new();
@@ -121,7 +125,10 @@ mod tests {
         let grads = tape.backward(loss);
         binder.apply(&mut store, &grads);
         let a_w = store.id_of("l0.A.w").unwrap();
-        assert!(store.grad(a_w).norm() > 0.0, "gradient must reach projection A");
+        assert!(
+            store.grad(a_w).norm() > 0.0,
+            "gradient must reach projection A"
+        );
     }
 
     #[test]

@@ -44,8 +44,17 @@ impl GraphTransformerLayer {
     /// # Panics
     ///
     /// Panics if `heads` does not divide `d`.
-    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, d: usize, heads: usize, rng: &mut R) -> Self {
-        assert!(heads > 0 && d.is_multiple_of(heads), "heads {heads} must divide width {d}");
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        d: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            heads > 0 && d.is_multiple_of(heads),
+            "heads {heads} must divide width {d}"
+        );
         let hd = d / heads;
         let mut mk = |what: &str, rng: &mut R| -> Vec<Linear> {
             (0..heads)
@@ -144,7 +153,11 @@ mod tests {
 
     #[test]
     fn forward_shapes_and_gradients() {
-        let samples: Vec<_> = zinc(&DatasetSpec::tiny(3)).train.into_iter().take(2).collect();
+        let samples: Vec<_> = zinc(&DatasetSpec::tiny(3))
+            .train
+            .into_iter()
+            .take(2)
+            .collect();
         let batch = Batch::baseline(&samples);
         let d = 8;
         let mut store = ParamStore::new();
@@ -157,7 +170,11 @@ mod tests {
         // exactly zero by symmetry.
         let varied = |rows: usize, seed: u32| {
             let data: Vec<f32> = (0..rows * d)
-                .map(|i| (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) % 1000) as f32 / 1000.0 - 0.5)
+                .map(|i| {
+                    (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) % 1000) as f32
+                        / 1000.0
+                        - 0.5
+                })
                 .collect();
             Tensor::from_vec(rows, d, data)
         };
@@ -172,7 +189,10 @@ mod tests {
         let grads = tape.backward(loss);
         binder.apply(&mut store, &grads);
         let q0 = store.id_of("t0.Q0.w").unwrap();
-        assert!(store.grad(q0).norm() > 0.0, "gradient must reach Q projection");
+        assert!(
+            store.grad(q0).norm() > 0.0,
+            "gradient must reach Q projection"
+        );
     }
 
     #[test]

@@ -71,7 +71,13 @@ impl Gnn {
             })
             .collect();
         let head = Mlp::new(store, "head", d, d / 2, config.out_dim, &mut rng);
-        Gnn { config, node_embed, edge_embed, layers, head }
+        Gnn {
+            config,
+            node_embed,
+            edge_embed,
+            layers,
+            head,
+        }
     }
 
     /// The configuration the model was built with.
@@ -89,8 +95,12 @@ impl Gnn {
         batch: &Batch,
     ) -> Var {
         let idx = &batch.indices;
-        let mut h = self.node_embed.forward(tape, binder, store, batch.node_feats.clone());
-        let mut e = self.edge_embed.forward(tape, binder, store, idx.msg_edge_feat.clone());
+        let mut h = self
+            .node_embed
+            .forward(tape, binder, store, batch.node_feats.clone());
+        let mut e = self
+            .edge_embed
+            .forward(tape, binder, store, idx.msg_edge_feat.clone());
         for layer in &self.layers {
             let (h2, e2) = layer.forward(tape, binder, store, idx, h, e);
             h = h2;
@@ -98,8 +108,11 @@ impl Gnn {
         }
         // Mean readout per graph.
         let sums = tape.scatter_add_rows(h, batch.graph_of_node.clone(), batch.n_graphs());
-        let inv_sizes: Vec<f32> =
-            batch.graph_sizes.iter().map(|&s| 1.0 / s.max(1) as f32).collect();
+        let inv_sizes: Vec<f32> = batch
+            .graph_sizes
+            .iter()
+            .map(|&s| 1.0 / s.max(1) as f32)
+            .collect();
         let means = tape.scale_rows(sums, Arc::new(inv_sizes));
         self.head.forward(tape, binder, store, means)
     }
@@ -123,7 +136,11 @@ mod tests {
     use mega_core::{preprocess, MegaConfig};
     use mega_datasets::{csl, zinc, DatasetSpec};
 
-    fn zinc_model(d: usize, layers: usize, kind: ModelKind) -> (ParamStore, Gnn, Vec<mega_datasets::GraphSample>) {
+    fn zinc_model(
+        d: usize,
+        layers: usize,
+        kind: ModelKind,
+    ) -> (ParamStore, Gnn, Vec<mega_datasets::GraphSample>) {
         let ds = zinc(&DatasetSpec::tiny(5));
         let cfg = GnnConfig::new(kind, ds.node_vocab, ds.edge_vocab, 1)
             .with_hidden(d)
@@ -168,7 +185,11 @@ mod tests {
     /// function as the baseline (full coverage, per-node softmax/aggregation).
     #[test]
     fn engines_are_numerically_equivalent() {
-        for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer, ModelKind::Gat] {
+        for kind in [
+            ModelKind::GatedGcn,
+            ModelKind::GraphTransformer,
+            ModelKind::Gat,
+        ] {
             let (store, model, samples) = zinc_model(8, 2, kind);
             let samples = &samples[..3];
             let schedules: Vec<_> = samples

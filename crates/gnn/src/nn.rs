@@ -1,7 +1,7 @@
 //! Neural building blocks: parameter binding, linear layers, norms, MLPs.
 
-use mega_tensor::{ParamId, ParamStore, Tape, Tensor, Var};
 use mega_tensor::init;
+use mega_tensor::{ParamId, ParamStore, Tape, Tensor, Var};
 use rand::Rng;
 
 /// Tracks which tape leaf corresponds to which stored parameter during one
@@ -51,7 +51,13 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a `d_in × d_out` layer under `name`.
-    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut R,
+    ) -> Self {
         let weight = store.register(&format!("{name}.w"), init::xavier_uniform(d_in, d_out, rng));
         let bias = store.register(&format!("{name}.b"), Tensor::zeros(1, d_out));
         Linear { weight, bias }
@@ -97,14 +103,26 @@ impl NormParams {
     }
 
     /// Row-wise layer norm.
-    pub fn layer_norm(&self, tape: &mut Tape, binder: &mut Binder, store: &ParamStore, x: Var) -> Var {
+    pub fn layer_norm(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        store: &ParamStore,
+        x: Var,
+    ) -> Var {
         let g = binder.bind(tape, store, self.gamma);
         let b = binder.bind(tape, store, self.beta);
         tape.layer_norm(x, g, b, 1e-5)
     }
 
     /// Column-wise batch norm (training statistics).
-    pub fn batch_norm(&self, tape: &mut Tape, binder: &mut Binder, store: &ParamStore, x: Var) -> Var {
+    pub fn batch_norm(
+        &self,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        store: &ParamStore,
+        x: Var,
+    ) -> Var {
         let g = binder.bind(tape, store, self.gamma);
         let b = binder.bind(tape, store, self.beta);
         tape.batch_norm(x, g, b, 1e-5)
@@ -119,7 +137,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// Registers a `vocab × d` table under `name`.
-    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, vocab: usize, d: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        d: usize,
+        rng: &mut R,
+    ) -> Self {
         let table = store.register(name, init::xavier_uniform(vocab, d, rng));
         Embedding { table }
     }

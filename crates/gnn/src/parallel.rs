@@ -34,9 +34,11 @@ pub fn preprocess_samples(
     config: &MegaConfig,
     par: &Parallelism,
 ) -> Result<Vec<AttentionSchedule>, MegaError> {
-    parallel::ordered_map(samples, par.effective_threads(), |_, s| preprocess(&s.graph, config))
-        .into_iter()
-        .collect()
+    parallel::ordered_map(samples, par.effective_threads(), |_, s| {
+        preprocess(&s.graph, config)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// A chunk scheduler for one preprocessed graph: splits the path of an
@@ -66,7 +68,13 @@ impl<'a> BandScheduler<'a> {
     ) -> Self {
         let plan = ChunkPlan::for_band(sched.band(), &par);
         let edge_count = sched.working_graph().edge_count();
-        BandScheduler { sched, par, plan, edge_count, backend }
+        BandScheduler {
+            sched,
+            par,
+            plan,
+            edge_count,
+            backend,
+        }
     }
 
     /// The chunk plan (owned row ranges plus ±ω read extents).
@@ -91,10 +99,18 @@ impl<'a> BandScheduler<'a> {
     /// shorter than the working edge count.
     pub fn forward(&self, x: &Tensor, weights: &[f32]) -> Tensor {
         let band = self.sched.band();
-        assert_eq!(x.rows(), band.len(), "x must have one row per path position");
-        assert!(weights.len() >= self.edge_count, "one weight per working edge");
+        assert_eq!(
+            x.rows(),
+            band.len(),
+            "x must have one row per path position"
+        );
+        assert!(
+            weights.len() >= self.edge_count,
+            "one weight per working edge"
+        );
         let mut out = vec![0.0f32; x.rows() * x.cols()];
-        self.backend.banded_aggregate(band, x.as_slice(), x.cols(), weights, &self.par, &mut out);
+        self.backend
+            .banded_aggregate(band, x.as_slice(), x.cols(), weights, &self.par, &mut out);
         Tensor::from_vec(x.rows(), x.cols(), out)
     }
 
@@ -106,7 +122,11 @@ impl<'a> BandScheduler<'a> {
     /// Panics on the same shape mismatches as [`BandScheduler::forward`].
     pub fn backward_x(&self, d_out: &Tensor, weights: &[f32]) -> Tensor {
         let band = self.sched.band();
-        assert_eq!(d_out.rows(), band.len(), "d_out must have one row per path position");
+        assert_eq!(
+            d_out.rows(),
+            band.len(),
+            "d_out must have one row per path position"
+        );
         // The band matrix is symmetric, so dx = A·d_out — the same kernel.
         let mut dx = vec![0.0f32; d_out.rows() * d_out.cols()];
         self.backend.banded_aggregate(
@@ -131,7 +151,11 @@ impl<'a> BandScheduler<'a> {
     pub fn weight_grad(&self, x: &Tensor, d_out: &Tensor) -> Vec<f32> {
         let band = self.sched.band();
         assert_eq!(x.shape(), d_out.shape(), "x and d_out must match");
-        assert_eq!(x.rows(), band.len(), "x must have one row per path position");
+        assert_eq!(
+            x.rows(),
+            band.len(),
+            "x must have one row per path position"
+        );
         let mut dw = vec![0.0f32; self.edge_count];
         self.backend.banded_weight_grad(
             band,
@@ -153,18 +177,31 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn samples() -> Vec<GraphSample> {
-        zinc(&DatasetSpec::tiny(5)).train.into_iter().take(6).collect()
+        zinc(&DatasetSpec::tiny(5))
+            .train
+            .into_iter()
+            .take(6)
+            .collect()
     }
 
     fn random_rows(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
-        Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        )
     }
 
     #[test]
     fn parallel_preprocess_matches_serial() {
         let ss = samples();
         let cfg = MegaConfig::default();
-        let serial: Vec<_> = ss.iter().map(|s| preprocess(&s.graph, &cfg).unwrap()).collect();
+        let serial: Vec<_> = ss
+            .iter()
+            .map(|s| preprocess(&s.graph, &cfg).unwrap())
+            .collect();
         for threads in [1, 2, 4] {
             let par = Parallelism::with_threads(threads);
             let fanned = preprocess_samples(&ss, &cfg, &par).unwrap();

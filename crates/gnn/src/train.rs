@@ -91,7 +91,10 @@ pub struct TrainingHistory {
 impl TrainingHistory {
     /// The best (minimum) validation loss reached.
     pub fn best_val_loss(&self) -> f64 {
-        self.records.iter().map(|r| r.val_loss).fold(f64::INFINITY, f64::min)
+        self.records
+            .iter()
+            .map(|r| r.val_loss)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The final validation metric, or `None` for an empty run (zero
@@ -103,7 +106,10 @@ impl TrainingHistory {
     /// Simulated seconds needed to first reach `target` validation loss, if
     /// ever reached (the paper's convergence-time measure).
     pub fn sim_seconds_to_loss(&self, target: f64) -> Option<f64> {
-        self.records.iter().find(|r| r.val_loss <= target).map(|r| r.sim_seconds)
+        self.records
+            .iter()
+            .find(|r| r.val_loss <= target)
+            .map(|r| r.sim_seconds)
     }
 }
 
@@ -249,7 +255,10 @@ impl Trainer {
         let pre_start = Instant::now();
         let (train_batches, val_batches) = {
             let _s = mega_obs::span("assemble");
-            (self.build_batches(&dataset.train), self.build_batches(&dataset.val))
+            (
+                self.build_batches(&dataset.train),
+                self.build_batches(&dataset.val),
+            )
         };
         let preprocess_seconds = if self.engine == EngineChoice::Mega {
             pre_start.elapsed().as_secs_f64()
@@ -465,14 +474,22 @@ mod tests {
         // Same initialization and equivalent math: final losses comparable.
         let b = base.records.last().unwrap().train_loss;
         let m = mega.records.last().unwrap().train_loss;
-        assert!((b - m).abs() < 0.35 * b.max(m).max(0.1), "baseline {b} vs mega {m}");
+        assert!(
+            (b - m).abs() < 0.35 * b.max(m).max(0.1),
+            "baseline {b} vs mega {m}"
+        );
         // And the simulated clock runs faster for MEGA.
         assert!(mega.epoch_sim_seconds < base.epoch_sim_seconds);
     }
 
     #[test]
     fn classification_training_improves_accuracy() {
-        let spec = DatasetSpec { train: 96, val: 16, test: 8, seed: 23 };
+        let spec = DatasetSpec {
+            train: 96,
+            val: 16,
+            test: 8,
+            seed: 23,
+        };
         let ds = cycles(&spec);
         let cfg = tiny_config(&ds, ModelKind::GatedGcn, 2);
         let hist = Trainer::new(EngineChoice::Baseline)

@@ -59,9 +59,20 @@ impl SectoredCache {
     ///
     /// Panics if the geometry is inconsistent (sizes not divisible, zero
     /// sets) .
-    pub fn new(capacity_bytes: usize, line_bytes: usize, sector_bytes: usize, assoc: usize) -> Self {
-        assert!(line_bytes.is_multiple_of(sector_bytes), "line must hold whole sectors");
-        assert!(capacity_bytes.is_multiple_of(line_bytes * assoc), "capacity must form whole sets");
+    pub fn new(
+        capacity_bytes: usize,
+        line_bytes: usize,
+        sector_bytes: usize,
+        assoc: usize,
+    ) -> Self {
+        assert!(
+            line_bytes.is_multiple_of(sector_bytes),
+            "line must hold whole sectors"
+        );
+        assert!(
+            capacity_bytes.is_multiple_of(line_bytes * assoc),
+            "capacity must form whole sets"
+        );
         let sets = capacity_bytes / (line_bytes * assoc);
         assert!(sets > 0, "cache needs at least one set");
         SectoredCache {
@@ -70,7 +81,15 @@ impl SectoredCache {
             sectors_per_line: (line_bytes / sector_bytes) as u32,
             sets,
             assoc,
-            lines: vec![Line { tag: 0, sectors: 0, last_use: 0, valid: false }; sets * assoc],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    sectors: 0,
+                    last_use: 0,
+                    valid: false
+                };
+                sets * assoc
+            ],
             clock: 0,
             hits: 0,
             sector_misses: 0,

@@ -20,6 +20,10 @@ pub enum KernelKind {
     MegaBandGather,
     /// MEGA scatter of path positions back to nodes (near-sequential writes).
     MegaBandScatter,
+    /// MEGA banded weight gradient: the backward-pass twin of the band
+    /// gather, reading both the activations and the upstream gradient along
+    /// the band and writing one scalar per edge.
+    MegaBandWgrad,
     /// Elementwise neural ops (activations, norms) — minor, included for
     /// completeness of time shares.
     Elementwise,
@@ -36,6 +40,7 @@ impl KernelKind {
             KernelKind::Memcpy => "memcpy",
             KernelKind::MegaBandGather => "mega-band",
             KernelKind::MegaBandScatter => "mega-scatter",
+            KernelKind::MegaBandWgrad => "mega-wgrad",
             KernelKind::Elementwise => "eltwise",
         }
     }
@@ -49,6 +54,7 @@ impl KernelKind {
                 | KernelKind::CubSort
                 | KernelKind::MegaBandGather
                 | KernelKind::MegaBandScatter
+                | KernelKind::MegaBandWgrad
         )
     }
 }
@@ -134,6 +140,8 @@ mod tests {
         assert!(!KernelKind::Sgemm.is_graph_op());
         assert!(KernelKind::DglGather.is_graph_op());
         assert!(KernelKind::MegaBandGather.is_graph_op());
+        assert!(KernelKind::MegaBandWgrad.is_graph_op());
+        assert_eq!(KernelKind::MegaBandWgrad.label(), "mega-wgrad");
         assert!(!KernelKind::Memcpy.is_graph_op());
         assert_eq!(format!("{}", KernelKind::CubSort), "cub");
     }

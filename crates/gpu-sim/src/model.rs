@@ -208,7 +208,11 @@ pub struct GnnCostModel {
 impl GnnCostModel {
     /// A cost model for `spec` running on `device` with `engine`.
     pub fn new(device: DeviceConfig, spec: ModelSpec, engine: EngineKind) -> Self {
-        GnnCostModel { device, spec, engine }
+        GnnCostModel {
+            device,
+            spec,
+            engine,
+        }
     }
 
     /// The model spec.
@@ -303,10 +307,19 @@ impl GnnCostModel {
         for _layer in 0..self.spec.layers {
             for pass in 0..2 {
                 for _ in 0..self.spec.scatter_calls {
-                    // Windowed reads along the path: sequential. Fresh output
-                    // tensors per op, as in the baseline.
-                    let buf = p.alloc(topo.path_len * d * 4);
-                    p.launch_band_gather(buf, topo.path_len, window, d);
+                    if pass == 0 {
+                        // Forward: windowed reads along the path, sequential.
+                        // Fresh output tensors per op, as in the baseline.
+                        let buf = p.alloc(topo.path_len * d * 4);
+                        p.launch_band_gather(buf, topo.path_len, window, d);
+                    } else {
+                        // Backward: the banded weight gradient walks the same
+                        // band but interleaves activation and upstream-grad
+                        // reads — its own kernel, so profiles attribute
+                        // forward gather and weight-grad separately.
+                        let grad = p.alloc(topo.path_len * d * 4);
+                        p.launch_band_wgrad(path_buf, grad, topo.path_len, window, d);
+                    }
                 }
                 for _ in 0..self.spec.gather_calls {
                     // Path positions → node rows: near-sequential writes.
@@ -389,7 +402,10 @@ mod tests {
         let graphs = batch(3);
         let topo = BatchTopology::from_graphs(&graphs);
         assert_eq!(topo.n_nodes, 69);
-        assert_eq!(topo.n_slots, graphs.iter().map(|g| 2 * g.edge_count()).sum::<usize>());
+        assert_eq!(
+            topo.n_slots,
+            graphs.iter().map(|g| 2 * g.edge_count()).sum::<usize>()
+        );
         assert!(topo.slot_src.iter().all(|&v| v < topo.n_nodes));
         assert!(topo.slot_dst.iter().all(|&v| v < topo.n_nodes));
     }
@@ -410,8 +426,12 @@ mod tests {
         let s = schedules(&graphs);
         let topo = BatchTopology::from_graphs_with_schedules(&graphs, &s);
         let spec = ModelSpec::graph_transformer(64, 2);
-        let dgl = GnnCostModel::new(DeviceConfig::gtx_1080(), spec.clone(), EngineKind::DglBaseline)
-            .epoch_cost(&topo, 10);
+        let dgl = GnnCostModel::new(
+            DeviceConfig::gtx_1080(),
+            spec.clone(),
+            EngineKind::DglBaseline,
+        )
+        .epoch_cost(&topo, 10);
         let mega = GnnCostModel::new(DeviceConfig::gtx_1080(), spec, EngineKind::Mega)
             .epoch_cost(&topo, 10);
         assert!(
@@ -429,10 +449,18 @@ mod tests {
         let graphs = batch(64);
         let topo = BatchTopology::from_graphs(&graphs);
         let dev = DeviceConfig::gtx_1080();
-        let gcn = GnnCostModel::new(dev.clone(), ModelSpec::gated_gcn(128, 2), EngineKind::DglBaseline)
-            .epoch_cost(&topo, 1);
-        let gt = GnnCostModel::new(dev, ModelSpec::graph_transformer(128, 2), EngineKind::DglBaseline)
-            .epoch_cost(&topo, 1);
+        let gcn = GnnCostModel::new(
+            dev.clone(),
+            ModelSpec::gated_gcn(128, 2),
+            EngineKind::DglBaseline,
+        )
+        .epoch_cost(&topo, 1);
+        let gt = GnnCostModel::new(
+            dev,
+            ModelSpec::graph_transformer(128, 2),
+            EngineKind::DglBaseline,
+        )
+        .epoch_cost(&topo, 1);
         assert!(
             gt.report.graph_op_time_share() > gcn.report.graph_op_time_share(),
             "gt {} vs gcn {}",
@@ -458,7 +486,10 @@ mod tests {
     #[test]
     fn table_one_parameter_volumes() {
         assert_eq!(ModelSpec::gated_gcn(64, 1).params_per_layer(), 5 * 64 * 64);
-        assert_eq!(ModelSpec::graph_transformer(64, 1).params_per_layer(), 14 * 64 * 64);
+        assert_eq!(
+            ModelSpec::graph_transformer(64, 1).params_per_layer(),
+            14 * 64 * 64
+        );
     }
 
     #[test]

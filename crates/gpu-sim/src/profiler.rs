@@ -62,7 +62,13 @@ impl Profiler {
             device.sector_bytes,
             device.l2_assoc,
         );
-        Profiler { device, l2, stats: BTreeMap::new(), next_addr: 0x1000, total_cycles: 0 }
+        Profiler {
+            device,
+            l2,
+            stats: BTreeMap::new(),
+            next_addr: 0x1000,
+            total_cycles: 0,
+        }
     }
 
     /// The device configuration.
@@ -101,7 +107,11 @@ impl Profiler {
     }
 
     fn run_stream<I: IntoIterator<Item = u64>>(&mut self, element_addrs: I) -> LaunchOutcome {
-        let mut out = LaunchOutcome { transactions: 0, hits: 0, misses: 0 };
+        let mut out = LaunchOutcome {
+            transactions: 0,
+            hits: 0,
+            misses: 0,
+        };
         let sector = self.device.sector_bytes as u64;
         let warp = self.device.warp_size;
         let mut lane_buf: Vec<u64> = Vec::with_capacity(warp);
@@ -183,7 +193,15 @@ impl Profiler {
     /// Shared-memory tiling is modeled analytically (each input element is
     /// refetched once per tile pass, served from L2/shared); the cache is
     /// touched once per input/output element to model pollution.
-    pub fn launch_sgemm(&mut self, a: DevicePtr, b: DevicePtr, c: DevicePtr, m: usize, n: usize, k: usize) {
+    pub fn launch_sgemm(
+        &mut self,
+        a: DevicePtr,
+        b: DevicePtr,
+        c: DevicePtr,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
         const TILE: usize = 64;
         let flops = 2 * m as u64 * n as u64 * k as u64;
         // Compulsory traffic: touch every input/output element once.
@@ -207,12 +225,26 @@ impl Profiler {
         let eff_m = m as f64 / (m.div_ceil(TILE) * TILE) as f64;
         let eff_n = n as f64 / (n.div_ceil(TILE) * TILE) as f64;
         let balance = (0.85 + 0.15 * eff_m * eff_n).min(1.0);
-        self.charge(KernelKind::Sgemm, flops, (m * n) as u64, outcome, StreamKind::Streaming, balance, 0);
+        self.charge(
+            KernelKind::Sgemm,
+            flops,
+            (m * n) as u64,
+            outcome,
+            StreamKind::Streaming,
+            balance,
+            0,
+        );
     }
 
     /// Index-driven row gather: `dst[i] = src[index[i]]` with `feat_dim` f32
     /// columns per row. Reads follow the index (scattered); writes stream.
-    pub fn launch_gather(&mut self, src: DevicePtr, index: &[usize], feat_dim: usize, dst_rows: usize) {
+    pub fn launch_gather(
+        &mut self,
+        src: DevicePtr,
+        index: &[usize],
+        feat_dim: usize,
+        dst_rows: usize,
+    ) {
         let row_bytes = (feat_dim * 4) as u64;
         let addrs = index.iter().flat_map(move |&r| {
             let src_base = src.0 + r as u64 * row_bytes;
@@ -220,13 +252,27 @@ impl Profiler {
         });
         let outcome = self.run_stream(addrs);
         let instructions = (index.len() * feat_dim) as u64 * 2;
-        self.charge(KernelKind::DglGather, 0, instructions, outcome, StreamKind::Scattered, 1.0, (dst_rows * feat_dim / 8) as u64);
+        self.charge(
+            KernelKind::DglGather,
+            0,
+            instructions,
+            outcome,
+            StreamKind::Scattered,
+            1.0,
+            (dst_rows * feat_dim / 8) as u64,
+        );
     }
 
     /// Index-driven scatter-add: `dst[index[i]] += src[i]` with atomics.
     /// Writes follow the index; the balance factor reflects serialization on
     /// popular destinations (the paper's workload-imbalance bottleneck).
-    pub fn launch_scatter(&mut self, dst: DevicePtr, index: &[usize], feat_dim: usize, dst_rows: usize) {
+    pub fn launch_scatter(
+        &mut self,
+        dst: DevicePtr,
+        index: &[usize],
+        feat_dim: usize,
+        dst_rows: usize,
+    ) {
         let row_bytes = (feat_dim * 4) as u64;
         let mut counts = vec![0u32; dst_rows.max(1)];
         for &r in index {
@@ -244,7 +290,15 @@ impl Profiler {
         let balance = (mean / max).clamp(0.05, 1.0);
         // Atomic RMW: one read + one write instruction per element.
         let instructions = (index.len() * feat_dim) as u64 * 3;
-        self.charge(KernelKind::DglScatter, 0, instructions, outcome, StreamKind::Scattered, balance, (index.len() * feat_dim / 8) as u64);
+        self.charge(
+            KernelKind::DglScatter,
+            0,
+            instructions,
+            outcome,
+            StreamKind::Scattered,
+            balance,
+            (index.len() * feat_dim / 8) as u64,
+        );
     }
 
     /// `cub` radix sort of `n_keys` 32-bit keys (4 digit passes). Reads
@@ -259,19 +313,41 @@ impl Profiler {
         });
         let outcome = self.run_stream(addrs);
         let instructions = n_keys as u64 * 4 * 6;
-        self.charge(KernelKind::CubSort, 0, instructions, outcome, StreamKind::Scattered, 0.9, (n_keys * 4 / 8) as u64);
+        self.charge(
+            KernelKind::CubSort,
+            0,
+            instructions,
+            outcome,
+            StreamKind::Scattered,
+            0.9,
+            (n_keys * 4 / 8) as u64,
+        );
     }
 
     /// Contiguous copy of `bytes`.
     pub fn launch_memcpy(&mut self, ptr: DevicePtr, bytes: usize) {
         let addrs = (0..bytes).step_by(8).map(move |o| ptr.0 + o as u64);
         let outcome = self.run_stream(addrs);
-        self.charge(KernelKind::Memcpy, 0, (bytes / 4) as u64, outcome, StreamKind::Streaming, 1.0, 0);
+        self.charge(
+            KernelKind::Memcpy,
+            0,
+            (bytes / 4) as u64,
+            outcome,
+            StreamKind::Streaming,
+            1.0,
+            0,
+        );
     }
 
     /// MEGA banded gather: position `i` reads rows `i−ω ..= i+ω` of the
     /// path-ordered embedding buffer — sequential, window-overlapping reads.
-    pub fn launch_band_gather(&mut self, path_buf: DevicePtr, path_len: usize, window: usize, feat_dim: usize) {
+    pub fn launch_band_gather(
+        &mut self,
+        path_buf: DevicePtr,
+        path_len: usize,
+        window: usize,
+        feat_dim: usize,
+    ) {
         let row_bytes = (feat_dim * 4) as u64;
         let addrs = (0..path_len).flat_map(move |i| {
             let lo = i.saturating_sub(window);
@@ -284,13 +360,69 @@ impl Profiler {
         let elements = (path_len * (2 * window + 1) * feat_dim) as u64;
         let outcome = self.run_stream(addrs);
         let instructions = elements * 2;
-        self.charge(KernelKind::MegaBandGather, 0, instructions, outcome, StreamKind::Streaming, 1.0, 0);
+        self.charge(
+            KernelKind::MegaBandGather,
+            0,
+            instructions,
+            outcome,
+            StreamKind::Streaming,
+            1.0,
+            0,
+        );
+    }
+
+    /// MEGA banded weight gradient: for every band slot `(lo, hi)` the
+    /// kernel reads row `hi` of the activations and row `lo` of the
+    /// upstream gradient (and vice versa), then writes one scalar per edge.
+    /// Both read streams walk the band sequentially — the same
+    /// prefetch-friendly layout as [`Profiler::launch_band_gather`] — but
+    /// the traffic is doubled (two buffers) and the kernel retires one
+    /// multiply-add per element read.
+    pub fn launch_band_wgrad(
+        &mut self,
+        x_buf: DevicePtr,
+        grad_buf: DevicePtr,
+        path_len: usize,
+        window: usize,
+        feat_dim: usize,
+    ) {
+        let row_bytes = (feat_dim * 4) as u64;
+        let addrs = (0..path_len).flat_map(move |i| {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window).min(path_len.saturating_sub(1));
+            (lo..=hi).flat_map(move |j| {
+                let x_base = x_buf.0 + j as u64 * row_bytes;
+                let g_base = grad_buf.0 + j as u64 * row_bytes;
+                (0..feat_dim).flat_map(move |c| [x_base + (c * 4) as u64, g_base + (c * 4) as u64])
+            })
+        });
+        let elements = (path_len * (2 * window + 1) * feat_dim) as u64 * 2;
+        let outcome = self.run_stream(addrs);
+        // One mul + one add per element pair, plus address math.
+        let flops = elements;
+        let instructions = elements * 2;
+        // Per-edge scalar outputs stream out sequentially.
+        let edge_writes = (path_len * window / 8).max(1) as u64;
+        self.charge(
+            KernelKind::MegaBandWgrad,
+            flops,
+            instructions,
+            outcome,
+            StreamKind::Streaming,
+            1.0,
+            edge_writes,
+        );
     }
 
     /// MEGA scatter of path positions back to node rows. `position_to_node`
     /// maps each path position to its node row; first appearances follow
     /// path order, so writes are near-sequential.
-    pub fn launch_band_scatter(&mut self, node_buf: DevicePtr, position_to_node: &[usize], feat_dim: usize) {
+    pub fn launch_band_scatter(
+        &mut self,
+        node_buf: DevicePtr,
+        position_to_node: &[usize],
+        feat_dim: usize,
+    ) {
         let row_bytes = (feat_dim * 4) as u64;
         let addrs = position_to_node.iter().flat_map(move |&v| {
             let base = node_buf.0 + v as u64 * row_bytes;
@@ -299,13 +431,23 @@ impl Profiler {
         let elements = (position_to_node.len() * feat_dim) as u64;
         let outcome = self.run_stream(addrs);
         let instructions = elements * 3;
-        self.charge(KernelKind::MegaBandScatter, 0, instructions, outcome, StreamKind::Streaming, 1.0, 0);
+        self.charge(
+            KernelKind::MegaBandScatter,
+            0,
+            instructions,
+            outcome,
+            StreamKind::Streaming,
+            1.0,
+            0,
+        );
     }
 
     /// Elementwise neural op over `elements` f32 values (`flops_per_element`
     /// each), streaming read + write.
     pub fn launch_elementwise(&mut self, ptr: DevicePtr, elements: usize, flops_per_element: u64) {
-        let addrs = (0..elements).step_by(8).map(move |i| ptr.0 + (i * 4) as u64);
+        let addrs = (0..elements)
+            .step_by(8)
+            .map(move |i| ptr.0 + (i * 4) as u64);
         let outcome = self.run_stream(addrs);
         self.charge(
             KernelKind::Elementwise,
@@ -363,7 +505,12 @@ mod tests {
         let r = p.report();
         let g = r.kernel(KernelKind::DglGather).unwrap();
         let m = r.kernel(KernelKind::Memcpy).unwrap();
-        assert!(g.stall_pct > m.stall_pct, "gather {} vs memcpy {}", g.stall_pct, m.stall_pct);
+        assert!(
+            g.stall_pct > m.stall_pct,
+            "gather {} vs memcpy {}",
+            g.stall_pct,
+            m.stall_pct
+        );
         assert!(g.sm_efficiency < 0.5, "gather eff {}", g.sm_efficiency);
     }
 
@@ -381,7 +528,11 @@ mod tests {
         // MEGA: banded read of the same volume (window 1 reads ~3x per row
         // but from cache).
         p.launch_band_gather(buf, rows, 1, feat);
-        let mega_cycles = p.report().kernel(KernelKind::MegaBandGather).unwrap().cycles;
+        let mega_cycles = p
+            .report()
+            .kernel(KernelKind::MegaBandGather)
+            .unwrap()
+            .cycles;
         assert!(
             mega_cycles * 2 < dgl_cycles,
             "mega {mega_cycles} vs dgl {dgl_cycles}"
@@ -402,6 +553,41 @@ mod tests {
         p.launch_scatter(dst, &idx, 16, 1000);
         let skewed = p.report().kernel(KernelKind::DglScatter).unwrap().balance;
         assert!(skewed < balanced, "skewed {skewed} vs balanced {balanced}");
+    }
+
+    #[test]
+    fn band_wgrad_records_its_own_kernel_kind() {
+        let mut p = profiler();
+        let rows = 4_000usize;
+        let feat = 32usize;
+        let x = p.alloc(rows * feat * 4);
+        let g = p.alloc(rows * feat * 4);
+        p.launch_band_wgrad(x, g, rows, 2, feat);
+        let r = p.report();
+        let w = r
+            .kernel(KernelKind::MegaBandWgrad)
+            .expect("wgrad kernel recorded");
+        assert_eq!(w.invocations, 1);
+        assert!(w.cycles > 0, "wgrad charges cycles");
+        assert!(
+            r.kernel(KernelKind::MegaBandGather).is_none(),
+            "no longer aliased to band gather"
+        );
+        // Reads two buffers along the band: more traffic than one gather
+        // of the same shape.
+        let mut q = profiler();
+        let buf = q.alloc(rows * feat * 4);
+        q.launch_band_gather(buf, rows, 2, feat);
+        let gather = q
+            .report()
+            .kernel(KernelKind::MegaBandGather)
+            .unwrap()
+            .load_transactions;
+        assert!(
+            w.load_transactions > gather,
+            "wgrad {} vs gather {gather}",
+            w.load_transactions
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl ProfileReport {
                 balance: s.mean_balance(),
             })
             .collect();
-        ProfileReport { device, rows, total_cycles }
+        ProfileReport {
+            device,
+            rows,
+            total_cycles,
+        }
     }
 
     /// All kernel rows, ordered by kind.
@@ -119,7 +123,11 @@ impl ProfileReport {
 
     /// Share of time spent in graph-operation kernels.
     pub fn graph_op_time_share(&self) -> f64 {
-        self.rows.iter().filter(|r| r.kind.is_graph_op()).map(|r| r.time_share).sum()
+        self.rows
+            .iter()
+            .filter(|r| r.kind.is_graph_op())
+            .map(|r| r.time_share)
+            .sum()
     }
 
     /// Bridges this report into the [`mega_obs`] registry under `prefix`
@@ -155,7 +163,10 @@ impl ProfileReport {
             &format!("{prefix}.aggregate_sm_efficiency"),
             self.aggregate_sm_efficiency(),
         );
-        mega_obs::gauge_set(&format!("{prefix}.aggregate_stall_pct"), self.aggregate_stall_pct());
+        mega_obs::gauge_set(
+            &format!("{prefix}.aggregate_stall_pct"),
+            self.aggregate_stall_pct(),
+        );
     }
 }
 
@@ -261,15 +272,19 @@ mod tests {
         r.export_obs("gpusim.test");
         mega_obs::set_enabled(false);
         let snap = mega_obs::snapshot();
-        let counter = |k: &str| {
-            snap.counters.iter().find(|(n, _)| n == k).map(|(_, v)| *v)
-        };
+        let counter = |k: &str| snap.counters.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
         let gauge = |k: &str| snap.gauges.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
         let sgemm = r.kernel(KernelKind::Sgemm).unwrap();
-        assert_eq!(counter("gpusim.test.sgemm.invocations"), Some(sgemm.invocations));
+        assert_eq!(
+            counter("gpusim.test.sgemm.invocations"),
+            Some(sgemm.invocations)
+        );
         assert_eq!(counter("gpusim.test.sgemm.cycles"), Some(sgemm.cycles));
         assert_eq!(counter("gpusim.test.total_cycles"), Some(r.total_cycles()));
-        assert_eq!(gauge("gpusim.test.sgemm.sm_efficiency"), Some(sgemm.sm_efficiency));
+        assert_eq!(
+            gauge("gpusim.test.sgemm.sm_efficiency"),
+            Some(sgemm.sm_efficiency)
+        );
         assert_eq!(
             gauge("gpusim.test.aggregate_stall_pct"),
             Some(r.aggregate_stall_pct())

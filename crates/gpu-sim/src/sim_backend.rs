@@ -31,7 +31,10 @@ pub struct SimBackend {
 impl SimBackend {
     /// Decorates `inner`, simulating launches on `device`.
     pub fn new(inner: Arc<dyn Backend>, device: DeviceConfig) -> Self {
-        SimBackend { inner, profiler: Mutex::new(Profiler::new(device)) }
+        SimBackend {
+            inner,
+            profiler: Mutex::new(Profiler::new(device)),
+        }
     }
 
     /// The nvprof-style report of every launch recorded so far.
@@ -41,7 +44,10 @@ impl SimBackend {
 
     /// Simulated seconds accumulated across recorded launches.
     pub fn elapsed_seconds(&self) -> f64 {
-        self.profiler.lock().expect("profiler poisoned").elapsed_seconds()
+        self.profiler
+            .lock()
+            .expect("profiler poisoned")
+            .elapsed_seconds()
     }
 
     /// Records a dense GEMM launch of shape `m × n × k`.
@@ -174,7 +180,8 @@ impl Backend for SimBackend {
         n_segments: usize,
         out: &mut [f32],
     ) {
-        self.inner.segment_softmax(x, rows, cols, segments, n_segments, out);
+        self.inner
+            .segment_softmax(x, rows, cols, segments, n_segments, out);
         // Three passes (max, exp+sum, divide); exp dominates.
         self.sim_elementwise(rows * cols, 10);
     }
@@ -232,10 +239,12 @@ impl Backend for SimBackend {
         par: &Parallelism,
         out: &mut [f32],
     ) {
-        self.inner.banded_weight_grad(band, x, d_out, dim, edge_count, par, out);
+        self.inner
+            .banded_weight_grad(band, x, d_out, dim, edge_count, par, out);
         let mut p = self.profiler.lock().expect("profiler poisoned");
-        let buf = p.alloc(band.len().max(1) * dim * 4);
-        p.launch_band_gather(buf, band.len(), band.window(), dim);
+        let x_buf = p.alloc(band.len().max(1) * dim * 4);
+        let g_buf = p.alloc(band.len().max(1) * dim * 4);
+        p.launch_band_wgrad(x_buf, g_buf, band.len(), band.window(), dim);
     }
 }
 
@@ -252,7 +261,15 @@ mod tests {
         let mut out = [0.0f32; 4];
         sim.matmul(&a, &b, 2, 2, 2, &Parallelism::with_threads(1), &mut out);
         let mut reference = [0.0f32; 4];
-        ReferenceBackend.matmul(&a, &b, 2, 2, 2, &Parallelism::with_threads(1), &mut reference);
+        ReferenceBackend.matmul(
+            &a,
+            &b,
+            2,
+            2,
+            2,
+            &Parallelism::with_threads(1),
+            &mut reference,
+        );
         assert_eq!(out, reference);
         let report = sim.report();
         assert!(!report.kernels().is_empty(), "sgemm launch not recorded");
@@ -267,5 +284,97 @@ mod tests {
         sim.gather_rows(&src, 2, 2, &[1, 0], &mut out);
         assert_eq!(out, [3.0, 4.0, 1.0, 2.0]);
         assert!(sim.report().kernels().iter().any(|k| k.invocations > 0));
+    }
+
+    fn band_fixture() -> BandMask {
+        use mega_core::config::{MegaConfig, WindowPolicy};
+        use mega_core::traversal::traverse;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = mega_graph::generate::erdos_renyi(24, 0.25, &mut StdRng::seed_from_u64(5)).unwrap();
+        let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(2));
+        BandMask::from_traversal(&traverse(&g, &cfg).unwrap())
+    }
+
+    #[test]
+    fn weight_grad_gets_its_own_kernel_identity() {
+        use crate::kernel::KernelKind;
+        let sim = SimBackend::new(Arc::new(ReferenceBackend), DeviceConfig::gtx_1080());
+        let band = band_fixture();
+        let dim = 4;
+        let par = Parallelism::with_threads(1);
+        let x: Vec<f32> = (0..band.len() * dim)
+            .map(|i| (i % 7) as f32 - 3.0)
+            .collect();
+        let d_out: Vec<f32> = (0..band.len() * dim)
+            .map(|i| (i % 5) as f32 - 2.0)
+            .collect();
+        let edges = band
+            .active_slots()
+            .iter()
+            .map(|s| s.edge)
+            .max()
+            .map_or(0, |m| m + 1);
+        let weights: Vec<f32> = (0..edges).map(|i| (i % 3) as f32 - 1.0).collect();
+
+        let mut agg = vec![0.0f32; band.len() * dim];
+        sim.banded_aggregate(&band, &x, dim, &weights, &par, &mut agg);
+        let mut dw = vec![0.0f32; edges];
+        sim.banded_weight_grad(&band, &x, &d_out, dim, edges, &par, &mut dw);
+
+        let report = sim.report();
+        let gather = report
+            .kernel(KernelKind::MegaBandGather)
+            .expect("forward gather recorded");
+        let wgrad = report
+            .kernel(KernelKind::MegaBandWgrad)
+            .expect("weight grad recorded");
+        assert_eq!(
+            gather.invocations, 1,
+            "forward gather attributed separately"
+        );
+        assert_eq!(wgrad.invocations, 1, "weight grad attributed separately");
+    }
+
+    #[test]
+    fn sim_over_simd_matches_sim_over_reference() {
+        use mega_exec::SimdBackend;
+        // Same launch shapes whatever the inner backend: simulated profiling
+        // of the SIMD backend sees exactly the counters the reference run
+        // sees, and the forwarded values stay bit-identical.
+        let over_ref = SimBackend::new(Arc::new(ReferenceBackend), DeviceConfig::gtx_1080());
+        let over_simd = SimBackend::new(Arc::new(SimdBackend::new()), DeviceConfig::gtx_1080());
+        let par = Parallelism::with_threads(1);
+        let (n, k, m) = (17usize, 33usize, 9usize);
+        let a: Vec<f32> = (0..n * k)
+            .map(|i| ((i * 31 % 19) as f32 - 9.0) / 4.0)
+            .collect();
+        let b: Vec<f32> = (0..k * m)
+            .map(|i| ((i * 17 % 23) as f32 - 11.0) / 6.0)
+            .collect();
+        let bias: Vec<f32> = (0..m).map(|i| (i as f32 - 4.0) / 3.0).collect();
+        let mut out_ref = vec![0.0f32; n * m];
+        let mut out_simd = vec![0.0f32; n * m];
+        over_ref.matmul(&a, &b, n, k, m, &par, &mut out_ref);
+        over_simd.matmul(&a, &b, n, k, m, &par, &mut out_simd);
+        over_ref.linear_relu(&a, &b, &bias, n, k, m, &par, &mut out_ref);
+        over_simd.linear_relu(&a, &b, &bias, n, k, m, &par, &mut out_simd);
+        for (x, y) in out_simd.iter().zip(&out_ref) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (ra, rb) = (over_ref.report(), over_simd.report());
+        for (kr, ks) in ra.kernels().iter().zip(rb.kernels()) {
+            assert_eq!(kr.kind, ks.kind, "same kernel taxonomy");
+            assert_eq!(
+                kr.invocations, ks.invocations,
+                "same launch counts for {:?}",
+                kr.kind
+            );
+            assert_eq!(
+                kr.load_transactions, ks.load_transactions,
+                "same shapes for {:?}",
+                kr.kind
+            );
+        }
     }
 }

@@ -91,7 +91,9 @@ pub fn is_connected(g: &Graph) -> bool {
 /// 0 or 2 odd-degree nodes, which is why MEGA relaxes full traversal with
 /// jumps and revisits.
 pub fn odd_degree_count(g: &Graph) -> usize {
-    (0..g.node_count()).filter(|&v| g.degree(v) % 2 == 1).count()
+    (0..g.node_count())
+        .filter(|&v| g.degree(v) % 2 == 1)
+        .count()
 }
 
 /// Number of triangles in the graph (each counted once).
@@ -202,7 +204,11 @@ mod tests {
     #[test]
     fn odd_degree_counting() {
         // Path graph: endpoints odd.
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .unwrap()
+            .build()
+            .unwrap();
         assert_eq!(odd_degree_count(&g), 2);
         // Cycle: all even.
         let g = GraphBuilder::undirected(4)
@@ -244,7 +250,11 @@ mod tests {
 
     #[test]
     fn diameter_of_path_and_disconnected() {
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .unwrap()
+            .build()
+            .unwrap();
         assert_eq!(diameter(&g), Some(3));
         assert_eq!(diameter(&two_triangles()), None);
     }

@@ -73,10 +73,16 @@ impl GraphBuilder {
     /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is out of range.
     pub fn edge(&mut self, src: usize, dst: usize) -> Result<&mut Self, GraphError> {
         if src >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: src, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: src,
+                node_count: self.node_count,
+            });
         }
         if dst >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: dst, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: dst,
+                node_count: self.node_count,
+            });
         }
         self.pairs.push((src, dst));
         Ok(self)
@@ -126,7 +132,11 @@ mod tests {
 
     #[test]
     fn builds_undirected() {
-        let g = GraphBuilder::undirected(3).edges([(0, 1), (1, 2)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(3)
+            .edges([(0, 1), (1, 2)])
+            .unwrap()
+            .build()
+            .unwrap();
         assert!(g.is_undirected());
         assert_eq!(g.neighbors(1), &[0, 2]);
     }

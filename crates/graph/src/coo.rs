@@ -34,7 +34,10 @@ pub struct EdgeList {
 impl EdgeList {
     /// Creates an empty edge list over `node_count` nodes.
     pub fn new(node_count: usize) -> Self {
-        EdgeList { node_count, pairs: Vec::new() }
+        EdgeList {
+            node_count,
+            pairs: Vec::new(),
+        }
     }
 
     /// Creates an edge list from explicit pairs, validating every endpoint.
@@ -42,16 +45,19 @@ impl EdgeList {
     /// # Errors
     ///
     /// Returns [`GraphError::NodeOutOfRange`] if any endpoint is `>= node_count`.
-    pub fn from_pairs(
-        node_count: usize,
-        pairs: Vec<(usize, usize)>,
-    ) -> Result<Self, GraphError> {
+    pub fn from_pairs(node_count: usize, pairs: Vec<(usize, usize)>) -> Result<Self, GraphError> {
         for &(s, d) in &pairs {
             if s >= node_count {
-                return Err(GraphError::NodeOutOfRange { node: s, node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: s,
+                    node_count,
+                });
             }
             if d >= node_count {
-                return Err(GraphError::NodeOutOfRange { node: d, node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: d,
+                    node_count,
+                });
             }
         }
         Ok(EdgeList { node_count, pairs })
@@ -64,10 +70,16 @@ impl EdgeList {
     /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is out of range.
     pub fn push(&mut self, src: usize, dst: usize) -> Result<(), GraphError> {
         if src >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: src, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: src,
+                node_count: self.node_count,
+            });
         }
         if dst >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: dst, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: dst,
+                node_count: self.node_count,
+            });
         }
         self.pairs.push((src, dst));
         Ok(())
@@ -118,7 +130,10 @@ impl EdgeList {
                 out.push((s, d));
             }
         }
-        EdgeList { node_count: self.node_count, pairs: out }
+        EdgeList {
+            node_count: self.node_count,
+            pairs: out,
+        }
     }
 
     /// Iterates over the `(src, dst)` pairs.
@@ -153,7 +168,10 @@ mod tests {
         assert!(EdgeList::from_pairs(2, vec![(0, 1)]).is_ok());
         assert_eq!(
             EdgeList::from_pairs(2, vec![(0, 2)]),
-            Err(GraphError::NodeOutOfRange { node: 2, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 2,
+                node_count: 2
+            })
         );
     }
 

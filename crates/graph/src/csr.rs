@@ -83,7 +83,11 @@ impl Csr {
                 edge_ids[lo + i] = e;
             }
         }
-        Csr { offsets, targets, edge_ids }
+        Csr {
+            offsets,
+            targets,
+            edge_ids,
+        }
     }
 
     /// Number of nodes.

@@ -33,7 +33,10 @@ pub struct DenseAdjacency {
 impl DenseAdjacency {
     /// An `n × n` all-zero matrix.
     pub fn zeros(n: usize) -> Self {
-        DenseAdjacency { n, bits: vec![false; n * n] }
+        DenseAdjacency {
+            n,
+            bits: vec![false; n * n],
+        }
     }
 
     /// Materializes the adjacency matrix of `g` (symmetric for undirected
@@ -66,7 +69,11 @@ impl DenseAdjacency {
     ///
     /// Panics if either index is `>= len()`.
     pub fn get(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of range for n={}", self.n);
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row}, {col}) out of range for n={}",
+            self.n
+        );
         self.bits[row * self.n + col]
     }
 
@@ -76,7 +83,11 @@ impl DenseAdjacency {
     ///
     /// Panics if either index is `>= len()`.
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of range for n={}", self.n);
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row}, {col}) out of range for n={}",
+            self.n
+        );
         self.bits[row * self.n + col] = value;
     }
 
@@ -138,7 +149,11 @@ mod tests {
 
     #[test]
     fn from_graph_symmetric_for_undirected() {
-        let g = GraphBuilder::undirected(4).edges([(0, 2), (1, 3)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 2), (1, 3)])
+            .unwrap()
+            .build()
+            .unwrap();
         let adj = DenseAdjacency::from_graph(&g);
         assert!(adj.is_symmetric());
         assert_eq!(adj.count_ones(), 4);
@@ -146,7 +161,11 @@ mod tests {
 
     #[test]
     fn directed_not_mirrored() {
-        let g = GraphBuilder::directed(2).edges([(0, 1)]).unwrap().build().unwrap();
+        let g = GraphBuilder::directed(2)
+            .edges([(0, 1)])
+            .unwrap()
+            .build()
+            .unwrap();
         let adj = DenseAdjacency::from_graph(&g);
         assert!(adj.get(0, 1));
         assert!(!adj.get(1, 0));
@@ -156,12 +175,20 @@ mod tests {
     #[test]
     fn bandwidth_and_coverage() {
         // Path graph 0-1-2-3 has bandwidth 1.
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .unwrap()
+            .build()
+            .unwrap();
         let adj = DenseAdjacency::from_graph(&g);
         assert_eq!(adj.bandwidth(), 1);
         assert!((adj.band_coverage(1) - 1.0).abs() < 1e-12);
         // Add a long-range edge: bandwidth jumps, band coverage drops.
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap().build().unwrap();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+            .unwrap()
+            .build()
+            .unwrap();
         let adj = DenseAdjacency::from_graph(&g);
         assert_eq!(adj.bandwidth(), 3);
         assert!((adj.band_coverage(1) - 6.0 / 8.0).abs() < 1e-12);

@@ -50,15 +50,25 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node id {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
             GraphError::DuplicateEdge { src, dst } => {
                 write!(f, "duplicate edge ({src}, {dst})")
             }
             GraphError::Empty => write!(f, "graph has no nodes"),
-            GraphError::DimensionMismatch { expected, found, what } => {
-                write!(f, "dimension mismatch for {what}: expected {expected}, found {found}")
+            GraphError::DimensionMismatch {
+                expected,
+                found,
+                what,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch for {what}: expected {expected}, found {found}"
+                )
             }
             GraphError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -75,7 +85,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, node_count: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            node_count: 4,
+        };
         let s = e.to_string();
         assert!(s.contains('7') && s.contains('4'));
         assert!(s.starts_with(char::is_lowercase));

@@ -61,7 +61,10 @@ pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph, Graph
 /// [`GraphError::InvalidParameter`] if `m == 0` or `n <= m`.
 pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
     if m == 0 {
-        return Err(GraphError::InvalidParameter { name: "m", reason: "m must be >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            name: "m",
+            reason: "m must be >= 1".into(),
+        });
     }
     if n <= m {
         return Err(GraphError::InvalidParameter {
@@ -113,7 +116,10 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<Graph,
 /// would collide with cycle edges (`skip == n - 1`), or if `n < 4`.
 pub fn circular_skip_links(n: usize, skip: usize) -> Result<Graph, GraphError> {
     if n < 4 {
-        return Err(GraphError::InvalidParameter { name: "n", reason: "need n >= 4".into() });
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: "need n >= 4".into(),
+        });
     }
     if skip < 2 || skip >= n - 1 {
         return Err(GraphError::InvalidParameter {
@@ -196,7 +202,12 @@ pub fn molecular_chain<R: Rng>(
 ///
 /// [`GraphError::InvalidParameter`] if `k` is odd, zero, or ≥ n, or `beta`
 /// is outside `[0, 1]`.
-pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn watts_strogatz<R: Rng>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if k == 0 || !k.is_multiple_of(2) || k >= n {
         return Err(GraphError::InvalidParameter {
             name: "k",
@@ -302,7 +313,10 @@ pub fn caveman(cliques: usize, clique_size: usize) -> Result<Graph, GraphError> 
 /// [`GraphError::InvalidParameter`] if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter { name: "n", reason: "need n >= 3".into() });
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: "need n >= 3".into(),
+        });
     }
     let mut b = GraphBuilder::undirected(n);
     for v in 0..n {
@@ -352,7 +366,10 @@ pub fn complete(n: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameter`] if `n < 2`.
 pub fn star(n: usize) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter { name: "n", reason: "need n >= 2".into() });
+        return Err(GraphError::InvalidParameter {
+            name: "n",
+            reason: "need n >= 2".into(),
+        });
     }
     let mut b = GraphBuilder::undirected(n);
     for v in 1..n {

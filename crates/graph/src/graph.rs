@@ -76,7 +76,11 @@ impl Graph {
             }
         }
         let csr = Csr::from_edge_list(&edges, direction == Direction::Undirected);
-        Ok(Graph { direction, edges, csr })
+        Ok(Graph {
+            direction,
+            edges,
+            csr,
+        })
     }
 
     /// Number of nodes `n`.
@@ -153,7 +157,10 @@ impl Graph {
 
     /// Maximum degree, or 0 for an edgeless graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sparsity as defined by the paper (§IV-B1): the ratio of actual edges to

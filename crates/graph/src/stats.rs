@@ -44,7 +44,11 @@ impl DegreeStats {
         let degrees = g.degrees();
         let n = degrees.len().max(1) as f64;
         let mean = degrees.iter().sum::<usize>() as f64 / n;
-        let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         DegreeStats {
             min: degrees.iter().copied().min().unwrap_or(0),
             max: degrees.iter().copied().max().unwrap_or(0),
@@ -113,7 +117,13 @@ impl DatasetStats {
             d_max.push(s.max as f64);
             d_mean.push(s.mean);
         }
-        let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
 
         let mut ks_scores = Vec::new();
         for pair in graphs.windows(2).take(max_ks_pairs) {
@@ -131,7 +141,11 @@ impl DatasetStats {
             std_min_degree: std_dev(&d_min),
             std_max_degree: std_dev(&d_max),
             std_mean_degree: std_dev(&d_mean),
-            mean_ks_similarity: if ks_scores.is_empty() { 1.0 } else { mean(&ks_scores) },
+            mean_ks_similarity: if ks_scores.is_empty() {
+                1.0
+            } else {
+                mean(&ks_scores)
+            },
         }
     }
 }

@@ -21,7 +21,11 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { count: 0, sum: 0, buckets: [0; BUCKETS] }
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
     }
 }
 

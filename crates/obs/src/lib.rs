@@ -152,7 +152,11 @@ pub fn gauge_set(name: &str, value: f64) {
 fn record_hist(timing: bool, name: &str, v: u64) {
     let mut r = registry().lock().expect("obs registry poisoned");
     r.api_calls += 1;
-    let map = if timing { &mut r.timings } else { &mut r.values };
+    let map = if timing {
+        &mut r.timings
+    } else {
+        &mut r.values
+    };
     match map.get_mut(name) {
         Some(h) => h.record(v),
         None => {
@@ -233,17 +237,33 @@ pub fn span(name: &'static str) -> SpanGuard {
         prefix
     });
     let start = Instant::now();
-    let start_ns = start.duration_since(epoch()).as_nanos().min(u64::MAX as u128) as u64;
-    SpanGuard { inner: Some(SpanInner { name, prefix, start, start_ns }) }
+    let start_ns = start
+        .duration_since(epoch())
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
+    SpanGuard {
+        inner: Some(SpanInner {
+            name,
+            prefix,
+            start,
+            start_ns,
+        }),
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(inner) = self.inner.take() else { return };
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
         let dur_ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            debug_assert_eq!(s.last().copied(), Some(inner.name), "span drops must be LIFO");
+            debug_assert_eq!(
+                s.last().copied(),
+                Some(inner.name),
+                "span drops must be LIFO"
+            );
             s.pop();
         });
         let path = if inner.prefix.is_empty() {
@@ -253,7 +273,12 @@ impl Drop for SpanGuard {
         };
         let mut r = registry().lock().expect("obs registry poisoned");
         r.api_calls += 2; // open + close both touch the enabled check
-        r.spans.push(SpanRecord { path, tid: thread_id(), start_ns: inner.start_ns, dur_ns });
+        r.spans.push(SpanRecord {
+            path,
+            tid: thread_id(),
+            start_ns: inner.start_ns,
+            dur_ns,
+        });
     }
 }
 
@@ -274,7 +299,13 @@ pub struct HistSummary {
 
 impl HistSummary {
     fn of(h: &Histogram) -> Self {
-        HistSummary { count: h.count(), sum: h.sum(), p50: h.p50(), p90: h.p90(), p99: h.p99() }
+        HistSummary {
+            count: h.count(),
+            sum: h.sum(),
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+        }
     }
 }
 
@@ -318,11 +349,23 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         counters: r.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
         gauges: r.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
-        values: r.values.iter().map(|(k, h)| (k.clone(), HistSummary::of(h))).collect(),
-        timings: r.timings.iter().map(|(k, h)| (k.clone(), HistSummary::of(h))).collect(),
+        values: r
+            .values
+            .iter()
+            .map(|(k, h)| (k.clone(), HistSummary::of(h)))
+            .collect(),
+        timings: r
+            .timings
+            .iter()
+            .map(|(k, h)| (k.clone(), HistSummary::of(h)))
+            .collect(),
         spans: span_map
             .into_iter()
-            .map(|(path, (count, total_ns))| SpanAgg { path: path.to_string(), count, total_ns })
+            .map(|(path, (count, total_ns))| SpanAgg {
+                path: path.to_string(),
+                count,
+                total_ns,
+            })
             .collect(),
         api_calls: r.api_calls,
     }
@@ -414,7 +457,11 @@ impl Snapshot {
             if deterministic {
                 let _ = write!(o, ": {{\"count\": {}}}", s.count);
             } else {
-                let _ = write!(o, ": {{\"count\": {}, \"total_ns\": {}}}", s.count, s.total_ns);
+                let _ = write!(
+                    o,
+                    ": {{\"count\": {}, \"total_ns\": {}}}",
+                    s.count, s.total_ns
+                );
             }
         }
         o.push_str("\n  }\n}\n");
@@ -555,9 +602,17 @@ mod tests {
         assert_eq!(det_a, det_b, "deterministic snapshots diverged");
         assert_ne!(full_a, full_b, "full snapshots should carry wall clock");
         // And the deterministic form still names every metric family.
-        for key in ["det.counter", "det.gauge", "det.value", "det.timing", "det_outer/det_inner"]
-        {
-            assert!(det_a.contains(key), "missing {key} in deterministic snapshot");
+        for key in [
+            "det.counter",
+            "det.gauge",
+            "det.value",
+            "det.timing",
+            "det_outer/det_inner",
+        ] {
+            assert!(
+                det_a.contains(key),
+                "missing {key} in deterministic snapshot"
+            );
         }
         reset();
     }
@@ -602,8 +657,11 @@ mod tests {
         }
         set_enabled(false);
         let snap = snapshot();
-        let paths: Vec<(&str, u64)> =
-            snap.spans.iter().map(|s| (s.path.as_str(), s.count)).collect();
+        let paths: Vec<(&str, u64)> = snap
+            .spans
+            .iter()
+            .map(|s| (s.path.as_str(), s.count))
+            .collect();
         assert_eq!(paths, vec![("outer", 1), ("outer/inner", 2)]);
         reset();
     }
@@ -622,7 +680,10 @@ mod tests {
         let snap = snapshot();
         let det = snap.to_json(true);
         assert!(det.contains("\\\"")); // escaped quote
-        assert!(!det.contains("total_ns"), "deterministic mode must omit wall-clock");
+        assert!(
+            !det.contains("total_ns"),
+            "deterministic mode must omit wall-clock"
+        );
         assert!(!det.contains("sum_ns"));
         let full = snap.to_json(false);
         assert!(full.contains("total_ns"));

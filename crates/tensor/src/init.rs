@@ -18,7 +18,9 @@ use rand::Rng;
 /// ```
 pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
     let bound = (6.0 / (rows + cols) as f32).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 
@@ -26,7 +28,9 @@ pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
 /// `U(-√(6/fan_in), +√(6/fan_in))`.
 pub fn he_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
     let bound = (6.0 / rows.max(1) as f32).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 

@@ -93,7 +93,11 @@ impl ParamStore {
     ///
     /// Panics if the shape changes.
     pub fn set(&mut self, p: ParamId, value: Tensor) {
-        assert_eq!(self.values[p.0].shape(), value.shape(), "parameter shape is fixed");
+        assert_eq!(
+            self.values[p.0].shape(),
+            value.shape(),
+            "parameter shape is fixed"
+        );
         self.values[p.0] = value;
     }
 
@@ -137,7 +141,12 @@ impl ParamStore {
     /// `max_norm`, scales every grad down proportionally. Returns the norm
     /// before clipping.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
-        let total: f32 = self.grads.iter().map(|g| g.norm().powi(2)).sum::<f32>().sqrt();
+        let total: f32 = self
+            .grads
+            .iter()
+            .map(|g| g.norm().powi(2))
+            .sum::<f32>()
+            .sqrt();
         if total > max_norm && total > 0.0 {
             let k = max_norm / total;
             for g in &mut self.grads {
@@ -177,12 +186,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -236,12 +253,28 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard betas (0.9, 0.999) and eps 1e-8.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Adam with explicit hyperparameters.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
-        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -264,7 +297,9 @@ impl Optimizer for Adam {
         for (i, p) in store.ids().enumerate() {
             let g = store.grad(p);
             self.m[i] = self.m[i].scale(self.beta1).add(&g.scale(1.0 - self.beta1));
-            self.v[i] = self.v[i].scale(self.beta2).add(&g.mul(g).scale(1.0 - self.beta2));
+            self.v[i] = self.v[i]
+                .scale(self.beta2)
+                .add(&g.mul(g).scale(1.0 - self.beta2));
             let mhat = self.m[i].scale(1.0 / bc1);
             let vhat = self.v[i].scale(1.0 / bc2);
             let update = mhat.zip_map(&vhat, |mm, vv| mm / (vv.sqrt() + self.eps));

@@ -158,7 +158,12 @@ impl Tape {
     /// buffers from `pool` (share one pool across tapes to recycle
     /// allocations between batches).
     pub fn with_exec(backend: Arc<dyn Backend>, pool: Arc<BufferPool>) -> Self {
-        Tape { nodes: Vec::new(), par: mega_core::Parallelism::default(), backend, pool }
+        Tape {
+            nodes: Vec::new(),
+            par: mega_core::Parallelism::default(),
+            backend,
+            pool,
+        }
     }
 
     /// Swaps the execution backend. Every backend is bit-compatible with the
@@ -248,7 +253,8 @@ impl Tape {
         );
         let (n, k, m) = (x.rows(), x.cols(), y.cols());
         let mut out = self.out_buf(n, m);
-        self.backend.matmul(x.as_slice(), y.as_slice(), n, k, m, &self.par, &mut out);
+        self.backend
+            .matmul(x.as_slice(), y.as_slice(), n, k, m, &self.par, &mut out);
         if let Some(t0) = t0 {
             mega_obs::record_duration("tensor.matmul_ns", t0.elapsed());
         }
@@ -299,7 +305,13 @@ impl Tape {
     /// Elementwise sum of same-shape tensors.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(x.shape(), y.shape(), "add: shape mismatch {:?} vs {:?}", x.shape(), y.shape());
+        assert_eq!(
+            x.shape(),
+            y.shape(),
+            "add: shape mismatch {:?} vs {:?}",
+            x.shape(),
+            y.shape()
+        );
         let mut out = self.out_buf(x.rows(), x.cols());
         self.backend.add(x.as_slice(), y.as_slice(), &mut out);
         let t = Tensor::from_vec(x.rows(), x.cols(), out);
@@ -309,7 +321,13 @@ impl Tape {
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(x.shape(), y.shape(), "sub: shape mismatch {:?} vs {:?}", x.shape(), y.shape());
+        assert_eq!(
+            x.shape(),
+            y.shape(),
+            "sub: shape mismatch {:?} vs {:?}",
+            x.shape(),
+            y.shape()
+        );
         let mut out = self.out_buf(x.rows(), x.cols());
         self.backend.sub(x.as_slice(), y.as_slice(), &mut out);
         let t = Tensor::from_vec(x.rows(), x.cols(), out);
@@ -319,7 +337,13 @@ impl Tape {
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(x.shape(), y.shape(), "mul: shape mismatch {:?} vs {:?}", x.shape(), y.shape());
+        assert_eq!(
+            x.shape(),
+            y.shape(),
+            "mul: shape mismatch {:?} vs {:?}",
+            x.shape(),
+            y.shape()
+        );
         let mut out = self.out_buf(x.rows(), x.cols());
         self.backend.mul(x.as_slice(), y.as_slice(), &mut out);
         let t = Tensor::from_vec(x.rows(), x.cols(), out);
@@ -336,7 +360,8 @@ impl Tape {
         assert_eq!(b.rows(), 1, "bias must be a single row");
         assert_eq!(b.cols(), x.cols(), "bias width mismatch");
         let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend.add_bias_rows(x.as_slice(), b.as_slice(), x.rows(), x.cols(), &mut out);
+        self.backend
+            .add_bias_rows(x.as_slice(), b.as_slice(), x.rows(), x.cols(), &mut out);
         let t = Tensor::from_vec(x.rows(), x.cols(), out);
         self.push(t, Op::AddRow(a, bias))
     }
@@ -380,7 +405,10 @@ impl Tape {
     pub fn dropout(&mut self, a: Var, mask: Arc<Vec<bool>>, keep_prob: f32) -> Var {
         let x = self.value(a);
         assert_eq!(mask.len(), x.rows() * x.cols(), "one mask bit per element");
-        assert!(keep_prob > 0.0 && keep_prob <= 1.0, "keep_prob must be in (0, 1]");
+        assert!(
+            keep_prob > 0.0 && keep_prob <= 1.0,
+            "keep_prob must be in (0, 1]"
+        );
         let inv = 1.0 / keep_prob;
         let mut out = x.clone();
         for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
@@ -476,7 +504,8 @@ impl Tape {
     pub fn gather_rows(&mut self, a: Var, index: Arc<Vec<usize>>) -> Var {
         let x = self.value(a);
         let mut out = self.out_buf(index.len(), x.cols());
-        self.backend.gather_rows(x.as_slice(), x.rows(), x.cols(), &index, &mut out);
+        self.backend
+            .gather_rows(x.as_slice(), x.rows(), x.cols(), &index, &mut out);
         let t = Tensor::from_vec(index.len(), x.cols(), out);
         self.push(t, Op::GatherRows(a, index))
     }
@@ -486,7 +515,8 @@ impl Tape {
     pub fn scatter_add_rows(&mut self, a: Var, index: Arc<Vec<usize>>, out_rows: usize) -> Var {
         let x = self.value(a);
         let mut out = self.out_buf(out_rows, x.cols());
-        self.backend.scatter_add_rows(x.as_slice(), &index, x.cols(), out_rows, &mut out);
+        self.backend
+            .scatter_add_rows(x.as_slice(), &index, x.cols(), out_rows, &mut out);
         let t = Tensor::from_vec(out_rows, x.cols(), out);
         self.push(t, Op::ScatterAddRows(a, index))
     }
@@ -500,7 +530,8 @@ impl Tape {
         let x = self.value(a);
         assert_eq!(factors.len(), x.rows(), "one factor per row required");
         let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend.scale_rows(x.as_slice(), &factors, x.cols(), &mut out);
+        self.backend
+            .scale_rows(x.as_slice(), &factors, x.cols(), &mut out);
         let t = Tensor::from_vec(x.rows(), x.cols(), out);
         self.push(t, Op::ScaleRows(a, factors))
     }
@@ -517,7 +548,8 @@ impl Tape {
         assert_eq!(segments.len(), x.rows(), "one segment id per row required");
         let (r, c) = x.shape();
         let mut out = self.out_buf(r, c);
-        self.backend.segment_softmax(x.as_slice(), r, c, &segments, n_segments, &mut out);
+        self.backend
+            .segment_softmax(x.as_slice(), r, c, &segments, n_segments, &mut out);
         let t = Tensor::from_vec(r, c, out);
         self.push(t, Op::SegmentSoftmax(a, segments, n_segments))
     }
@@ -530,7 +562,15 @@ impl Tape {
         assert_eq!(b.shape(), (1, x.cols()), "beta shape");
         let (r, c) = x.shape();
         let mut out = self.out_buf(r, c);
-        self.backend.layer_norm(x.as_slice(), g.as_slice(), b.as_slice(), r, c, eps, &mut out);
+        self.backend.layer_norm(
+            x.as_slice(),
+            g.as_slice(),
+            b.as_slice(),
+            r,
+            c,
+            eps,
+            &mut out,
+        );
         let t = Tensor::from_vec(r, c, out);
         self.push(t, Op::LayerNorm(a, gamma, beta, eps))
     }
@@ -543,7 +583,15 @@ impl Tape {
         assert_eq!(b.shape(), (1, x.cols()), "beta shape");
         let (r, c) = x.shape();
         let mut out = self.out_buf(r, c);
-        self.backend.batch_norm(x.as_slice(), g.as_slice(), b.as_slice(), r, c, eps, &mut out);
+        self.backend.batch_norm(
+            x.as_slice(),
+            g.as_slice(),
+            b.as_slice(),
+            r,
+            c,
+            eps,
+            &mut out,
+        );
         let t = Tensor::from_vec(r, c, out);
         self.push(t, Op::BatchNorm(a, gamma, beta, eps))
     }
@@ -564,7 +612,10 @@ impl Tape {
             .map(|(&a, &b)| (a - b).abs())
             .sum::<f32>()
             / n;
-        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::L1Loss(pred, Arc::new(target)))
+        self.push(
+            Tensor::from_vec(1, 1, vec![loss]),
+            Op::L1Loss(pred, Arc::new(target)),
+        )
     }
 
     /// Softmax cross-entropy over rows of `logits` against integer class
@@ -585,7 +636,10 @@ impl Tape {
             loss += logsum - row[labels[i]];
         }
         loss /= x.rows().max(1) as f32;
-        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::CrossEntropy(logits, labels))
+        self.push(
+            Tensor::from_vec(1, 1, vec![loss]),
+            Op::CrossEntropy(logits, labels),
+        )
     }
 
     /// Runs the backward pass from the scalar node `loss`.
@@ -596,7 +650,11 @@ impl Tape {
     pub fn backward(&self, loss: Var) -> Gradients {
         let _span = mega_obs::span("tape_backward");
         mega_obs::counter_add("tensor.tape.backward_passes", 1);
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward needs a scalar loss");
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
         let mut grads: Vec<Tensor> = self
             .nodes
             .iter()
@@ -619,14 +677,16 @@ impl Tape {
                     let mut bt = self.pool.acquire(k * m);
                     kernels::transpose(vb.as_slice(), k, m, &mut bt);
                     let mut da = self.pool.acquire(n * k);
-                    self.backend.matmul(g.as_slice(), &bt, n, m, k, &self.par, &mut da);
+                    self.backend
+                        .matmul(g.as_slice(), &bt, n, m, k, &self.par, &mut da);
                     add_slice(&mut grads[a.0], &da);
                     self.pool.release(bt);
                     self.pool.release(da);
                     let mut at = self.pool.acquire(n * k);
                     kernels::transpose(va.as_slice(), n, k, &mut at);
                     let mut db = self.pool.acquire(k * m);
-                    self.backend.matmul(&at, g.as_slice(), k, n, m, &self.par, &mut db);
+                    self.backend
+                        .matmul(&at, g.as_slice(), k, n, m, &self.par, &mut db);
                     add_slice(&mut grads[b.0], &db);
                     self.pool.release(at);
                     self.pool.release(db);
@@ -638,9 +698,7 @@ impl Tape {
                     // Mask the upstream gradient by the activation: the kept
                     // pre-activations are exactly the positive outputs.
                     let mut gm = self.pool.acquire(n * m);
-                    for ((o, &gv), &ov) in
-                        gm.iter_mut().zip(g.as_slice()).zip(out.as_slice())
-                    {
+                    for ((o, &gv), &ov) in gm.iter_mut().zip(g.as_slice()).zip(out.as_slice()) {
                         *o = if ov > 0.0 { gv } else { 0.0 };
                     }
                     // dbias = column sums of gm, folded row-major as the
@@ -701,7 +759,10 @@ impl Tape {
                     grads[a.0].add_assign(&da);
                 }
                 Op::Relu(a) => {
-                    let da = g.zip_map(&self.nodes[a.0].value, |gg, x| if x > 0.0 { gg } else { 0.0 });
+                    let da = g.zip_map(
+                        &self.nodes[a.0].value,
+                        |gg, x| if x > 0.0 { gg } else { 0.0 },
+                    );
                     grads[a.0].add_assign(&da);
                 }
                 Op::LeakyRelu(a, slope) => {
@@ -850,13 +911,16 @@ impl Tape {
                         let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / cn;
                         let inv = 1.0 / (var + eps).sqrt();
                         let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv).collect();
-                        let dxhat: Vec<f32> =
-                            (0..c).map(|j| g.at(i, j) * gm.at(0, j)).collect();
+                        let dxhat: Vec<f32> = (0..c).map(|j| g.at(i, j) * gm.at(0, j)).collect();
                         let mean_dxhat = dxhat.iter().sum::<f32>() / cn;
                         let mean_dxhat_xhat =
                             dxhat.iter().zip(&xhat).map(|(&d, &h)| d * h).sum::<f32>() / cn;
                         for j in 0..c {
-                            da.set(i, j, inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat));
+                            da.set(
+                                i,
+                                j,
+                                inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat),
+                            );
                             dgamma.set(0, j, dgamma.at(0, j) + g.at(i, j) * xhat[j]);
                             dbeta.set(0, j, dbeta.at(0, j) + g.at(i, j));
                         }
@@ -891,7 +955,11 @@ impl Tape {
                         let mean_dxhat_xhat =
                             dxhat.iter().zip(&xhat).map(|(&d, &h)| d * h).sum::<f32>() / rn;
                         for i in 0..r {
-                            da.set(i, j, inv * (dxhat[i] - mean_dxhat - xhat[i] * mean_dxhat_xhat));
+                            da.set(
+                                i,
+                                j,
+                                inv * (dxhat[i] - mean_dxhat - xhat[i] * mean_dxhat_xhat),
+                            );
                             dgamma.set(0, j, dgamma.at(0, j) + g.at(i, j) * xhat[i]);
                             dbeta.set(0, j, dbeta.at(0, j) + g.at(i, j));
                         }
@@ -992,28 +1060,40 @@ mod tests {
 
     #[test]
     fn grad_matmul() {
-        check_grad(sample(3, 4, 1), |t, x| {
-            let w = t.leaf(sample(4, 2, 2));
-            let y = t.matmul(x, w);
-            t.sum(y)
-        }, 1e-2);
+        check_grad(
+            sample(3, 4, 1),
+            |t, x| {
+                let w = t.leaf(sample(4, 2, 2));
+                let y = t.matmul(x, w);
+                t.sum(y)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_linear_relu() {
-        check_grad(sample(3, 4, 28), |t, x| {
-            let w = t.leaf(sample(4, 2, 29));
-            let b = t.leaf(sample(1, 2, 31));
-            let y = t.linear_relu(x, w, b);
-            t.sum(y)
-        }, 2e-2);
+        check_grad(
+            sample(3, 4, 28),
+            |t, x| {
+                let w = t.leaf(sample(4, 2, 29));
+                let b = t.leaf(sample(1, 2, 31));
+                let y = t.linear_relu(x, w, b);
+                t.sum(y)
+            },
+            2e-2,
+        );
         // Weight and bias gradients via the weight as the probed leaf.
-        check_grad(sample(4, 2, 32), |t, w| {
-            let x = t.leaf(sample(3, 4, 33));
-            let b = t.leaf(sample(1, 2, 34));
-            let y = t.linear_relu(x, w, b);
-            t.sum(y)
-        }, 2e-2);
+        check_grad(
+            sample(4, 2, 32),
+            |t, w| {
+                let x = t.leaf(sample(3, 4, 33));
+                let b = t.leaf(sample(1, 2, 34));
+                let y = t.linear_relu(x, w, b);
+                t.sum(y)
+            },
+            2e-2,
+        );
     }
 
     #[test]
@@ -1023,7 +1103,11 @@ mod tests {
         let b = sample(1, 3, 42);
 
         let mut fused = Tape::new();
-        let (fx, fw, fb) = (fused.leaf(x.clone()), fused.leaf(w.clone()), fused.leaf(b.clone()));
+        let (fx, fw, fb) = (
+            fused.leaf(x.clone()),
+            fused.leaf(w.clone()),
+            fused.leaf(b.clone()),
+        );
         let fy = fused.linear_relu(fx, fw, fb);
         let floss = fused.sum(fy);
         let fg = fused.backward(floss);
@@ -1036,7 +1120,12 @@ mod tests {
         let uloss = unfused.sum(uy);
         let ug = unfused.backward(uloss);
 
-        for (a, c) in fused.value(fy).as_slice().iter().zip(unfused.value(uy).as_slice()) {
+        for (a, c) in fused
+            .value(fy)
+            .as_slice()
+            .iter()
+            .zip(unfused.value(uy).as_slice())
+        {
             assert_eq!(a.to_bits(), c.to_bits());
         }
         for (v_f, v_u) in [(fx, ux), (fw, uw), (fb, ub)] {
@@ -1064,110 +1153,158 @@ mod tests {
 
     #[test]
     fn grad_elementwise_chain() {
-        check_grad(sample(2, 3, 3), |t, x| {
-            let y = t.mul(x, x);
-            let z = t.scale(y, 0.5);
-            t.mean(z)
-        }, 1e-2);
+        check_grad(
+            sample(2, 3, 3),
+            |t, x| {
+                let y = t.mul(x, x);
+                let z = t.scale(y, 0.5);
+                t.mean(z)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_activations() {
-        check_grad(sample(2, 3, 4), |t, x| {
-            let y = t.sigmoid(x);
-            t.sum(y)
-        }, 1e-2);
-        check_grad(sample(2, 3, 5), |t, x| {
-            let y = t.tanh(x);
-            t.sum(y)
-        }, 1e-2);
-        check_grad(sample(2, 3, 6), |t, x| {
-            let y = t.relu(x);
-            t.sum(y)
-        }, 1e-2);
+        check_grad(
+            sample(2, 3, 4),
+            |t, x| {
+                let y = t.sigmoid(x);
+                t.sum(y)
+            },
+            1e-2,
+        );
+        check_grad(
+            sample(2, 3, 5),
+            |t, x| {
+                let y = t.tanh(x);
+                t.sum(y)
+            },
+            1e-2,
+        );
+        check_grad(
+            sample(2, 3, 6),
+            |t, x| {
+                let y = t.relu(x);
+                t.sum(y)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_add_row_bias() {
-        check_grad(sample(1, 3, 7), |t, bias| {
-            let a = t.leaf(sample(4, 3, 8));
-            let y = t.add_row(a, bias);
-            let z = t.mul(y, y);
-            t.sum(z)
-        }, 2e-2);
+        check_grad(
+            sample(1, 3, 7),
+            |t, bias| {
+                let a = t.leaf(sample(4, 3, 8));
+                let y = t.add_row(a, bias);
+                let z = t.mul(y, y);
+                t.sum(z)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_div_eps() {
-        check_grad(sample(2, 2, 9), |t, x| {
-            let d = t.leaf(Tensor::full(2, 2, 2.0));
-            let y = t.div_eps(x, d, 1e-3);
-            t.sum(y)
-        }, 1e-2);
+        check_grad(
+            sample(2, 2, 9),
+            |t, x| {
+                let d = t.leaf(Tensor::full(2, 2, 2.0));
+                let y = t.div_eps(x, d, 1e-3);
+                t.sum(y)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_row_dot_and_broadcast() {
-        check_grad(sample(3, 4, 10), |t, x| {
-            let other = t.leaf(sample(3, 4, 11));
-            let w = t.row_dot(x, other);
-            let y = t.mul_col_broadcast(other, w);
-            t.sum(y)
-        }, 2e-2);
+        check_grad(
+            sample(3, 4, 10),
+            |t, x| {
+                let other = t.leaf(sample(3, 4, 11));
+                let w = t.row_dot(x, other);
+                let y = t.mul_col_broadcast(other, w);
+                t.sum(y)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_gather_scatter() {
         let idx = Arc::new(vec![0usize, 2, 2, 1]);
-        check_grad(sample(3, 2, 12), move |t, x| {
-            let g = t.gather_rows(x, idx.clone());
-            let sq = t.mul(g, g);
-            let s = t.scatter_add_rows(sq, Arc::new(vec![0, 0, 1, 1]), 2);
-            t.sum(s)
-        }, 2e-2);
+        check_grad(
+            sample(3, 2, 12),
+            move |t, x| {
+                let g = t.gather_rows(x, idx.clone());
+                let sq = t.mul(g, g);
+                let s = t.scatter_add_rows(sq, Arc::new(vec![0, 0, 1, 1]), 2);
+                t.sum(s)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_segment_softmax() {
         let segs = Arc::new(vec![0usize, 0, 1, 1, 1]);
-        check_grad(sample(5, 2, 13), move |t, x| {
-            let p = t.segment_softmax(x, segs.clone(), 2);
-            let w = t.leaf(sample(5, 2, 14));
-            let y = t.mul(p, w);
-            t.sum(y)
-        }, 2e-2);
+        check_grad(
+            sample(5, 2, 13),
+            move |t, x| {
+                let p = t.segment_softmax(x, segs.clone(), 2);
+                let w = t.leaf(sample(5, 2, 14));
+                let y = t.mul(p, w);
+                t.sum(y)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_layer_norm() {
-        check_grad(sample(3, 4, 15), |t, x| {
-            let gamma = t.leaf(Tensor::full(1, 4, 1.2));
-            let beta = t.leaf(Tensor::full(1, 4, 0.1));
-            let y = t.layer_norm(x, gamma, beta, 1e-5);
-            let w = t.leaf(sample(3, 4, 16));
-            let z = t.mul(y, w);
-            t.sum(z)
-        }, 3e-2);
+        check_grad(
+            sample(3, 4, 15),
+            |t, x| {
+                let gamma = t.leaf(Tensor::full(1, 4, 1.2));
+                let beta = t.leaf(Tensor::full(1, 4, 0.1));
+                let y = t.layer_norm(x, gamma, beta, 1e-5);
+                let w = t.leaf(sample(3, 4, 16));
+                let z = t.mul(y, w);
+                t.sum(z)
+            },
+            3e-2,
+        );
     }
 
     #[test]
     fn grad_batch_norm() {
-        check_grad(sample(4, 3, 17), |t, x| {
-            let gamma = t.leaf(Tensor::full(1, 3, 0.9));
-            let beta = t.leaf(Tensor::full(1, 3, -0.2));
-            let y = t.batch_norm(x, gamma, beta, 1e-5);
-            let w = t.leaf(sample(4, 3, 18));
-            let z = t.mul(y, w);
-            t.sum(z)
-        }, 3e-2);
+        check_grad(
+            sample(4, 3, 17),
+            |t, x| {
+                let gamma = t.leaf(Tensor::full(1, 3, 0.9));
+                let beta = t.leaf(Tensor::full(1, 3, -0.2));
+                let y = t.batch_norm(x, gamma, beta, 1e-5);
+                let w = t.leaf(sample(4, 3, 18));
+                let z = t.mul(y, w);
+                t.sum(z)
+            },
+            3e-2,
+        );
     }
 
     #[test]
     fn grad_leaky_relu() {
-        check_grad(sample(2, 3, 27), |t, x| {
-            let y = t.leaky_relu(x, 0.2);
-            t.sum(y)
-        }, 1e-2);
+        check_grad(
+            sample(2, 3, 27),
+            |t, x| {
+                let y = t.leaky_relu(x, 0.2);
+                t.sum(y)
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -1193,32 +1330,48 @@ mod tests {
     #[test]
     fn grad_losses() {
         let target = sample(3, 1, 19);
-        check_grad(sample(3, 1, 20), move |t, x| t.l1_loss(x, target.clone()), 1e-2);
+        check_grad(
+            sample(3, 1, 20),
+            move |t, x| t.l1_loss(x, target.clone()),
+            1e-2,
+        );
         let labels = Arc::new(vec![0usize, 2, 1]);
-        check_grad(sample(3, 3, 21), move |t, x| t.cross_entropy(x, labels.clone()), 1e-2);
+        check_grad(
+            sample(3, 3, 21),
+            move |t, x| t.cross_entropy(x, labels.clone()),
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_concat_cols() {
-        check_grad(sample(2, 2, 22), |t, x| {
-            let other = t.leaf(sample(2, 3, 23));
-            let y = t.concat_cols(&[x, other]);
-            let w = t.leaf(sample(2, 5, 24));
-            let z = t.mul(y, w);
-            t.sum(z)
-        }, 2e-2);
+        check_grad(
+            sample(2, 2, 22),
+            |t, x| {
+                let other = t.leaf(sample(2, 3, 23));
+                let y = t.concat_cols(&[x, other]);
+                let w = t.leaf(sample(2, 5, 24));
+                let z = t.mul(y, w);
+                t.sum(z)
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_scale_rows_and_sub() {
         let f = Arc::new(vec![0.5f32, 2.0, -1.0]);
-        check_grad(sample(3, 2, 25), move |t, x| {
-            let y = t.scale_rows(x, f.clone());
-            let o = t.leaf(sample(3, 2, 26));
-            let d = t.sub(y, o);
-            let sq = t.mul(d, d);
-            t.mean(sq)
-        }, 2e-2);
+        check_grad(
+            sample(3, 2, 25),
+            move |t, x| {
+                let y = t.scale_rows(x, f.clone());
+                let o = t.leaf(sample(3, 2, 26));
+                let d = t.sub(y, o);
+                let sq = t.mul(d, d);
+                t.mean(sq)
+            },
+            2e-2,
+        );
     }
 
     #[test]
@@ -1239,7 +1392,11 @@ mod tests {
         let y = tape.add(x, x);
         let loss = tape.sum(y);
         let grads = tape.backward(loss);
-        assert!(grads.wrt(x).as_slice().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(grads
+            .wrt(x)
+            .as_slice()
+            .iter()
+            .all(|&g| (g - 2.0).abs() < 1e-6));
     }
 
     #[test]
@@ -1259,7 +1416,10 @@ mod tests {
         let v = tape.value(p);
         for seg in 0..3 {
             for col in 0..2 {
-                let s: f32 = (0..6).filter(|&i| segs[i] == seg).map(|i| v.at(i, col)).sum();
+                let s: f32 = (0..6)
+                    .filter(|&i| segs[i] == seg)
+                    .map(|i| v.at(i, col))
+                    .sum();
                 assert!((s - 1.0).abs() < 1e-5);
             }
         }

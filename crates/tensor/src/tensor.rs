@@ -27,12 +27,20 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// An `rows × cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// An `rows × cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a tensor from a flat row-major buffer.
@@ -41,7 +49,12 @@ impl Tensor {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
         Tensor { rows, cols, data }
     }
 
@@ -58,7 +71,11 @@ impl Tensor {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Tensor { rows: rows.len(), cols, data }
+        Tensor {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -98,7 +115,10 @@ impl Tensor {
     ///
     /// Panics if out of range.
     pub fn at(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -108,7 +128,10 @@ impl Tensor {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -191,7 +214,12 @@ impl Tensor {
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -221,7 +249,11 @@ impl Tensor {
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
         mega_exec::kernels::matmul(&self.data, &other.data, n, k, m, &mut out);
-        Tensor { rows: n, cols: m, data: out }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Matrix product computed under the thread budget of `par`.
@@ -244,7 +276,11 @@ impl Tensor {
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
         mega_exec::kernels::matmul_par(&self.data, &other.data, n, k, m, par, &mut out);
-        Tensor { rows: n, cols: m, data: out }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Transpose.
@@ -325,8 +361,16 @@ mod tests {
     fn parallel_matmul_bit_identical_to_serial() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
-        let a = Tensor::from_vec(37, 64, (0..37 * 64).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
-        let b = Tensor::from_vec(64, 29, (0..64 * 29).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let a = Tensor::from_vec(
+            37,
+            64,
+            (0..37 * 64).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let b = Tensor::from_vec(
+            64,
+            29,
+            (0..64 * 29).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
         let serial = a.matmul(&b);
         for threads in [1, 2, 4, 8] {
             let par = mega_core::Parallelism::with_threads(threads);

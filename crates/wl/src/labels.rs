@@ -20,7 +20,9 @@ pub struct RefinementHistory {
 impl RefinementHistory {
     /// Colors after the final round.
     pub fn final_colors(&self) -> &[u64] {
-        self.rounds.last().expect("at least the initial round exists")
+        self.rounds
+            .last()
+            .expect("at least the initial round exists")
     }
 
     /// Number of refinement rounds performed (excluding the initial one).
@@ -43,7 +45,9 @@ impl RefinementHistory {
 fn refine_rounds(graphs: &[&Graph], iterations: usize) -> Vec<RefinementHistory> {
     let mut histories: Vec<RefinementHistory> = graphs
         .iter()
-        .map(|g| RefinementHistory { rounds: vec![vec![0u64; g.node_count()]] })
+        .map(|g| RefinementHistory {
+            rounds: vec![vec![0u64; g.node_count()]],
+        })
         .collect();
     for _ in 0..iterations {
         // One shared canonical dictionary per round keeps colors comparable
@@ -94,11 +98,17 @@ fn refine_rounds(graphs: &[&Graph], iterations: usize) -> Vec<RefinementHistory>
 /// assert_ne!(h.rounds[1][0], h.rounds[1][1]);
 /// ```
 pub fn refine(g: &Graph, iterations: usize) -> RefinementHistory {
-    refine_rounds(&[g], iterations).pop().expect("one history per input graph")
+    refine_rounds(&[g], iterations)
+        .pop()
+        .expect("one history per input graph")
 }
 
 /// Refines two graphs against a shared color dictionary.
-pub fn refine_pair(a: &Graph, b: &Graph, iterations: usize) -> (RefinementHistory, RefinementHistory) {
+pub fn refine_pair(
+    a: &Graph,
+    b: &Graph,
+    iterations: usize,
+) -> (RefinementHistory, RefinementHistory) {
     let mut hs = refine_rounds(&[a, b], iterations);
     let hb = hs.pop().expect("two histories");
     let ha = hs.pop().expect("two histories");
@@ -156,8 +166,16 @@ mod tests {
     #[test]
     fn isomorphic_relabelings_are_indistinguishable() {
         // The same 4-cycle under two labelings.
-        let a = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap().build().unwrap();
-        let b = GraphBuilder::undirected(4).edges([(0, 2), (2, 1), (1, 3), (3, 0)]).unwrap().build().unwrap();
+        let a = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .unwrap()
+            .build()
+            .unwrap();
+        let b = GraphBuilder::undirected(4)
+            .edges([(0, 2), (2, 1), (1, 3), (3, 0)])
+            .unwrap()
+            .build()
+            .unwrap();
         assert!(wl_indistinguishable(&a, &b, 4));
     }
 

@@ -39,4 +39,6 @@ pub mod receptive;
 pub mod similarity;
 
 pub use labels::{refine, wl_indistinguishable, RefinementHistory};
-pub use similarity::{global_similarity, path_similarity, path_similarity_merged, subtree_similarity};
+pub use similarity::{
+    global_similarity, path_similarity, path_similarity_merged, subtree_similarity,
+};

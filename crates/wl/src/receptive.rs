@@ -44,8 +44,9 @@ pub fn path_khop_sets(schedule: &AttentionSchedule, hops: usize) -> Vec<BTreeSet
         pos_adj[s.lo].push(s.hi);
         pos_adj[s.hi].push(s.lo);
     }
-    let mut pos_sets: Vec<BTreeSet<usize>> =
-        (0..len).map(|i| BTreeSet::from([path.node_at(i)])).collect();
+    let mut pos_sets: Vec<BTreeSet<usize>> = (0..len)
+        .map(|i| BTreeSet::from([path.node_at(i)]))
+        .collect();
     for _ in 0..hops {
         let prev = pos_sets.clone();
         for i in 0..len {

@@ -110,7 +110,10 @@ mod tests {
         for seed in 0..3u64 {
             let g = generate::erdos_renyi(25, 0.15, &mut StdRng::seed_from_u64(seed)).unwrap();
             let s = preprocess(&g, &MegaConfig::default()).unwrap();
-            assert!((path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12, "seed {seed}");
+            assert!(
+                (path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12,
+                "seed {seed}"
+            );
         }
     }
 
@@ -181,7 +184,10 @@ mod tests {
         for w in [1usize, 2, 4] {
             let cfg = MegaConfig::default().with_window(WindowPolicy::Fixed(w));
             let s = preprocess(&g, &cfg).unwrap();
-            assert!((path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12, "window {w}");
+            assert!(
+                (path_similarity(&g, &s, 1) - 1.0).abs() < 1e-12,
+                "window {w}"
+            );
         }
     }
 }

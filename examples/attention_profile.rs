@@ -13,7 +13,12 @@ use mega::datasets::{zinc, DatasetSpec};
 use mega::gpu_sim::{BatchTopology, DeviceConfig, EngineKind, GnnCostModel, ModelSpec, Profiler};
 
 fn main() {
-    let ds = zinc(&DatasetSpec { train: 64, val: 8, test: 8, seed: 9 });
+    let ds = zinc(&DatasetSpec {
+        train: 64,
+        val: 8,
+        test: 8,
+        seed: 9,
+    });
     let graphs: Vec<_> = ds.train.iter().map(|s| s.graph.clone()).collect();
     let schedules: Vec<_> = graphs
         .iter()
@@ -35,7 +40,10 @@ fn main() {
         let mut profiler = Profiler::new(DeviceConfig::gtx_1080());
         model.simulate_step(&mut profiler, &topo);
         let report = profiler.report();
-        println!("\n=== {:?} — one GT training step (batch 64, hidden 128) ===", engine);
+        println!(
+            "\n=== {:?} — one GT training step (batch 64, hidden 128) ===",
+            engine
+        );
         println!("{report}");
     }
     println!("\nThe dgl kernels stall on scattered loads; the mega band kernels stream.");

@@ -26,15 +26,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         schedule.path().window(),
     );
 
-    println!("\n{:>4}  {:>18}  {:>18}  {:>22}", "k", "hash cut (pairs/vol)", "bfs cut (pairs/vol)", "path segs (pairs/vol/rep)");
+    println!(
+        "\n{:>4}  {:>18}  {:>18}  {:>22}",
+        "k", "hash cut (pairs/vol)", "bfs cut (pairs/vol)", "path segs (pairs/vol/rep)"
+    );
     for k in [2usize, 4, 8, 16, 32] {
         let hash = edge_cut_volume(&g, &hash_partition(&g, k), k);
         let bfs = edge_cut_volume(&g, &bfs_partition(&g, k), k);
         let path = path_partition_volume(&schedule, k);
         println!(
             "{k:>4}  {:>10}/{:<8}  {:>10}/{:<8}  {:>8}/{:<6}/{:<6}",
-            hash.comm_pairs, hash.volume_rows, bfs.comm_pairs, bfs.volume_rows,
-            path.comm_pairs, path.volume_rows, path.replica_rows,
+            hash.comm_pairs,
+            hash.volume_rows,
+            bfs.comm_pairs,
+            bfs.volume_rows,
+            path.comm_pairs,
+            path.volume_rows,
+            path.replica_rows,
         );
     }
     println!("\npath pairs are always k-1 (a chain); edge-cut pairs grow toward k(k-1)/2.");

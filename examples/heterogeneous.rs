@@ -16,10 +16,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // and cross edges are interactions.
     let g = GraphBuilder::undirected(10)
         .edges([
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // user-user ring
-            (5, 6), (6, 7), (7, 8), (8, 9),         // item-item chain
-            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // user-item interactions
-            (0, 7), (2, 9),                          // extra interactions
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0), // user-user ring
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9), // item-item chain
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9), // user-item interactions
+            (0, 7),
+            (2, 9), // extra interactions
         ])?
         .build()?;
     let types = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
@@ -35,8 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mp = preprocess_hetero(&h, &MegaConfig::default())?;
     println!("\nper-type paths:");
     for ts in &mp.per_type {
-        let global: Vec<usize> =
-            ts.schedule.gather_index().iter().map(|&l| ts.local_to_global[l]).collect();
+        let global: Vec<usize> = ts
+            .schedule
+            .gather_index()
+            .iter()
+            .map(|&l| ts.local_to_global[l])
+            .collect();
         println!(
             "  type {}: path {:?} ({} band slots)",
             ts.node_type,

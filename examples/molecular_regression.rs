@@ -11,8 +11,18 @@ use mega::datasets::{zinc, DatasetSpec};
 use mega::gnn::{EngineChoice, GnnConfig, ModelKind, Trainer};
 
 fn main() {
-    let ds = zinc(&DatasetSpec { train: 256, val: 64, test: 64, seed: 42 });
-    println!("dataset: {} ({} train / {} val graphs)", ds.name, ds.train.len(), ds.val.len());
+    let ds = zinc(&DatasetSpec {
+        train: 256,
+        val: 64,
+        test: 64,
+        seed: 42,
+    });
+    println!(
+        "dataset: {} ({} train / {} val graphs)",
+        ds.name,
+        ds.train.len(),
+        ds.val.len()
+    );
 
     let cfg = GnnConfig::new(ModelKind::GatedGcn, ds.node_vocab, ds.edge_vocab, 1)
         .with_hidden(32)
@@ -20,12 +30,21 @@ fn main() {
         .with_seed(3);
 
     for engine in [EngineChoice::Baseline, EngineChoice::Mega] {
-        let trainer = Trainer::new(engine).with_epochs(8).with_batch_size(32).with_lr(5e-3);
+        let trainer = Trainer::new(engine)
+            .with_epochs(8)
+            .with_batch_size(32)
+            .with_lr(5e-3);
         let hist = trainer.run(&ds, cfg.clone());
         println!("\n== engine: {} ==", hist.engine);
-        println!("simulated GPU epoch: {:.3} ms", hist.epoch_sim_seconds * 1e3);
+        println!(
+            "simulated GPU epoch: {:.3} ms",
+            hist.epoch_sim_seconds * 1e3
+        );
         if hist.preprocess_seconds > 0.0 {
-            println!("one-time CPU preprocessing: {:.3} s", hist.preprocess_seconds);
+            println!(
+                "one-time CPU preprocessing: {:.3} s",
+                hist.preprocess_seconds
+            );
         }
         println!("epoch  train-loss  val-loss  val-MAE  sim-clock(s)");
         for r in &hist.records {

@@ -14,9 +14,25 @@ use mega::wl::{global_similarity, path_similarity};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The 7-node demonstration graph of Fig. 3a.
     let g = GraphBuilder::undirected(7)
-        .edges([(0, 1), (0, 5), (1, 2), (1, 5), (2, 3), (2, 6), (3, 6), (3, 4), (4, 6), (5, 6)])?
+        .edges([
+            (0, 1),
+            (0, 5),
+            (1, 2),
+            (1, 5),
+            (2, 3),
+            (2, 6),
+            (3, 6),
+            (3, 4),
+            (4, 6),
+            (5, 6),
+        ])?
         .build()?;
-    println!("input graph: {} nodes, {} edges, mean degree {:.2}", g.node_count(), g.edge_count(), g.mean_degree());
+    println!(
+        "input graph: {} nodes, {} edges, mean degree {:.2}",
+        g.node_count(),
+        g.edge_count(),
+        g.mean_degree()
+    );
 
     // Preprocess: traverse and build the attention schedule.
     let config = MegaConfig::default().with_window(WindowPolicy::Fixed(1));
@@ -43,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.path_len, stats.revisits, stats.virtual_edges, stats.expansion
     );
 
-    println!("\nband mask: {} active slots covering {:.0}% of edges, density {:.2}",
+    println!(
+        "\nband mask: {} active slots covering {:.0}% of edges, density {:.2}",
         schedule.band().covered_edge_count(),
         stats.coverage * 100.0,
         stats.band_density,

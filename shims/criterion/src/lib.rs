@@ -26,7 +26,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered as `function/parameter`.
     pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
@@ -92,7 +94,11 @@ impl Bencher {
             return;
         }
         let per_iter = self.elapsed.as_secs_f64() / self.iters_done as f64;
-        println!("{name:<40} time: {}  ({} iters)", fmt_time(per_iter), self.iters_done);
+        println!(
+            "{name:<40} time: {}  ({} iters)",
+            fmt_time(per_iter),
+            self.iters_done
+        );
     }
 }
 
@@ -118,7 +124,10 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
         let full = format!("{}/{}", self.name, id.into_name());
-        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         b.report(&full);
     }
@@ -131,7 +140,10 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         let full = format!("{}/{}", self.name, id.into_name());
-        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b, input);
         b.report(&full);
     }
@@ -149,12 +161,18 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("-- group: {name}");
-        BenchmarkGroup { name, _criterion: self }
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
     }
 
     /// Runs a standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         b.report(name);
         self

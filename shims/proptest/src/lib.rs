@@ -219,11 +219,11 @@ where
 
 /// Collection strategies.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as a length specification for [`vec`].
+    /// Anything usable as a length specification for [`vec()`].
     pub trait SizeRange {
         /// Inclusive `(min, max)` length bounds.
         fn bounds(&self) -> (usize, usize);

@@ -65,9 +65,7 @@ impl Value {
         match *self {
             Value::U64(v) => Some(v),
             Value::I64(v) if v >= 0 => Some(v as u64),
-            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
-                Some(v as u64)
-            }
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
             _ => None,
         }
     }
@@ -308,7 +306,10 @@ mod tests {
 
     #[test]
     fn primitives_round_trip() {
-        assert_eq!(usize::deserialize(&usize::MAX.serialize()).unwrap(), usize::MAX);
+        assert_eq!(
+            usize::deserialize(&usize::MAX.serialize()).unwrap(),
+            usize::MAX
+        );
         assert_eq!(i64::deserialize(&(-42i64).serialize()).unwrap(), -42);
         assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
         assert!(bool::deserialize(&true.serialize()).unwrap());

@@ -11,10 +11,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[derive(Debug)]
@@ -157,7 +168,10 @@ fn parse_item(input: TokenStream) -> Item {
                 fields: parse_named_fields(g),
             },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Item::TupleStruct { name, arity: count_entries(g) }
+                Item::TupleStruct {
+                    name,
+                    arity: count_entries(g),
+                }
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
             other => panic!("serde shim derive: unsupported struct body {other:?}"),
@@ -293,7 +307,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    body.parse().expect("serde shim derive: generated Serialize impl must parse")
+    body.parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
 }
 
 /// Derives the shim's `Deserialize` trait.
@@ -413,5 +428,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    body.parse().expect("serde shim derive: generated Deserialize impl must parse")
+    body.parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
 }

@@ -36,7 +36,10 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 ///
 /// Returns [`Error`] on malformed JSON or a shape mismatch for `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -334,7 +337,11 @@ mod tests {
             ("f".to_string(), Value::F64(1.5)),
             (
                 "arr".to_string(),
-                Value::Array(vec![Value::Null, Value::Bool(true), Value::Str("a\"b\n".into())]),
+                Value::Array(vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Str("a\"b\n".into()),
+                ]),
             ),
         ]);
         let text = to_string(&v).unwrap();

@@ -27,9 +27,18 @@ fn config_for(ds: &Dataset, kind: ModelKind) -> GnnConfig {
 /// produces finite, improving losses.
 #[test]
 fn all_combinations_train() {
-    let datasets = [zinc(&tiny(1)), aqsol(&tiny(2)), csl(&tiny(3)), cycles(&tiny(4))];
+    let datasets = [
+        zinc(&tiny(1)),
+        aqsol(&tiny(2)),
+        csl(&tiny(3)),
+        cycles(&tiny(4)),
+    ];
     for ds in &datasets {
-        for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer, ModelKind::Gat] {
+        for kind in [
+            ModelKind::GatedGcn,
+            ModelKind::GraphTransformer,
+            ModelKind::Gat,
+        ] {
             for engine in [EngineChoice::Baseline, EngineChoice::Mega] {
                 let hist = Trainer::new(engine)
                     .with_epochs(2)
@@ -55,9 +64,18 @@ fn all_combinations_train() {
 /// engine's forward pass equals the baseline's on every dataset and model.
 #[test]
 fn engines_agree_on_every_dataset() {
-    let datasets = [zinc(&tiny(5)), aqsol(&tiny(6)), csl(&tiny(7)), cycles(&tiny(8))];
+    let datasets = [
+        zinc(&tiny(5)),
+        aqsol(&tiny(6)),
+        csl(&tiny(7)),
+        cycles(&tiny(8)),
+    ];
     for ds in &datasets {
-        for kind in [ModelKind::GatedGcn, ModelKind::GraphTransformer, ModelKind::Gat] {
+        for kind in [
+            ModelKind::GatedGcn,
+            ModelKind::GraphTransformer,
+            ModelKind::Gat,
+        ] {
             let cfg = config_for(ds, kind);
             let mut store = ParamStore::new();
             let model = Gnn::new(&mut store, cfg);
@@ -93,9 +111,16 @@ fn engines_agree_on_every_dataset() {
 /// MEGA's simulated epoch is cheaper than the baseline's for every dataset.
 #[test]
 fn mega_epoch_is_cheaper_everywhere() {
-    let datasets = [zinc(&tiny(9)), aqsol(&tiny(10)), csl(&tiny(11)), cycles(&tiny(12))];
+    let datasets = [
+        zinc(&tiny(9)),
+        aqsol(&tiny(10)),
+        csl(&tiny(11)),
+        cycles(&tiny(12)),
+    ];
     for ds in &datasets {
-        let cfg = config_for(ds, ModelKind::GraphTransformer).with_hidden(64).with_heads(4);
+        let cfg = config_for(ds, ModelKind::GraphTransformer)
+            .with_hidden(64)
+            .with_heads(4);
         let base = Trainer::new(EngineChoice::Baseline)
             .with_epochs(1)
             .with_batch_size(16)

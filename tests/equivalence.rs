@@ -11,10 +11,10 @@
 
 use mega::core::parallel::Parallelism;
 use mega::core::{preprocess, traverse, traverse_parallel, MegaConfig};
+use mega::datasets::{zinc, DatasetSpec};
 use mega::exec::kernels::{
     banded_aggregate, banded_aggregate_serial, banded_weight_grad, banded_weight_grad_serial,
 };
-use mega::datasets::{zinc, DatasetSpec};
 use mega::graph::generate;
 use mega::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -97,11 +97,19 @@ fn parallel_chunked_bit_identical_to_serial() {
                 let fwd = banded_aggregate(band, &x, DIM, &weights, &par);
                 assert_eq!(fwd.len(), fwd_serial.len());
                 for (a, b) in fwd.iter().zip(&fwd_serial) {
-                    assert_eq!(a.to_bits(), b.to_bits(), "forward, threads={threads} chunk={chunk}");
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "forward, threads={threads} chunk={chunk}"
+                    );
                 }
                 let dw = banded_weight_grad(band, &x, &d_out, DIM, edges, &par);
                 for (a, b) in dw.iter().zip(&dw_serial) {
-                    assert_eq!(a.to_bits(), b.to_bits(), "dw, threads={threads} chunk={chunk}");
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "dw, threads={threads} chunk={chunk}"
+                    );
                 }
             }
         }

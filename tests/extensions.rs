@@ -2,9 +2,7 @@
 //! multi-path scheduling, graph I/O, the GAT model, and distributed scaling —
 //! all through the facade crate, as a downstream user would.
 
-use mega::core::{
-    persist, preprocess, preprocess_hetero, HeteroGraph, MegaConfig,
-};
+use mega::core::{persist, preprocess, preprocess_hetero, HeteroGraph, MegaConfig};
 use mega::datasets::{zinc, DatasetSpec};
 use mega::dist::{epoch_scaling, path_partition_volume, ClusterConfig};
 use mega::gnn::{EngineChoice, GnnConfig, ModelKind, Trainer};
@@ -48,10 +46,7 @@ fn hetero_covers_typed_graph() {
     let h = HeteroGraph::new(g.clone(), types, 3).unwrap();
     let mp = preprocess_hetero(&h, &MegaConfig::default()).unwrap();
     assert_eq!(mp.covered_edge_count(), g.edge_count());
-    assert_eq!(
-        h.intra_edge_count() + h.cross_edge_count(),
-        g.edge_count()
-    );
+    assert_eq!(h.intra_edge_count() + h.cross_edge_count(), g.edge_count());
 }
 
 /// GAT trains end-to-end under the MEGA engine with finite losses and a

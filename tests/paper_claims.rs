@@ -11,7 +11,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn molecular_batch(count: usize) -> Vec<mega::graph::Graph> {
-    let ds = zinc(&DatasetSpec { train: count, val: 1, test: 1, seed: 77 });
+    let ds = zinc(&DatasetSpec {
+        train: count,
+        val: 1,
+        test: 1,
+        seed: 77,
+    });
     ds.train.into_iter().map(|s| s.graph).collect()
 }
 
@@ -37,10 +42,18 @@ fn costed(
 #[test]
 fn fig04_sgemm_efficiency_dominates() {
     let graphs = molecular_batch(64);
-    let cost = costed(&graphs, ModelSpec::graph_transformer(128, 2), EngineKind::DglBaseline);
+    let cost = costed(
+        &graphs,
+        ModelSpec::graph_transformer(128, 2),
+        EngineKind::DglBaseline,
+    );
     let r = &cost.report;
     let sgemm = r.kernel(KernelKind::Sgemm).unwrap().sm_efficiency;
-    for k in [KernelKind::CubSort, KernelKind::DglGather, KernelKind::DglScatter] {
+    for k in [
+        KernelKind::CubSort,
+        KernelKind::DglGather,
+        KernelKind::DglScatter,
+    ] {
         let eff = r.kernel(k).unwrap().sm_efficiency;
         assert!(sgemm > eff, "{k}: sgemm {sgemm} vs {eff}");
     }
@@ -50,8 +63,16 @@ fn fig04_sgemm_efficiency_dominates() {
 #[test]
 fn fig05_gt_more_graph_bound_than_gcn() {
     let graphs = molecular_batch(64);
-    let gcn = costed(&graphs, ModelSpec::gated_gcn(128, 2), EngineKind::DglBaseline);
-    let gt = costed(&graphs, ModelSpec::graph_transformer(128, 2), EngineKind::DglBaseline);
+    let gcn = costed(
+        &graphs,
+        ModelSpec::gated_gcn(128, 2),
+        EngineKind::DglBaseline,
+    );
+    let gt = costed(
+        &graphs,
+        ModelSpec::graph_transformer(128, 2),
+        EngineKind::DglBaseline,
+    );
     assert!(gt.report.graph_op_time_share() > gcn.report.graph_op_time_share());
     assert!(gt.report.sgemm_time_share() < gcn.report.sgemm_time_share() + 0.15);
 }
@@ -60,11 +81,18 @@ fn fig05_gt_more_graph_bound_than_gcn() {
 #[test]
 fn fig06_graph_kernels_stall() {
     let graphs = molecular_batch(64);
-    let cost = costed(&graphs, ModelSpec::graph_transformer(128, 2), EngineKind::DglBaseline);
+    let cost = costed(
+        &graphs,
+        ModelSpec::graph_transformer(128, 2),
+        EngineKind::DglBaseline,
+    );
     let r = &cost.report;
     let sgemm_stall = r.kernel(KernelKind::Sgemm).unwrap().stall_pct;
     let gather_stall = r.kernel(KernelKind::DglGather).unwrap().stall_pct;
-    assert!(gather_stall > sgemm_stall + 0.2, "gather {gather_stall} vs sgemm {sgemm_stall}");
+    assert!(
+        gather_stall > sgemm_stall + 0.2,
+        "gather {gather_stall} vs sgemm {sgemm_stall}"
+    );
 }
 
 /// Fig. 8: 1-hop exactness; path beats global attention on sparse graphs.
@@ -84,7 +112,10 @@ fn fig08_similarity_shape() {
 #[test]
 fn fig09_mega_aggregates_better() {
     let graphs = molecular_batch(64);
-    for spec in [ModelSpec::gated_gcn(128, 2), ModelSpec::graph_transformer(128, 2)] {
+    for spec in [
+        ModelSpec::gated_gcn(128, 2),
+        ModelSpec::graph_transformer(128, 2),
+    ] {
         let dgl = costed(&graphs, spec.clone(), EngineKind::DglBaseline);
         let mega = costed(&graphs, spec, EngineKind::Mega);
         assert!(mega.report.aggregate_sm_efficiency() > dgl.report.aggregate_sm_efficiency());
@@ -98,7 +129,10 @@ fn fig09_mega_aggregates_better() {
 fn fig10_runtime_shape() {
     let graphs = molecular_batch(64);
     let mut speedups = Vec::new();
-    for spec in [ModelSpec::gated_gcn(64, 2), ModelSpec::graph_transformer(64, 2)] {
+    for spec in [
+        ModelSpec::gated_gcn(64, 2),
+        ModelSpec::graph_transformer(64, 2),
+    ] {
         let dgl = costed(&graphs, spec.clone(), EngineKind::DglBaseline);
         let mega = costed(&graphs, spec, EngineKind::Mega);
         assert!(mega.epoch_seconds < dgl.epoch_seconds);
@@ -106,7 +140,10 @@ fn fig10_runtime_shape() {
         speedups.push(dgl.epoch_seconds / mega.epoch_seconds);
     }
     let (gcn_speedup, gt_speedup) = (speedups[0], speedups[1]);
-    assert!(gt_speedup > gcn_speedup * 0.95, "gcn {gcn_speedup} vs gt {gt_speedup}");
+    assert!(
+        gt_speedup > gcn_speedup * 0.95,
+        "gcn {gcn_speedup} vs gt {gt_speedup}"
+    );
 }
 
 /// §III-B: revisits respect the paper's lower-bound formula direction —
@@ -119,7 +156,11 @@ fn window_bound_monotonicity() {
     let mut prev_revisits = usize::MAX;
     for w in [1usize, 2, 4, 8] {
         let bound = revisit_lower_bound(&g.degrees(), w);
-        let t = traverse(&g, &MegaConfig::default().with_window(WindowPolicy::Fixed(w))).unwrap();
+        let t = traverse(
+            &g,
+            &MegaConfig::default().with_window(WindowPolicy::Fixed(w)),
+        )
+        .unwrap();
         assert!(bound <= prev_bound);
         assert!(t.revisits <= prev_revisits.saturating_add(4), "window {w}");
         prev_bound = bound;

@@ -16,7 +16,10 @@ fn full(w: usize) -> MegaConfig {
 fn assert_complete_schedule(g: &Graph, w: usize) {
     let s = preprocess(g, &full(w)).unwrap();
     assert_eq!(s.band().covered_edge_count(), g.edge_count(), "window {w}");
-    assert!((path_similarity(g, &s, 1) - 1.0).abs() < 1e-12, "window {w}");
+    assert!(
+        (path_similarity(g, &s, 1) - 1.0).abs() < 1e-12,
+        "window {w}"
+    );
     for positions in s.scatter_index() {
         assert!(!positions.is_empty());
     }
@@ -36,7 +39,10 @@ fn star_traversal_is_hub_alternating() {
     assert!(t.path.len() <= 2 * (n - 1) + 1);
     // Hub (node 0) dominates appearances.
     let hub_appearances = t.path.iter().filter(|&&v| v == 0).count();
-    assert!(hub_appearances >= (n - 1) / 2, "hub appeared {hub_appearances} times");
+    assert!(
+        hub_appearances >= (n - 1) / 2,
+        "hub appeared {hub_appearances} times"
+    );
     // Algorithm 1's pool priority (open neighbors -> stack -> jump) returns
     // to the hub after every leaf regardless of omega, so larger windows
     // cannot make a star worse -- and, faithfully to the paper's greedy
@@ -69,7 +75,11 @@ fn caveman_traversal_exploits_clustering() {
     assert_eq!(t.covered_edges, g.edge_count());
     // A window of 4 covers each 5-clique in about one sweep: expansion stays
     // below 2.
-    assert!(t.expansion_factor() < 2.0, "expansion {}", t.expansion_factor());
+    assert!(
+        t.expansion_factor() < 2.0,
+        "expansion {}",
+        t.expansion_factor()
+    );
     assert_eq!(t.virtual_edge_count, 0, "bridged cliques need no jumps");
 }
 
@@ -112,7 +122,17 @@ fn adaptive_window_helps_dense_graphs() {
 #[test]
 fn directed_graph_coverage() {
     let mut b = mega::graph::GraphBuilder::directed(6);
-    b.edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (2, 5)]).unwrap();
+    b.edges([
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 0),
+        (0, 3),
+        (2, 5),
+    ])
+    .unwrap();
     let g = b.build().unwrap();
     let s = preprocess(&g, &full(2)).unwrap();
     assert_eq!(s.band().covered_edge_count(), g.edge_count());

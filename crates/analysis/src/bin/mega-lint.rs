@@ -1,0 +1,86 @@
+//! `mega-lint` — the workspace invariant linter.
+//!
+//! Usage: `cargo run -p mega-analysis --bin mega-lint -- --workspace`
+//!
+//! Scans every Rust source in the workspace against the rule catalog in
+//! `mega_analysis::Rule`, prints findings as `file:line: [rule] message`,
+//! and exits non-zero when anything fires — which is how CI turns the
+//! project invariants into a merge gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mega-lint --workspace [--root <dir>]
+
+Lints every Rust source in the workspace against the MEGA invariant rules
+(bit-exactness, unsafe hygiene, obs routing, determinism). Exits 1 when
+any finding survives suppression pragmas, 2 on usage errors.
+
+  --workspace     lint the enclosing cargo workspace (required)
+  --root <dir>    use <dir> as the workspace root instead of discovering
+                  it from the current directory
+";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage_error("pass --workspace");
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match mega_analysis::find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!("mega-lint: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match mega_analysis::lint_workspace(&root) {
+        Ok((files, findings)) if findings.is_empty() => {
+            println!("mega-lint: clean — {files} files checked");
+            ExitCode::SUCCESS
+        }
+        Ok((files, findings)) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!(
+                "mega-lint: {} finding(s) in {files} files checked",
+                findings.len()
+            );
+            ExitCode::from(1)
+        }
+        Err(err) => {
+            eprintln!("mega-lint: failed to scan {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(why: &str) -> ExitCode {
+    eprintln!("mega-lint: {why}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

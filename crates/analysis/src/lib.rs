@@ -1,0 +1,209 @@
+//! mega-analysis: the workspace invariant linter behind the `mega-lint`
+//! binary.
+//!
+//! The MEGA workspace makes promises that `rustc` cannot check: every
+//! backend is bit-identical to the reference loops (so no FMA, no
+//! horizontal reductions, no re-associated float folds), `unsafe` lives in
+//! exactly one file with every site justified, console output and wall
+//! clocks route through `mega-obs`, and result-affecting crates never
+//! iterate seed-ordered hash collections. This crate turns those promises
+//! into token-level lint rules over the source tree, with findings
+//! reported as `file:line: [rule] message` and enforced (non-zero exit) in
+//! CI.
+//!
+//! Rules are scoped by workspace-relative path and individually
+//! suppressible at a site via a justified pragma, e.g.
+//! `// mega-lint: allow(unordered-collection, reason = "membership test only")`.
+//! See [`Rule`] for the catalog and `DESIGN.md` §9 for the contract each
+//! rule guards.
+//!
+//! The scanner ([`scan`]) strips comments and string literals first, so a
+//! banned identifier inside a doc comment or a log message never fires,
+//! and matches identifiers at word boundaries, so `unsafe_op_in_unsafe_fn`
+//! never trips the `unsafe` rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pragma;
+mod rules;
+pub mod scan;
+mod walk;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use walk::rust_sources;
+
+/// The rule catalog. Each variant's [`Rule::id`] is the name used in
+/// findings, pragmas, and the documentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Fused multiply-add and horizontal-reduction identifiers
+    /// (`mul_add`, `_mm*_fmadd_*`, `hadd`, `dp_ps`, `_mm*reduce*`) are
+    /// banned everywhere: they round or fold differently from the
+    /// reference loops and break cross-backend bit-exactness.
+    NoFma,
+    /// Iterator float accumulations (`sum::<f32>()` and friends) inside
+    /// `crates/exec/src/` outside the audited kernels allowlist.
+    FloatReassoc,
+    /// `unsafe` outside `crates/exec/src/simd.rs`.
+    UnsafeScope,
+    /// An `unsafe` site without an adjacent `// SAFETY:` comment.
+    UndocumentedUnsafe,
+    /// `println!`/`eprintln!`/`print!`/`eprint!` or raw
+    /// `Instant::now`/`SystemTime::now` outside mega-obs, benches,
+    /// examples, and tests.
+    ObsRouting,
+    /// `HashMap`/`HashSet` in a result-affecting crate's `src/` tree.
+    UnorderedCollection,
+    /// A comment that carries the pragma marker but fails to parse as
+    /// `allow(<rule>, reason = "...")`, names an unknown rule, or omits
+    /// the reason. Never suppressible.
+    BadPragma,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 7] = [
+        Rule::NoFma,
+        Rule::FloatReassoc,
+        Rule::UnsafeScope,
+        Rule::UndocumentedUnsafe,
+        Rule::ObsRouting,
+        Rule::UnorderedCollection,
+        Rule::BadPragma,
+    ];
+
+    /// The kebab-case rule name used in findings and pragmas.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::NoFma => "no-fma",
+            Rule::FloatReassoc => "float-reassoc",
+            Rule::UnsafeScope => "unsafe-scope",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::ObsRouting => "obs-routing",
+            Rule::UnorderedCollection => "unordered-collection",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// Resolves a rule name as written in a pragma.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation tied to the site.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints one file's source text as if it lived at the workspace-relative
+/// `path` (path scoping is part of every rule, so the same text can be
+/// clean at one path and a violation at another).
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let lines = scan::strip(source);
+    let (suppressions, mut findings) = pragma::collect(path, &lines);
+    let mut raw = Vec::new();
+    rules::run(path, &lines, &mut raw);
+    findings.extend(
+        raw.into_iter()
+            .filter(|f| !suppressions.covers(f.line, f.rule)),
+    );
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Lints every Rust source under `root` (skipping `target/`, `shims/`,
+/// fixture trees, and hidden directories). Returns the number of files
+/// checked plus all findings, sorted by file then line.
+pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let files = walk::rust_sources(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(file)?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((files.len(), findings))
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` section.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        }
+        assert_eq!(Rule::from_id("not-a-rule"), None);
+    }
+
+    #[test]
+    fn findings_render_file_line_rule() {
+        let f = Finding {
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            rule: Rule::NoFma,
+            message: "nope".into(),
+        };
+        assert_eq!(f.to_string(), "crates/core/src/x.rs:7: [no-fma] nope");
+    }
+
+    #[test]
+    fn path_scoping_changes_the_verdict() {
+        let src = "// SAFETY: trusted\nunsafe { body() }\n";
+        let away = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(away.len(), 1);
+        assert_eq!(away[0].rule, Rule::UnsafeScope);
+        assert!(lint_source("crates/exec/src/simd.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Inline suppression pragmas.
+//!
+//! A finding is suppressed by a comment of the form
+//! `// mega-lint: allow(unordered-collection, reason = "lookup only")` —
+//! the rule id names which rule to silence and the reason string is
+//! mandatory and non-empty, so every suppression carries its justification
+//! into the source. A pragma silences its own line; when the pragma line
+//! carries no code (comment-only), it silences the following line instead,
+//! which is the usual "pragma above the offending statement" shape.
+//!
+//! Anything that *looks* like a pragma but does not parse — wrong shape,
+//! unknown rule id, missing or empty reason — is itself reported under the
+//! `bad-pragma` rule, so a typo cannot silently disable enforcement.
+//! `bad-pragma` findings are never suppressible.
+
+use crate::scan::Line;
+use crate::{Finding, Rule};
+use std::collections::BTreeSet;
+
+const MARKER: &str = "mega-lint:";
+
+/// The set of `(line, rule)` pairs silenced by pragmas in one file.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    allowed: BTreeSet<(usize, Rule)>,
+}
+
+impl Suppressions {
+    /// True when `rule` findings on 1-based `line` are silenced.
+    pub fn covers(&self, line: usize, rule: Rule) -> bool {
+        rule != Rule::BadPragma && self.allowed.contains(&(line, rule))
+    }
+}
+
+/// Scans every comment for pragmas; returns the suppression set plus a
+/// `bad-pragma` finding for each malformed one.
+pub fn collect(path: &str, lines: &[Line]) -> (Suppressions, Vec<Finding>) {
+    let mut sup = Suppressions::default();
+    let mut bad = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        match parse(&line.comment[pos + MARKER.len()..]) {
+            Ok(rule) => {
+                sup.allowed.insert((lineno, rule));
+                if line.is_comment_only() {
+                    sup.allowed.insert((lineno + 1, rule));
+                }
+            }
+            Err(why) => bad.push(Finding {
+                file: path.to_string(),
+                line: lineno,
+                rule: Rule::BadPragma,
+                message: why,
+            }),
+        }
+    }
+    (sup, bad)
+}
+
+/// Parses the text after the pragma marker into the rule it allows.
+fn parse(text: &str) -> Result<Rule, String> {
+    const SHAPE: &str = "pragma must be `mega-lint: allow(<rule>, reason = \"...\")`";
+    let body = text
+        .trim_start()
+        .strip_prefix("allow")
+        .ok_or(SHAPE)?
+        .trim_start()
+        .strip_prefix('(')
+        .ok_or(SHAPE)?;
+    let inner = &body[..body.rfind(')').ok_or(SHAPE)?];
+    let (rule_name, rest) = inner.split_once(',').ok_or(SHAPE)?;
+    let rule = Rule::from_id(rule_name.trim())
+        .ok_or_else(|| format!("pragma names unknown rule `{}`", rule_name.trim()))?;
+    let reason = rest
+        .trim()
+        .strip_prefix("reason")
+        .ok_or(SHAPE)?
+        .trim_start()
+        .strip_prefix('=')
+        .ok_or(SHAPE)?
+        .trim_start()
+        .strip_prefix('"')
+        .ok_or(SHAPE)?;
+    let quoted = &reason[..reason.rfind('"').ok_or(SHAPE)?];
+    if quoted.trim().is_empty() {
+        return Err("pragma reason must not be empty".to_string());
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::strip;
+
+    #[test]
+    fn valid_pragma_covers_own_and_next_line() {
+        let lines = strip(
+            "// mega-lint: allow(unordered-collection, reason = \"membership only\")\nlet x = 1;",
+        );
+        let (sup, bad) = collect("f.rs", &lines);
+        assert!(bad.is_empty());
+        assert!(sup.covers(1, Rule::UnorderedCollection));
+        assert!(sup.covers(2, Rule::UnorderedCollection));
+        assert!(!sup.covers(2, Rule::NoFma));
+        assert!(!sup.covers(3, Rule::UnorderedCollection));
+    }
+
+    #[test]
+    fn trailing_pragma_covers_only_its_line() {
+        let lines =
+            strip("let x = 1; // mega-lint: allow(obs-routing, reason = \"usage text\")\nnext();");
+        let (sup, _) = collect("f.rs", &lines);
+        assert!(sup.covers(1, Rule::ObsRouting));
+        assert!(!sup.covers(2, Rule::ObsRouting));
+    }
+
+    #[test]
+    fn malformed_pragmas_are_reported() {
+        let src = "// mega-lint: allow(no-fma)\n// mega-lint: allow(not-a-rule, reason = \"x\")\n// mega-lint: allow(no-fma, reason = \"\")";
+        let (sup, bad) = collect("f.rs", &strip(src));
+        assert_eq!(bad.len(), 3);
+        assert!(bad.iter().all(|f| f.rule == Rule::BadPragma));
+        assert!(bad[1].message.contains("unknown rule"));
+        assert!(bad[2].message.contains("must not be empty"));
+        assert!(!sup.covers(1, Rule::NoFma));
+        assert!(!sup.covers(2, Rule::NoFma));
+    }
+
+    #[test]
+    fn pragma_inside_string_literal_is_inert() {
+        let lines = strip("let s = \"mega-lint: allow(no-fma)\";");
+        let (_, bad) = collect("f.rs", &lines);
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn bad_pragma_is_never_suppressible() {
+        let mut sup = Suppressions::default();
+        sup.allowed.insert((1, Rule::BadPragma));
+        assert!(!sup.covers(1, Rule::BadPragma));
+    }
+}

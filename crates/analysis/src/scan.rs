@@ -1,0 +1,293 @@
+//! Comment- and string-aware source scanning.
+//!
+//! [`strip`] folds a Rust source file into per-line [`Line`] records where
+//! string-literal *contents* are dropped and comment text is separated from
+//! code text. Every lint rule then matches against the right channel: bans
+//! on identifiers look at `code` only (so a forbidden name inside a doc
+//! comment or a log message never fires), while `SAFETY:` markers and
+//! suppression pragmas are read from `comment` only (so a pragma quoted
+//! inside a string literal is inert).
+//!
+//! The scanner is a small state machine, not a parser: it tracks nested
+//! block comments, regular/byte strings (with escapes, possibly spanning
+//! lines), raw strings with their `#` fences, and disambiguates char
+//! literals from lifetimes. That is exactly enough to make token-level
+//! matching trustworthy without pulling in a full Rust grammar.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Line {
+    /// Code text with comments removed and string-literal contents dropped
+    /// (the delimiting quotes remain, keeping token boundaries intact).
+    pub code: String,
+    /// Concatenated text of every comment on the line — line comments, doc
+    /// comments, and block-comment content — without the delimiters.
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries no code tokens (blank or comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+enum State {
+    Code,
+    /// Inside block comments, nested to the given depth.
+    Block(u32),
+    /// Inside a regular (escape-processing) string or byte-string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by this many `#`.
+    Raw(u32),
+}
+
+/// Splits `source` into per-line code/comment channels.
+pub fn strip(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for raw in source.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut line = Line::default();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                State::Block(depth) => {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else {
+                        line.comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Raw(hashes) => {
+                    if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment; skip the `//`/`///`/`//!` sigil so the
+                        // comment channel holds prose only.
+                        let mut j = i + 2;
+                        while j < chars.len() && (chars[j] == '/' || chars[j] == '!') {
+                            j += 1;
+                        }
+                        line.comment.extend(&chars[j..]);
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && !ends_in_ident(&line.code) {
+                        if let Some((hashes, consumed, is_raw)) = string_prefix(&chars, i) {
+                            line.code.push('"');
+                            state = if is_raw {
+                                State::Raw(hashes)
+                            } else {
+                                State::Str
+                            };
+                            i += consumed;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip past the closing quote.
+                            let mut j = i + 3;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            // Plain char literal like 'x'.
+                            i += 3;
+                        } else {
+                            // Lifetime: keep the tick as a token boundary.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Recognizes a `b"`, `r"`, `r#"`, `br"`, or `br#"` string opener at `i`.
+/// Returns `(fence_hashes, chars_consumed, is_raw)`.
+fn string_prefix(chars: &[char], i: usize) -> Option<(u32, usize, bool)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    let mut raw = false;
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while raw && chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') && (raw || j > i) {
+        Some((hashes, j + 1 - i, raw))
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at `i` is followed by the raw string's `#` fence.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn ends_in_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Iterates the identifier-shaped tokens in a code channel.
+pub fn identifiers(code: &str) -> impl Iterator<Item = &str> {
+    code.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|t| !t.is_empty() && !t.starts_with(|c: char| c.is_ascii_digit()))
+}
+
+/// Substring search with identifier boundaries on both ends, so `print!`
+/// does not match inside `eprint!` and `Instant::now` does not match
+/// `Instant::nowhere`.
+pub fn contains_token(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let abs = from + pos;
+        let before_ok = !code[..abs]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let after_ok = !code[abs + pat.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        strip(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_dropped_from_code() {
+        let lines = strip("let x = \"mul_add inside a string\";");
+        assert_eq!(lines[0].code, "let x = \"\";");
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn comments_are_split_out() {
+        let lines = strip("foo(); // trailing mul_add note");
+        assert_eq!(lines[0].code, "foo(); ");
+        assert_eq!(lines[0].comment, " trailing mul_add note");
+    }
+
+    #[test]
+    fn doc_comment_sigils_are_stripped() {
+        let lines = strip("/// SAFETY: docs\n//! inner");
+        assert_eq!(lines[0].comment, " SAFETY: docs");
+        assert_eq!(lines[1].comment, " inner");
+        assert!(lines[0].is_comment_only());
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let src = "a(); /* one /* two */ still */ b();\nc(); /* open\nclose */ d();";
+        let c = codes(src);
+        assert_eq!(c[0], "a();  b();");
+        assert_eq!(c[1], "c(); ");
+        assert_eq!(c[2], " d();");
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_fences() {
+        let lines = strip("let p = r#\"quote \" inside mul_add\"# + r\"x\";");
+        assert_eq!(lines[0].code, "let p = \"\" + \"\";");
+    }
+
+    #[test]
+    fn byte_strings_and_char_literals() {
+        let lines = strip("let b = b\"mul_add\"; let c = 'x'; let e = '\\n';");
+        assert_eq!(lines[0].code, "let b = \"\"; let c = ; let e = ;");
+    }
+
+    #[test]
+    fn lifetimes_survive_char_heuristic() {
+        let lines = strip("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(lines[0].code.contains("'a"));
+        assert!(lines[0].code.contains("'static"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_stripped() {
+        let src = "let s = \"first mul_add\nsecond mul_add\"; tail();";
+        let c = codes(src);
+        assert_eq!(c[0], "let s = \"");
+        assert_eq!(c[1], "\"; tail();");
+    }
+
+    #[test]
+    fn identifier_extraction_has_word_boundaries() {
+        let ids: Vec<&str> = identifiers("a.mul_add(b, c) + unsafe_code").collect();
+        assert_eq!(ids, ["a", "mul_add", "b", "c", "unsafe_code"]);
+    }
+
+    #[test]
+    fn token_search_rejects_partial_matches() {
+        assert!(contains_token("print!(\"\")", "print!"));
+        assert!(!contains_token("eprint!(\"\")", "print!"));
+        assert!(contains_token("let t = Instant::now();", "Instant::now"));
+        assert!(!contains_token("Instant::nowhere()", "Instant::now"));
+    }
+}

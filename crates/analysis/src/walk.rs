@@ -1,0 +1,38 @@
+//! Deterministic discovery of the workspace's Rust sources.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, the vendored offline
+/// dependency shims (external code with its own conventions), deliberate
+/// rule-violation fixtures, and artifact dumps.
+const SKIP_DIRS: [&str; 4] = ["target", "shims", "fixtures", "bench_results"];
+
+/// Collects every `.rs` file under `root`, sorted, skipping the
+/// `SKIP_DIRS` set and hidden directories so a lint run is
+/// reproducible byte-for-byte.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    visit(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

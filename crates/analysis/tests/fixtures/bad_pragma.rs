@@ -1,0 +1,5 @@
+// `bad-pragma` fixture: malformed suppressions must themselves fire.
+// mega-lint: allow(no-fma)
+// mega-lint: allow(imaginary-rule, reason = "x")
+// mega-lint: allow(no-fma, reason = "")
+pub fn nothing() {}

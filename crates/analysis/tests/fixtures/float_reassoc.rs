@@ -1,0 +1,8 @@
+// `float-reassoc` fixture: turbofish float folds, verdict depends on path.
+pub fn mean(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+pub fn product(xs: &[f64]) -> f64 {
+    xs.iter().product::<f64>()
+}

@@ -1,0 +1,12 @@
+// `no-fma` fixture: the mul_add mentioned in this comment must not fire.
+pub fn fused(a: f32, b: f32, c: f32) -> f32 {
+    let s = "mul_add inside a string must not fire";
+    let _ = s;
+    a.mul_add(b, c)
+}
+
+pub fn horizontal(acc: core::arch::x86_64::__m256) -> f32 {
+    _mm256_hadd_ps(acc, acc);
+    _mm256_fmadd_ps(acc, acc, acc);
+    _mm512_reduce_add_ps(acc)
+}

@@ -1,0 +1,7 @@
+// `obs-routing` fixture: prints and raw clocks, verdict depends on path.
+pub fn debug_dump(epoch: usize) {
+    println!("epoch {epoch}");
+    eprintln!("warning");
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}

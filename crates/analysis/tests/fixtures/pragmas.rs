@@ -1,0 +1,11 @@
+// Pragma fixture: both suppression forms must silence their site; the
+// control site at the bottom must still fire.
+use std::collections::HashMap; // mega-lint: allow(unordered-collection, reason = "fixture: same-line form")
+
+// mega-lint: allow(unordered-collection, reason = "fixture: line-above form")
+use std::collections::HashSet;
+
+pub fn control() -> HashMap<u8, u8> {
+    let _ = HashSet::<u8>::new();
+    HashMap::new()
+}

@@ -1,0 +1,9 @@
+// `undocumented-unsafe` fixture: one justified site, one bare site.
+pub fn documented(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn bare(p: *const f32) -> f32 {
+    unsafe { *p }
+}

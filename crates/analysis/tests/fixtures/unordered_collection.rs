@@ -1,0 +1,8 @@
+// `unordered-collection` fixture.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build(keys: HashSet<String>) -> HashMap<String, usize> {
+    let _ = keys;
+    HashMap::new()
+}

@@ -1,0 +1,5 @@
+// `unsafe-scope` fixture: a documented unsafe site, linted at two paths.
+pub fn peek(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

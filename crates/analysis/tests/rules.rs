@@ -1,0 +1,111 @@
+//! Fixture regression tests for the lint rules.
+//!
+//! Each fixture under `tests/fixtures/` seeds violations at known lines;
+//! these tests assert every rule fires exactly there (and nowhere else),
+//! that path scoping flips the verdict where it should, that suppression
+//! pragmas silence precisely their target, and — the self-test that makes
+//! `cargo test` a lint gate too — that the workspace itself is clean.
+
+use mega_analysis::{lint_source, lint_workspace, Finding, Rule};
+use std::path::Path;
+
+const NO_FMA: &str = include_str!("fixtures/no_fma.rs");
+const FLOAT_REASSOC: &str = include_str!("fixtures/float_reassoc.rs");
+const UNSAFE_SCOPE: &str = include_str!("fixtures/unsafe_scope.rs");
+const UNDOCUMENTED_UNSAFE: &str = include_str!("fixtures/undocumented_unsafe.rs");
+const OBS_ROUTING: &str = include_str!("fixtures/obs_routing.rs");
+const UNORDERED: &str = include_str!("fixtures/unordered_collection.rs");
+const PRAGMAS: &str = include_str!("fixtures/pragmas.rs");
+const BAD_PRAGMA: &str = include_str!("fixtures/bad_pragma.rs");
+
+/// The seeded lines at which `rule` fired, in order.
+fn lines(findings: &[Finding], rule: Rule) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn no_fma_fires_on_each_seeded_line_only() {
+    let findings = lint_source("crates/gnn/src/layer.rs", NO_FMA);
+    assert_eq!(lines(&findings, Rule::NoFma), [5, 9, 10, 11]);
+    assert_eq!(findings.len(), 4, "comment/string mentions must not fire");
+}
+
+#[test]
+fn float_reassoc_respects_the_kernels_allowlist() {
+    let inside = lint_source("crates/exec/src/window.rs", FLOAT_REASSOC);
+    assert_eq!(lines(&inside, Rule::FloatReassoc), [3, 7]);
+    assert!(lint_source("crates/exec/src/kernels.rs", FLOAT_REASSOC).is_empty());
+    assert!(lint_source("crates/gnn/src/nn.rs", FLOAT_REASSOC).is_empty());
+}
+
+#[test]
+fn unsafe_scope_exempts_only_the_simd_backend() {
+    let away = lint_source("crates/core/src/peek.rs", UNSAFE_SCOPE);
+    assert_eq!(lines(&away, Rule::UnsafeScope), [4]);
+    assert_eq!(away.len(), 1, "the SAFETY comment covers the site");
+    assert!(lint_source("crates/exec/src/simd.rs", UNSAFE_SCOPE).is_empty());
+}
+
+#[test]
+fn undocumented_unsafe_fires_on_the_bare_site_only() {
+    let findings = lint_source("crates/exec/src/simd.rs", UNDOCUMENTED_UNSAFE);
+    assert_eq!(lines(&findings, Rule::UndocumentedUnsafe), [8]);
+    assert_eq!(findings.len(), 1);
+}
+
+#[test]
+fn obs_routing_exempts_obs_tests_and_examples() {
+    let inside = lint_source("crates/gnn/src/debug.rs", OBS_ROUTING);
+    assert_eq!(lines(&inside, Rule::ObsRouting), [3, 4, 5]);
+    assert!(lint_source("crates/obs/src/dump.rs", OBS_ROUTING).is_empty());
+    assert!(lint_source("crates/gnn/tests/debug.rs", OBS_ROUTING).is_empty());
+    assert!(lint_source("examples/quickstart.rs", OBS_ROUTING).is_empty());
+    assert!(lint_source("crates/bench/src/bin/timing.rs", OBS_ROUTING).is_empty());
+}
+
+#[test]
+fn unordered_collection_fires_in_result_affecting_crates_only() {
+    let inside = lint_source("crates/core/src/cache.rs", UNORDERED);
+    assert_eq!(lines(&inside, Rule::UnorderedCollection), [2, 3, 5, 5, 7]);
+    assert!(lint_source("crates/obs/src/cache.rs", UNORDERED).is_empty());
+    assert!(lint_source("crates/core/tests/cache.rs", UNORDERED).is_empty());
+}
+
+#[test]
+fn pragmas_suppress_exactly_their_target_line() {
+    let findings = lint_source("crates/core/src/cache.rs", PRAGMAS);
+    assert_eq!(lines(&findings, Rule::UnorderedCollection), [8, 9, 10]);
+    assert!(lines(&findings, Rule::BadPragma).is_empty());
+    assert_eq!(
+        findings.len(),
+        3,
+        "both pragma forms must silence their site"
+    );
+}
+
+#[test]
+fn malformed_pragmas_fire_and_do_not_suppress() {
+    let findings = lint_source("crates/core/src/cache.rs", BAD_PRAGMA);
+    assert_eq!(lines(&findings, Rule::BadPragma), [2, 3, 4]);
+    assert_eq!(findings.len(), 3);
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (files, findings) = lint_workspace(&root).expect("workspace scan");
+    assert!(
+        files > 100,
+        "expected the full source tree, saw {files} files"
+    );
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -2,13 +2,13 @@
 //!
 //! Supports `--key value` and `--flag` styles plus positional arguments.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command-line arguments.
 #[derive(Debug, Default)]
 pub struct Args {
     positional: Vec<String>,
-    options: HashMap<String, String>,
+    options: BTreeMap<String, String>,
     flags: Vec<String>,
 }
 

@@ -66,6 +66,7 @@ fn main() -> ExitCode {
     mega_obs::report::init_from_env();
     let mut raw = std::env::args().skip(1).peekable();
     let Some(command) = raw.next() else {
+        // mega-lint: allow(obs-routing, reason = "usage text on stderr is the CLI's error surface, not telemetry")
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };

@@ -72,6 +72,7 @@ impl BandMask {
     pub fn build(g: &Graph, path: &[usize], window: usize) -> Self {
         assert!(window >= 1, "window must be >= 1");
         let len = path.len();
+        // mega-lint: allow(unordered-collection, reason = "(src,dst)->eid lookup only; slot order follows the path")
         let mut edge_of = std::collections::HashMap::with_capacity(g.edge_count());
         for (eid, (s, d)) in g.edges().enumerate() {
             edge_of.insert((s.min(d), s.max(d)), eid);
@@ -210,6 +211,7 @@ mod tests {
     fn each_edge_claims_exactly_one_slot() {
         let g = generate::complete(7).unwrap();
         let (_, b) = band_for(&g, 3);
+        // mega-lint: allow(unordered-collection, reason = "test-only duplicate detector; never iterated")
         let mut seen = std::collections::HashSet::new();
         for s in b.active_slots() {
             assert!(seen.insert(s.edge), "edge {} claimed twice", s.edge);

@@ -22,6 +22,7 @@
 //! pre-allocated vector, so scheduling order cannot affect output order.
 
 use crate::band::BandMask;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -106,6 +107,29 @@ impl Chunk {
     }
 }
 
+/// One violated [`ChunkPlan`] invariant, as reported by
+/// [`ChunkPlan::validate`].
+///
+/// The message names the offending chunk and the invariant it breaks —
+/// ownership partition (cover / no gaps / no overlap) or read-window
+/// geometry (extends the owned range by exactly ω, clamped at the path
+/// boundaries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanViolation {
+    /// Index of the offending chunk (0 when the plan as a whole is broken).
+    pub chunk: usize,
+    /// Which invariant is violated, and how.
+    pub message: String,
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk {}: {}", self.chunk, self.message)
+    }
+}
+
+impl std::error::Error for PlanViolation {}
+
 /// The chunk decomposition of a path of length `len` under window ω.
 ///
 /// Invariants (property-tested in `crates/core/tests/proptests.rs`):
@@ -162,13 +186,135 @@ impl ChunkPlan {
         }
     }
 
+    /// Builds a plan from explicit parts, *without* validating them.
+    ///
+    /// This exists so the invariant checker's own tests (and the
+    /// `race-check` harness in `mega-exec`) can construct deliberately
+    /// corrupt plans and prove that [`ChunkPlan::validate`] and the shadow
+    /// writer map reject them. Production code must use
+    /// [`ChunkPlan::build`] / [`ChunkPlan::for_band`], which only produce
+    /// valid plans.
+    #[doc(hidden)]
+    pub fn from_raw_parts(len: usize, window: usize, chunks: Vec<Chunk>) -> Self {
+        ChunkPlan {
+            len,
+            window,
+            chunks,
+        }
+    }
+
+    /// Statically checks the two load-bearing invariants of the parallel
+    /// band engine:
+    ///
+    /// 1. **Write-set partition** — the chunks' owned ranges `[start, end)`
+    ///    exactly partition `[0, len)`: in order, gap-free, overlap-free
+    ///    (the empty path is covered by exactly one empty chunk). This is
+    ///    what makes cross-chunk write races impossible and the in-order
+    ///    concatenation reduction correct.
+    /// 2. **Read-window geometry** — every read extent is the owned range
+    ///    extended by exactly ω on each side, clamped to the path
+    ///    boundaries, so every in-band pair relevant to an owned row is
+    ///    visible inside the chunk and nothing further is ever read.
+    ///
+    /// [`ChunkPlan::for_band`] validates every plan it hands out; the
+    /// `race-check` feature of `mega-exec` additionally verifies the
+    /// *dynamic* accesses of the banded kernels against these bounds.
+    pub fn validate(&self) -> Result<(), PlanViolation> {
+        let fail = |chunk: usize, message: String| Err(PlanViolation { chunk, message });
+        if self.chunks.is_empty() {
+            return fail(0, "plan has no chunks; even an empty path owns one".into());
+        }
+        if self.len == 0 {
+            let c = self.chunks[0];
+            if self.chunks.len() != 1
+                || c != (Chunk {
+                    start: 0,
+                    end: 0,
+                    read_lo: 0,
+                    read_hi: 0,
+                })
+            {
+                return fail(
+                    0,
+                    format!(
+                        "an empty path must be exactly one empty chunk, got {:?}",
+                        self.chunks
+                    ),
+                );
+            }
+            return Ok(());
+        }
+        let mut expected_start = 0usize;
+        for (i, c) in self.chunks.iter().enumerate() {
+            if c.start != expected_start {
+                return fail(
+                    i,
+                    format!(
+                        "owned ranges must partition [0, {}) in order: \
+                         expected start {expected_start}, got {}",
+                        self.len, c.start
+                    ),
+                );
+            }
+            if c.end <= c.start {
+                return fail(i, format!("owned range [{}, {}) is empty", c.start, c.end));
+            }
+            if c.end > self.len {
+                return fail(
+                    i,
+                    format!(
+                        "owned range ends at {} beyond path length {}",
+                        c.end, self.len
+                    ),
+                );
+            }
+            let want_lo = c.start.saturating_sub(self.window);
+            if c.read_lo != want_lo {
+                return fail(
+                    i,
+                    format!(
+                        "read_lo {} is not start - ω clamped at 0 (want {want_lo})",
+                        c.read_lo
+                    ),
+                );
+            }
+            let want_hi = (c.end + self.window).min(self.len);
+            if c.read_hi != want_hi {
+                return fail(
+                    i,
+                    format!(
+                        "read_hi {} is not end + ω clamped at len (want {want_hi})",
+                        c.read_hi
+                    ),
+                );
+            }
+            expected_start = c.end;
+        }
+        if expected_start != self.len {
+            return fail(
+                self.chunks.len() - 1,
+                format!(
+                    "owned ranges cover only [0, {expected_start}) of [0, {})",
+                    self.len
+                ),
+            );
+        }
+        Ok(())
+    }
+
     /// The plan a `Parallelism` config resolves to for this band geometry.
+    ///
+    /// Every plan handed out is [validated](ChunkPlan::validate); a failure
+    /// here would mean [`ChunkPlan::build`] itself is broken, so it panics.
     pub fn for_band(band: &BandMask, par: &Parallelism) -> Self {
         let plan = Self::build(
             band.len(),
             band.window(),
             par.effective_chunk_size(band.len(), band.window()),
         );
+        if let Err(v) = plan.validate() {
+            panic!("ChunkPlan::build produced an invalid plan: {v}");
+        }
         if mega_obs::enabled() {
             mega_obs::counter_add("core.parallel.plans", 1);
             mega_obs::record_value("core.parallel.plan_chunks", plan.chunks.len() as u64);
@@ -307,6 +453,63 @@ mod tests {
         assert!(plan.is_empty());
         assert_eq!(plan.chunks().len(), 1);
         assert_eq!(plan.chunks()[0].owned_len(), 0);
+    }
+
+    #[test]
+    fn built_plans_always_validate() {
+        for len in [0usize, 1, 7, 103, 400] {
+            for window in [1usize, 3, 8] {
+                for chunk in [1usize, 5, 64] {
+                    let plan = ChunkPlan::build(len, window, chunk);
+                    assert_eq!(
+                        plan.validate(),
+                        Ok(()),
+                        "len={len} ω={window} chunk={chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_ownership() {
+        let mut chunks = ChunkPlan::build(40, 2, 10).chunks().to_vec();
+        chunks[1].start = 5; // overlaps chunk 0's owned rows [0, 10)
+        let bad = ChunkPlan::from_raw_parts(40, 2, chunks);
+        let v = bad.validate().unwrap_err();
+        assert_eq!(v.chunk, 1);
+        assert!(v.message.contains("partition"), "{v}");
+    }
+
+    #[test]
+    fn validate_rejects_coverage_gaps() {
+        let mut chunks = ChunkPlan::build(40, 2, 10).chunks().to_vec();
+        chunks.remove(2); // rows [20, 30) now unowned
+        let bad = ChunkPlan::from_raw_parts(40, 2, chunks);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_read_windows() {
+        let mut chunks = ChunkPlan::build(40, 2, 10).chunks().to_vec();
+        chunks[1].read_lo = 0; // wider than start - ω
+        let bad = ChunkPlan::from_raw_parts(40, 2, chunks.clone());
+        assert!(bad.validate().unwrap_err().message.contains("read_lo"));
+        let mut chunks = ChunkPlan::build(40, 2, 10).chunks().to_vec();
+        chunks[2].read_hi = 40; // wider than end + ω
+        let bad = ChunkPlan::from_raw_parts(40, 2, chunks);
+        assert!(bad.validate().unwrap_err().message.contains("read_hi"));
+    }
+
+    #[test]
+    fn validate_rejects_truncated_plans() {
+        let mut chunks = ChunkPlan::build(40, 2, 10).chunks().to_vec();
+        chunks.pop();
+        let bad = ChunkPlan::from_raw_parts(40, 2, chunks);
+        assert!(bad.validate().unwrap_err().message.contains("cover only"));
+        assert!(ChunkPlan::from_raw_parts(3, 1, Vec::new())
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
+// mega-lint: allow(unordered-collection, reason = "(src,dst)->eid lookup only; neighbor iteration uses sorted open_nbrs")
 use std::collections::HashMap;
 
 /// The raw result of running Algorithm 1 on a graph.
@@ -88,6 +89,7 @@ struct State<'g> {
     /// Nodes with non-empty `open_nbrs`, ordered.
     open_nodes: BTreeSet<usize>,
     /// Edge id lookup for the working graph.
+    // mega-lint: allow(unordered-collection, reason = "keyed lookup only; never iterated")
     edge_of: HashMap<(usize, usize), usize>,
     covered: Vec<bool>,
     covered_count: usize,
@@ -108,6 +110,7 @@ impl<'g> State<'g> {
             open_nbrs.push(g.neighbors(v).to_vec());
         }
         let open_nodes: BTreeSet<usize> = (0..n).filter(|&v| !open_nbrs[v].is_empty()).collect();
+        // mega-lint: allow(unordered-collection, reason = "keyed lookup only; never iterated")
         let mut edge_of = HashMap::with_capacity(g.edge_count());
         for (eid, (s, d)) in g.edges().enumerate() {
             edge_of.insert((s.min(d), s.max(d)), eid);
@@ -428,7 +431,7 @@ pub fn traverse_parallel(
         par.effective_threads(),
         |a, &(lo, hi)| -> Result<Vec<usize>, MegaError> {
             let _agent_span = mega_obs::span("traverse_agent");
-            let walk_start = mega_obs::enabled().then(std::time::Instant::now);
+            let walk_timer = mega_obs::timer();
             let mut b = if working.is_undirected() {
                 mega_graph::GraphBuilder::undirected(hi - lo)
             } else {
@@ -449,9 +452,7 @@ pub fn traverse_parallel(
                         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a as u64 + 1)),
                 ),
             )?;
-            if let Some(t0) = walk_start {
-                mega_obs::record_duration("core.traversal.agent_walk_ns", t0.elapsed());
-            }
+            walk_timer.observe("core.traversal.agent_walk_ns");
             Ok(local.path.iter().map(|&v| v + lo).collect())
         },
     );

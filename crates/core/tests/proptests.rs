@@ -187,4 +187,67 @@ proptest! {
             prop_assert_eq!(owners, 1);
         }
     }
+
+    // --- Static plan validation (ChunkPlan::validate) ---
+
+    #[test]
+    fn random_built_plans_validate(len in 0usize..400, window in 1usize..8, chunk in 1usize..64) {
+        // validate() re-derives the partition + read-window proof that the
+        // race-check shadow map verifies dynamically.
+        prop_assert!(ChunkPlan::build(len, window, chunk).validate().is_ok());
+    }
+
+    #[test]
+    fn band_plans_validate_over_thread_chunk_grid((g, cfg) in (arb_graph(), arb_config())) {
+        let s = preprocess(&g, &cfg).unwrap();
+        let band = s.band();
+        for threads in [1usize, 2, 4, 8] {
+            for chunk in [1usize, band.window(), 4 * band.window(), band.len().max(1)] {
+                let par = mega_core::Parallelism::with_threads(threads)
+                    .with_chunk_size(chunk.max(1));
+                let plan = ChunkPlan::for_band(band, &par);
+                prop_assert!(plan.validate().is_ok(), "threads={} chunk={}", threads, chunk);
+                // Owned ranges partition [0, len) and reads stay within ±ω.
+                let mut expected_start = 0usize;
+                for c in plan.chunks() {
+                    prop_assert_eq!(c.start, expected_start);
+                    prop_assert_eq!(c.read_lo, c.start.saturating_sub(band.window()));
+                    prop_assert_eq!(c.read_hi, (c.end + band.window()).min(band.len()));
+                    expected_start = c.end;
+                }
+                prop_assert_eq!(expected_start, band.len());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_plans_fail_validation(
+        len in 8usize..200,
+        window in 1usize..6,
+        chunk in 2usize..32,
+        which in 0usize..5,
+        victim in 0usize..100,
+    ) {
+        let plan = ChunkPlan::build(len, window, chunk);
+        prop_assume!(plan.chunks().len() >= 2);
+        let mut chunks = plan.chunks().to_vec();
+        let v = victim % chunks.len();
+        match which {
+            // Ownership overlap with the next chunk (or end past the path).
+            0 => chunks[v].end += 1,
+            // Coverage gap before the next chunk (or an empty chunk).
+            1 => chunks[v].end -= 1,
+            // Read window narrower than ω on the left.
+            2 => {
+                prop_assume!(chunks[v].start > 0);
+                chunks[v].read_lo = chunks[v].start;
+            }
+            // Read window wider than ω on the right.
+            3 => chunks[v].read_hi += 1,
+            // Truncated plan: the tail of the path is owned by nobody.
+            _ => { chunks.pop(); }
+        }
+        let corrupt = ChunkPlan::from_raw_parts(len, window, chunks);
+        prop_assert!(corrupt.validate().is_err(), "mutation {} on chunk {}", which, v);
+    }
 }

@@ -23,6 +23,111 @@ use mega_core::parallel::{ordered_map, Chunk, ChunkPlan, Parallelism};
 /// way, so the cutoff is purely a performance choice.
 pub const PAR_MATMUL_MIN_FLOPS: usize = 1 << 14;
 
+/// Shadow-memory race detection for the chunked banded kernels.
+///
+/// Compiled in only under the `race-check` feature. A [`race::WriterMap`]
+/// shadows every output location (band rows for the aggregation, edge slots
+/// for the weight gradient) with the id of the chunk that claimed it; a
+/// second claim by a *different* chunk panics with both writers named. The
+/// parallel kernels also assert every row they read lies inside the claiming
+/// chunk's ±ω read window. Running the serial/parallel equivalence harness
+/// under this feature turns the bit-identity *sample* into a checked
+/// row-ownership proof: no overlap panic ⇒ no two chunks ever wrote the
+/// same location.
+#[cfg(feature = "race-check")]
+pub mod race {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Sentinel writer id for "not yet claimed".
+    const UNCLAIMED: u32 = u32::MAX;
+
+    /// One shadow cell per output location, holding the claiming chunk id.
+    #[derive(Debug)]
+    pub struct WriterMap {
+        what: &'static str,
+        owners: Vec<AtomicU32>,
+    }
+
+    impl WriterMap {
+        /// A map of `len` unclaimed locations, labelled `what` in panics.
+        pub fn new(what: &'static str, len: usize) -> Self {
+            WriterMap {
+                what,
+                owners: (0..len).map(|_| AtomicU32::new(UNCLAIMED)).collect(),
+            }
+        }
+
+        /// Claims location `idx` for `writer`. Re-claims by the same writer
+        /// are allowed (a chunk may accumulate into its own rows); a claim
+        /// by a different writer is a cross-chunk write race and panics.
+        pub fn claim(&self, idx: usize, writer: u32) {
+            assert!(writer != UNCLAIMED, "writer id {writer} is the sentinel");
+            match self.owners[idx].compare_exchange(
+                UNCLAIMED,
+                writer,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {}
+                Err(prev) if prev == writer => {}
+                Err(prev) => panic!(
+                    "race-check: {} {idx} written by chunk {prev} and chunk {writer} \
+                     — owned ranges overlap",
+                    self.what
+                ),
+            }
+        }
+
+        /// Claims the half-open range `[lo, hi)` for `writer`.
+        pub fn claim_range(&self, lo: usize, hi: usize, writer: u32) {
+            for idx in lo..hi {
+                self.claim(idx, writer);
+            }
+        }
+
+        /// Number of locations claimed so far.
+        pub fn claimed(&self) -> usize {
+            self.owners
+                .iter()
+                .filter(|o| o.load(Ordering::SeqCst) != UNCLAIMED)
+                .count()
+        }
+
+        /// Panics unless every location was claimed by exactly one writer —
+        /// the completeness half of the partition proof (the overlap half is
+        /// enforced eagerly by [`WriterMap::claim`]).
+        pub fn assert_complete(&self) {
+            for (idx, o) in self.owners.iter().enumerate() {
+                assert!(
+                    o.load(Ordering::SeqCst) != UNCLAIMED,
+                    "race-check: {} {idx} was never claimed — owned ranges have a gap",
+                    self.what
+                );
+            }
+        }
+    }
+}
+
+/// Read-window check for the chunked kernels: under `race-check`, asserts
+/// the row being read lies inside the chunk's ±ω read extent; otherwise
+/// compiles to nothing.
+#[cfg(feature = "race-check")]
+#[inline]
+fn check_read(chunk: &Chunk, row: usize) {
+    assert!(
+        row >= chunk.read_lo && row < chunk.read_hi,
+        "race-check: chunk owning [{}, {}) read row {row} outside its ±ω window [{}, {})",
+        chunk.start,
+        chunk.end,
+        chunk.read_lo,
+        chunk.read_hi
+    );
+}
+
+#[cfg(not(feature = "race-check"))]
+#[inline(always)]
+fn check_read(_chunk: &Chunk, _row: usize) {}
+
 /// One output row of a matrix product: `out_row += a_row · b`, folding the
 /// `k` contributions in ascending order. Rows that came out of embedding
 /// lookups are mostly zero, hence the skip.
@@ -419,6 +524,7 @@ fn aggregate_chunk(
         let row = &mut out[(r - chunk.start) * dim..(r - chunk.start + 1) * dim];
         for lo in r.saturating_sub(w_max)..r {
             if let Some(e) = band.slot(lo, r - lo) {
+                check_read(chunk, lo);
                 let w = weights[e];
                 for d in 0..dim {
                     row[d] += w * x[lo * dim + d];
@@ -427,6 +533,7 @@ fn aggregate_chunk(
         }
         for k in 1..=w_max {
             if let Some(e) = band.slot(r, k) {
+                check_read(chunk, r + k);
                 let w = weights[e];
                 for d in 0..dim {
                     row[d] += w * x[(r + k) * dim + d];
@@ -462,14 +569,41 @@ pub fn banded_aggregate(
         return banded_aggregate_serial(band, x, dim, weights);
     }
     let plan = ChunkPlan::for_band(band, par);
-    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
-        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+    banded_aggregate_with_plan(band, x, dim, weights, &plan, par.effective_threads())
+}
+
+/// [`banded_aggregate`] over an explicit, caller-supplied [`ChunkPlan`].
+///
+/// This is the entry point the `race-check` harness drives with
+/// deliberately corrupt plans (overlapping or gappy ownership built via
+/// `ChunkPlan::from_raw_parts`) to prove the shadow writer map actually
+/// fires; [`banded_aggregate`] calls it with the validated plan the
+/// `Parallelism` config resolves to. Under `race-check`, every chunk claims
+/// its owned rows in a shared writer-id map (cross-chunk overlap panics),
+/// every read is bounds-checked against the chunk's ±ω window, and full row
+/// coverage is asserted after the map phase.
+pub fn banded_aggregate_with_plan(
+    band: &BandMask,
+    x: &[f32],
+    dim: usize,
+    weights: &[f32],
+    plan: &ChunkPlan,
+    threads: usize,
+) -> Vec<f32> {
+    #[cfg(feature = "race-check")]
+    let writers = race::WriterMap::new("output row", plan.len());
+    let partials = ordered_map(plan.chunks(), threads, |chunk_id, chunk| {
+        #[cfg(feature = "race-check")]
+        writers.claim_range(chunk.start, chunk.end, chunk_id as u32);
+        #[cfg(not(feature = "race-check"))]
+        let _ = chunk_id;
+        let t = mega_obs::timer();
         let out = aggregate_chunk(band, chunk, x, dim, weights);
-        if let Some(t0) = t0 {
-            mega_obs::record_duration("core.parallel.chunk_fwd_ns", t0.elapsed());
-        }
+        t.observe("core.parallel.chunk_fwd_ns");
         out
     });
+    #[cfg(feature = "race-check")]
+    writers.assert_complete();
     let mut out = Vec::with_capacity(x.len());
     for partial in partials {
         out.extend_from_slice(&partial);
@@ -528,18 +662,54 @@ pub fn banded_weight_grad(
         return banded_weight_grad_serial(band, x, d_out, dim, edge_count);
     }
     let plan = ChunkPlan::for_band(band, par);
-    let partials = ordered_map(plan.chunks(), par.effective_threads(), |_, chunk| {
-        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+    banded_weight_grad_with_plan(
+        band,
+        x,
+        d_out,
+        dim,
+        edge_count,
+        &plan,
+        par.effective_threads(),
+    )
+}
+
+/// [`banded_weight_grad`] over an explicit, caller-supplied [`ChunkPlan`] —
+/// the race-checkable entry point, mirroring [`banded_aggregate_with_plan`].
+///
+/// Under `race-check`, each chunk claims every edge slot it writes in a
+/// shared writer-id map (each edge claims exactly one band slot, so a
+/// second claim means two chunks both think they own the slot's `lo` row),
+/// and both slot endpoints are bounds-checked against the chunk's ±ω read
+/// window. No completeness assertion: edges without an active slot are
+/// legitimately never written.
+#[allow(clippy::too_many_arguments)]
+pub fn banded_weight_grad_with_plan(
+    band: &BandMask,
+    x: &[f32],
+    d_out: &[f32],
+    dim: usize,
+    edge_count: usize,
+    plan: &ChunkPlan,
+    threads: usize,
+) -> Vec<f32> {
+    #[cfg(feature = "race-check")]
+    let writers = race::WriterMap::new("edge slot", edge_count);
+    let partials = ordered_map(plan.chunks(), threads, |chunk_id, chunk| {
+        #[cfg(not(feature = "race-check"))]
+        let _ = chunk_id;
+        let t = mega_obs::timer();
         let mut local: Vec<(usize, f32)> = Vec::new();
         for s in band.active_slots() {
             if s.lo < chunk.start || s.lo >= chunk.end {
                 continue;
             }
+            check_read(chunk, s.lo);
+            check_read(chunk, s.hi);
+            #[cfg(feature = "race-check")]
+            writers.claim(s.edge, chunk_id as u32);
             local.push((s.edge, slot_weight_grad(dim, x, d_out, s.lo, s.hi)));
         }
-        if let Some(t0) = t0 {
-            mega_obs::record_duration("core.parallel.chunk_wgrad_ns", t0.elapsed());
-        }
+        t.observe("core.parallel.chunk_wgrad_ns");
         local
     });
     let mut dw = vec![0.0f32; edge_count];

@@ -24,6 +24,13 @@
 //!
 //! [`BufferPool`] supplies recycled output buffers so steady-state training
 //! stops allocating per tape node.
+//!
+//! This is the only workspace crate allowed to contain `unsafe` (and only
+//! in `simd.rs`) — enforced by `mega-lint`'s `unsafe-scope` rule, with
+//! every site carrying a `// SAFETY:` comment (`undocumented-unsafe` rule)
+//! and unsafe operations never implicit inside unsafe fns.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod blocked;
 pub mod kernels;

@@ -20,14 +20,14 @@
 //!   beyond that, released buffers are simply dropped, bounding the pool's
 //!   resident memory.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A thread-safe size-class freelist of `Vec<f32>` buffers.
 #[derive(Debug, Default)]
 pub struct BufferPool {
-    classes: Mutex<HashMap<u32, Vec<Vec<f32>>>>,
+    classes: Mutex<BTreeMap<u32, Vec<Vec<f32>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -299,6 +299,11 @@ mod avx {
     /// is one contiguous 128-byte load sequence per `k` step.
     #[target_feature(enable = "avx")]
     fn micro_tile(a_row: &[f32], strip: &[f32], acc: &mut [f32; NR]) {
+        // SAFETY: `acc` is exactly NR = 32 floats, so the four 8-lane
+        // loads/stores at offsets 0/8/16/24 stay in bounds; `strip` is a
+        // packed k×NR buffer, so `kk * NR + 24 + 8 <= strip.len()` for every
+        // `kk < k` iterated here. AVX itself is guaranteed by this module's
+        // `#[target_feature]` + runtime-detection contract.
         unsafe {
             let p = acc.as_mut_ptr();
             let mut v0 = _mm256_loadu_ps(p);
@@ -328,6 +333,11 @@ mod avx {
     /// second operand for NaN).
     #[target_feature(enable = "avx")]
     pub fn bias_relu_row(out_row: &mut [f32], bias: &[f32]) {
+        // SAFETY: the vector loop only touches `j..j + 8` while
+        // `j + 8 <= out_row.len()`, and the caller passes `bias` of the
+        // same row width (asserted in `gemm_simd`), so every 8-lane
+        // load/store on both pointers is in bounds; the tail is safe
+        // indexing. AVX is guaranteed by the module contract.
         unsafe {
             let zero = _mm256_setzero_ps();
             let n = out_row.len();
@@ -353,6 +363,11 @@ mod avx {
             /// last full vector).
             #[target_feature(enable = "avx")]
             pub fn $name(a: &[f32], b: &[f32], out: &mut [f32]) {
+                // SAFETY: the vector loop reads/writes `i..i + 8` only
+                // while `i + 8 <= out.len()`, and `a`/`b` are at least as
+                // long as `out` (the backend trait's elementwise contract,
+                // upheld by every caller via equal-length slices); the
+                // tail uses safe indexing. AVX per the module contract.
                 unsafe {
                     let n = out.len();
                     let (pa, pb, po) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
@@ -378,6 +393,10 @@ mod avx {
     /// `out = k · a`, broadcast multiply.
     #[target_feature(enable = "avx")]
     pub fn scale(a: &[f32], k: f32, out: &mut [f32]) {
+        // SAFETY: loads/stores touch `i..i + 8` only while
+        // `i + 8 <= out.len()` and `a` is at least as long as `out`
+        // (equal-length elementwise contract); tail is safe indexing.
+        // AVX per the module contract.
         unsafe {
             let vk = _mm256_set1_ps(k);
             let n = out.len();
@@ -397,6 +416,10 @@ mod avx {
     /// `out = max(x, 0)`.
     #[target_feature(enable = "avx")]
     pub fn relu(x: &[f32], out: &mut [f32]) {
+        // SAFETY: loads/stores touch `i..i + 8` only while
+        // `i + 8 <= out.len()` and `x` is at least as long as `out`
+        // (equal-length elementwise contract); tail is safe indexing.
+        // AVX per the module contract.
         unsafe {
             let zero = _mm256_setzero_ps();
             let n = out.len();
@@ -417,6 +440,10 @@ mod avx {
     /// false for NaN, matching the scalar `if v > 0.0` else-branch.
     #[target_feature(enable = "avx")]
     pub fn leaky_relu(x: &[f32], slope: f32, out: &mut [f32]) {
+        // SAFETY: loads/stores touch `i..i + 8` only while
+        // `i + 8 <= out.len()` and `x` is at least as long as `out`
+        // (equal-length elementwise contract); tail is safe indexing.
+        // AVX per the module contract.
         unsafe {
             let zero = _mm256_setzero_ps();
             let vs = _mm256_set1_ps(slope);

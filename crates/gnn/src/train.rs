@@ -15,13 +15,13 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Host wall-clock seconds of one epoch, split by training phase.
 ///
-/// Captured directly from the training loop (independent of the global
-/// [`mega_obs`] enable flag, whose span tree carries the same boundaries
-/// at finer grain). `assemble` covers per-epoch batch rebuilding and is
+/// Captured via [`mega_obs::Stopwatch`] directly in the training loop
+/// (always measured, independent of the global [`mega_obs`] enable flag,
+/// whose span tree carries the same boundaries at finer grain).
+/// `assemble` covers per-epoch batch rebuilding and is
 /// zero unless shuffling forces a rebuild; `evaluate` is the validation
 /// pass. Wall-clock values are machine-dependent and excluded from every
 /// bit-determinism comparison, like [`EpochRecord::real_seconds`].
@@ -248,11 +248,11 @@ impl Trainer {
     pub fn run(&self, dataset: &Dataset, config: GnnConfig) -> TrainingHistory {
         let _train_span = mega_obs::span("train");
         mega_obs::counter_add("gnn.train.runs", 1);
-        let start = Instant::now();
+        let start = mega_obs::Stopwatch::start();
         let task = dataset.task;
 
         // One-time preprocessing (CPU side, decoupled from training).
-        let pre_start = Instant::now();
+        let pre_start = mega_obs::Stopwatch::start();
         let (train_batches, val_batches) = {
             let _s = mega_obs::span("assemble");
             (
@@ -302,7 +302,7 @@ impl Trainer {
             mega_obs::counter_add("gnn.train.epochs", 1);
             let mut phases = PhaseSeconds::default();
             // Optional per-epoch reshuffle of the sample order.
-            let t_assemble = Instant::now();
+            let t_assemble = mega_obs::Stopwatch::start();
             let epoch_batches: &[Batch] = match shuffle_rng.as_mut() {
                 Some(rng) if epoch > 1 => {
                     let _s = mega_obs::span("assemble");
@@ -319,7 +319,7 @@ impl Trainer {
                 let mut tape = Tape::with_exec(self.backend.clone(), pool.clone());
                 tape.set_parallelism(self.parallelism);
                 let mut binder = Binder::new();
-                let t_fwd = Instant::now();
+                let t_fwd = mega_obs::Stopwatch::start();
                 let loss = {
                     let _s = mega_obs::span("forward");
                     let pred = model.forward(&mut tape, &mut binder, &store, batch);
@@ -327,13 +327,13 @@ impl Trainer {
                 };
                 phases.forward += t_fwd.elapsed().as_secs_f64();
                 loss_sum += tape.value(loss).at(0, 0) as f64;
-                let t_bwd = Instant::now();
+                let t_bwd = mega_obs::Stopwatch::start();
                 let grads = {
                     let _s = mega_obs::span("backward");
                     tape.backward(loss)
                 };
                 phases.backward += t_bwd.elapsed().as_secs_f64();
-                let t_opt = Instant::now();
+                let t_opt = mega_obs::Stopwatch::start();
                 {
                     let _s = mega_obs::span("optimizer");
                     binder.apply(&mut store, &grads);
@@ -343,7 +343,7 @@ impl Trainer {
                 phases.optimizer += t_opt.elapsed().as_secs_f64();
             }
             let train_loss = loss_sum / epoch_batches.len().max(1) as f64;
-            let t_eval = Instant::now();
+            let t_eval = mega_obs::Stopwatch::start();
             let (val_loss, val_metric) = {
                 let _s = mega_obs::span("evaluate");
                 self.evaluate(&model, &store, &val_batches, task)

@@ -115,6 +115,7 @@ impl EdgeList {
     /// For undirected use, `(a, b)` and `(b, a)` are considered duplicates and
     /// only the first-seen orientation is kept when `undirected` is true.
     pub fn deduplicated(&self, undirected: bool) -> EdgeList {
+        // mega-lint: allow(unordered-collection, reason = "membership test only; output follows self.pairs order")
         let mut seen = std::collections::HashSet::with_capacity(self.pairs.len());
         let mut out = Vec::with_capacity(self.pairs.len());
         for &(s, d) in &self.pairs {

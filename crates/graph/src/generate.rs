@@ -85,7 +85,10 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<Graph,
         }
     }
     for v in (m + 1)..n {
-        let mut chosen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: `chosen` is iterated below to insert edges,
+        // so its order becomes edge-id order — hash order would make graph
+        // generation irreproducible across runs.
+        let mut chosen = std::collections::BTreeSet::new();
         let mut guard = 0usize;
         while chosen.len() < m && guard < 50 * m {
             let &t = pool.choose(rng).expect("pool non-empty after seeding");

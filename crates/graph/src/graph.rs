@@ -62,6 +62,7 @@ impl Graph {
         if edges.node_count() == 0 {
             return Err(GraphError::Empty);
         }
+        // mega-lint: allow(unordered-collection, reason = "membership test only; never iterated")
         let mut seen = std::collections::HashSet::with_capacity(edges.len());
         for &(s, d) in edges.pairs() {
             if s == d {

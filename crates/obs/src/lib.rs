@@ -205,6 +205,70 @@ pub fn record_volatile(name: &str, v: u64) {
     record_hist(true, name, v);
 }
 
+/// A wall-clock stopwatch that measures regardless of the global enable
+/// flag.
+///
+/// This is the sanctioned way for the rest of the workspace to take host
+/// timings that must always be captured (training-phase breakdowns,
+/// preprocessing cost): the `obs-routing` lint (`mega-lint`) forbids raw
+/// `Instant::now` outside this crate and the benchmark binaries, so
+/// timing flows through one auditable choke point.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in (fractional) seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// An optional timer that is live only while instrumentation is enabled.
+///
+/// [`timer`] costs one atomic load when disabled (no clock read at all);
+/// enabled, [`Timer::observe`] records the elapsed wall-clock time into the
+/// named timing-histogram, exactly like [`record_duration`]. Instrumented
+/// hot paths use this instead of hand-rolling
+/// `enabled().then(Instant::now)` — which the `obs-routing` lint would
+/// reject outside this crate.
+#[must_use = "a timer measures until observed; an unused timer records nothing"]
+#[derive(Debug)]
+pub struct Timer {
+    start: Option<Instant>,
+}
+
+/// Starts a [`Timer`]: live when instrumentation is enabled, inert (a
+/// single atomic load, no clock read) when disabled.
+pub fn timer() -> Timer {
+    Timer {
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Timer {
+    /// Records the elapsed time into the named timing-histogram, when the
+    /// timer is live. Consumes the timer; the disabled path does nothing.
+    pub fn observe(self, name: &str) {
+        if let Some(t0) = self.start {
+            record_duration(name, t0.elapsed());
+        }
+    }
+}
+
 /// An in-flight RAII span; the measured interval ends when it drops.
 ///
 /// Spans must be dropped in LIFO order per thread (the natural order of

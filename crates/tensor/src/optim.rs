@@ -27,6 +27,7 @@
 
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
+// mega-lint: allow(unordered-collection, reason = "name->id lookup only; iteration uses the ordered Vec fields")
 use std::collections::HashMap;
 
 /// Handle to a parameter in a [`ParamStore`].
@@ -39,6 +40,7 @@ pub struct ParamStore {
     values: Vec<Tensor>,
     grads: Vec<Tensor>,
     names: Vec<String>,
+    // mega-lint: allow(unordered-collection, reason = "name->id lookup only; never iterated")
     by_name: HashMap<String, ParamId>,
 }
 

@@ -240,7 +240,7 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+        let t = mega_obs::timer();
         let (x, y) = (self.value(a), self.value(b));
         assert_eq!(
             x.cols(),
@@ -255,9 +255,7 @@ impl Tape {
         let mut out = self.out_buf(n, m);
         self.backend
             .matmul(x.as_slice(), y.as_slice(), n, k, m, &self.par, &mut out);
-        if let Some(t0) = t0 {
-            mega_obs::record_duration("tensor.matmul_ns", t0.elapsed());
-        }
+        t.observe("tensor.matmul_ns");
         self.push(Tensor::from_vec(n, m, out), Op::MatMul(a, b))
     }
 
@@ -271,7 +269,7 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch or if `bias` is not `1 × w.cols()`.
     pub fn linear_relu(&mut self, x: Var, w: Var, bias: Var) -> Var {
-        let t0 = mega_obs::enabled().then(std::time::Instant::now);
+        let t = mega_obs::timer();
         let (vx, vw, vb) = (self.value(x), self.value(w), self.value(bias));
         assert_eq!(
             vx.cols(),
@@ -296,9 +294,7 @@ impl Tape {
             &self.par,
             &mut out,
         );
-        if let Some(t0) = t0 {
-            mega_obs::record_duration("tensor.matmul_ns", t0.elapsed());
-        }
+        t.observe("tensor.matmul_ns");
         self.push(Tensor::from_vec(n, m, out), Op::LinearRelu(x, w, bias))
     }
 

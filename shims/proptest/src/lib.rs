@@ -198,7 +198,14 @@ macro_rules! tuple_strategy {
     )+};
 }
 
-tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 /// Generates one input from `strategy` and feeds it to `f`.
 ///

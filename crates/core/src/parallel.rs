@@ -24,7 +24,18 @@
 use crate::band::BandMask;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// The host's available parallelism, resolved once per process.
+///
+/// Cached because [`Parallelism::effective_threads`] sits on kernel hot
+/// paths (every matmul dispatch consults it) and
+/// [`std::thread::available_parallelism`] can hit the filesystem on Linux
+/// (cgroup quota files).
+pub fn host_threads() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
 
 /// Thread-count and chunking knobs for the parallel band engine.
 ///
@@ -32,6 +43,14 @@ use std::sync::Mutex;
 /// conventional env var, honored for CI compatibility even though the pool is
 /// std-based), otherwise [`std::thread::available_parallelism`]. An explicit
 /// non-zero `threads` always wins over the environment.
+///
+/// Unless [`pin_threads`](Parallelism::pin_threads) is set, the resolved
+/// count is **clamped to the host's available parallelism**: running more
+/// compute workers than cores is pure overhead (the `f32` kernels never
+/// block), and on a small host the oversubscribed threads time-slice one
+/// core while paying all the coordination cost — the measured band-engine
+/// regression that motivated the clamp. Results are bit-identical for every
+/// worker count, so the clamp is purely a performance decision.
 ///
 /// `chunk_size == 0` means "auto": size chunks so each worker gets several,
 /// with a floor of the band window ω.
@@ -41,14 +60,32 @@ pub struct Parallelism {
     pub threads: usize,
     /// Owned rows per chunk; 0 = auto.
     pub chunk_size: usize,
+    /// Honor `threads` exactly, even beyond the host's cores. Test harnesses
+    /// set this to force the parallel code paths (and their bit-identity
+    /// proofs) to execute on any machine; production configs leave it off.
+    pub pin_threads: bool,
 }
 
 impl Parallelism {
-    /// A config pinned to `threads` workers (0 = auto).
+    /// A config requesting `threads` workers (0 = auto), clamped to the
+    /// host's cores at resolution time.
     pub fn with_threads(threads: usize) -> Self {
         Parallelism {
             threads,
             chunk_size: 0,
+            pin_threads: false,
+        }
+    }
+
+    /// A config running **exactly** `threads` workers, bypassing the
+    /// host-core clamp. Oversubscription makes nothing faster, but the
+    /// parallel paths stay bit-identical to serial, so equivalence and
+    /// race-check harnesses use this to exercise them on any host.
+    pub fn pinned(threads: usize) -> Self {
+        Parallelism {
+            threads,
+            chunk_size: 0,
+            pin_threads: true,
         }
     }
 
@@ -58,19 +95,29 @@ impl Parallelism {
         self
     }
 
-    /// Resolves the worker count actually used.
+    /// Resolves the worker count actually used: explicit `threads`, then
+    /// `RAYON_NUM_THREADS`, then the hardware — clamped to the host's cores
+    /// unless [`pin_threads`](Parallelism::pin_threads) is set.
     pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            return self.threads;
-        }
-        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
+        let requested = if self.threads > 0 {
+            self.threads
+        } else {
+            let mut n = 0usize;
+            if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+                if let Ok(parsed) = v.trim().parse::<usize>() {
+                    n = parsed;
                 }
             }
+            if n == 0 {
+                n = host_threads();
+            }
+            n
+        };
+        if self.pin_threads {
+            requested.max(1)
+        } else {
+            requested.max(1).min(host_threads())
         }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
     }
 
     /// Resolves the owned-rows-per-chunk size for a path of length `len`
@@ -385,25 +432,30 @@ where
         mega_obs::record_value("core.parallel.pool_items", items.len() as u64);
         mega_obs::record_value("core.parallel.pool_workers", workers as u64);
     }
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut done = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let out = f(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
-                    done += 1;
-                }
-                // Items-per-worker is scheduling-dependent, hence volatile.
-                if done > 0 && mega_obs::enabled() {
-                    mega_obs::record_volatile("core.parallel.worker_items", done);
-                }
-            });
+    let worker = || {
+        let mut done = 0u64;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            let out = f(i, &items[i]);
+            *slots[i].lock().expect("result slot poisoned") = Some(out);
+            done += 1;
         }
+        // Items-per-worker is scheduling-dependent, hence volatile.
+        if done > 0 && mega_obs::enabled() {
+            mega_obs::record_volatile("core.parallel.worker_items", done);
+        }
+    };
+    std::thread::scope(|scope| {
+        // The calling thread is an idle core until the scope joins — make it
+        // worker 0 and only spawn the remainder, saving one spawn/join pair
+        // per call (and all of them when workers == 1).
+        for _ in 1..workers {
+            scope.spawn(worker);
+        }
+        worker();
     });
     slots
         .into_iter()
@@ -413,6 +465,43 @@ where
                 .expect("worker completed every claimed index")
         })
         .collect()
+}
+
+/// Runs one closure per worker to completion, using the calling thread as
+/// worker 0.
+///
+/// This is the primitive behind the direct-write kernels: the caller splits
+/// its output buffer into disjoint `&mut` slices, moves one slice into each
+/// job, and every job writes its rows in place — no per-item `Mutex`, no
+/// result collection, no copy-back. With zero or one job nothing is spawned;
+/// the single job runs inline on the caller.
+///
+/// A panicking spawned job propagates out of the enclosing
+/// [`std::thread::scope`] (as with [`ordered_map`], the payload is replaced
+/// by the scope's generic message); a panic in job 0 propagates directly.
+pub fn join_workers<J>(jobs: Vec<J>)
+where
+    J: FnOnce() + Send,
+{
+    let mut jobs = jobs;
+    let Some(first) = jobs.pop() else { return };
+    if jobs.is_empty() {
+        if mega_obs::enabled() {
+            mega_obs::counter_add("core.parallel.inline_runs", 1);
+        }
+        first();
+        return;
+    }
+    if mega_obs::enabled() {
+        mega_obs::counter_add("core.parallel.pool_runs", 1);
+        mega_obs::record_value("core.parallel.pool_workers", (jobs.len() + 1) as u64);
+    }
+    std::thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(job);
+        }
+        first();
+    });
 }
 
 // The banded aggregation / weight-grad kernels that used to live here moved
@@ -524,7 +613,44 @@ mod tests {
 
     #[test]
     fn effective_threads_prefers_explicit() {
-        assert_eq!(Parallelism::with_threads(3).effective_threads(), 3);
+        // Unpinned requests are capped at the host's cores…
+        assert_eq!(
+            Parallelism::with_threads(3).effective_threads(),
+            3.min(host_threads())
+        );
+        // …while pinned requests are honored exactly, on any host.
+        assert_eq!(Parallelism::pinned(3).effective_threads(), 3);
         assert!(Parallelism::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn pinned_bypasses_host_clamp() {
+        let many = host_threads() + 7;
+        assert_eq!(Parallelism::pinned(many).effective_threads(), many);
+        assert!(Parallelism::with_threads(many).effective_threads() <= host_threads());
+        // Degenerate requests still resolve to at least one worker. (No
+        // exact value: threads == 0 defers to RAYON_NUM_THREADS when set.)
+        assert!(Parallelism::pinned(0).effective_threads() >= 1);
+    }
+
+    #[test]
+    fn join_workers_runs_every_job() {
+        use std::sync::atomic::AtomicU64;
+        let hits = AtomicU64::new(0);
+        join_workers(Vec::<fn()>::new()); // no jobs: nothing to do
+        join_workers(vec![|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }]);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        let jobs: Vec<_> = (0..5u64)
+            .map(|i| {
+                let hits = &hits;
+                move || {
+                    hits.fetch_add(1 << i, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        join_workers(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 1 + 0b11111);
     }
 }

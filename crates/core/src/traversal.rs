@@ -662,7 +662,7 @@ mod tests {
         let g = generate::erdos_renyi(50, 0.12, &mut StdRng::seed_from_u64(11)).unwrap();
         let cfg = full_cfg(2);
         let serial = traverse(&g, &cfg).unwrap();
-        let par = crate::parallel::Parallelism::with_threads(4);
+        let par = crate::parallel::Parallelism::pinned(4);
         let p = traverse_parallel(&g, &cfg, 1, &par).unwrap();
         assert_eq!(serial.path, p.path);
         assert_eq!(serial.virtual_step, p.virtual_step);
@@ -676,13 +676,8 @@ mod tests {
         let reference =
             traverse_parallel(&g, &cfg, 4, &crate::parallel::Parallelism::with_threads(1)).unwrap();
         for threads in [2usize, 4, 8] {
-            let t = traverse_parallel(
-                &g,
-                &cfg,
-                4,
-                &crate::parallel::Parallelism::with_threads(threads),
-            )
-            .unwrap();
+            let t = traverse_parallel(&g, &cfg, 4, &crate::parallel::Parallelism::pinned(threads))
+                .unwrap();
             assert_eq!(reference.path, t.path, "threads={threads}");
             assert_eq!(reference.virtual_step, t.virtual_step);
             assert_eq!(reference.revisits, t.revisits);
@@ -717,7 +712,7 @@ mod tests {
             &g,
             &full_cfg(1),
             64,
-            &crate::parallel::Parallelism::with_threads(2),
+            &crate::parallel::Parallelism::pinned(2),
         )
         .unwrap();
         assert_eq!(t.covered_edges, 5);

@@ -203,7 +203,7 @@ proptest! {
         let band = s.band();
         for threads in [1usize, 2, 4, 8] {
             for chunk in [1usize, band.window(), 4 * band.window(), band.len().max(1)] {
-                let par = mega_core::Parallelism::with_threads(threads)
+                let par = mega_core::Parallelism::pinned(threads)
                     .with_chunk_size(chunk.max(1));
                 let plan = ChunkPlan::for_band(band, &par);
                 prop_assert!(plan.validate().is_ok(), "threads={} chunk={}", threads, chunk);

@@ -20,8 +20,9 @@
 //! counts.
 
 use crate::kernels;
+use crate::partition;
 use crate::Backend;
-use mega_core::parallel::{ordered_map, Parallelism};
+use mega_core::parallel::Parallelism;
 
 /// Output rows per tile: one tile of rows shares each cache-resident strip
 /// of packed `b`. Shared with `SimdBackend`, which reuses the same packed
@@ -67,13 +68,17 @@ fn micro_tile(a_row: &[f32], strip: &[f32], acc: &mut [f32; NR]) {
 }
 
 /// Computes output rows `[lo, hi)` of `a · b` into `out` (zeroed,
-/// `(hi - lo) × m`), via packed `NR`-wide strips of `b` and `MC`-row tiles.
+/// `(hi - lo) × m`), streaming the caller-packed `NR`-wide strips of `b`
+/// (see [`pack_strips`]) across `MC`-row tiles. Taking the packed buffer
+/// rather than `b` itself lets the threaded driver pack **once** and share
+/// the read-only strips across all workers — the strips used to be
+/// repacked per worker, multiplying the O(k·m) copy by the thread count.
 /// When `bias_relu` is set, the fused epilogue `out = max(out + bias, 0)`
 /// runs per row tile while the rows are still hot.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked_rows(
     a: &[f32],
-    b: &[f32],
+    packed: &[f32],
     k: usize,
     m: usize,
     lo: usize,
@@ -82,7 +87,6 @@ fn gemm_blocked_rows(
     out: &mut [f32],
 ) {
     let strips = m.div_ceil(NR);
-    let packed = pack_strips(b, k, m);
 
     let mut ib = lo;
     while ib < hi {
@@ -132,24 +136,17 @@ fn gemm_blocked(
     if let Some(bias) = bias_relu {
         assert_eq!(bias.len(), m, "bias must be 1x{m}");
     }
+    let packed = pack_strips(b, k, m);
     let threads = par.effective_threads().min(n.max(1));
     if threads <= 1 || n * k * m < kernels::PAR_MATMUL_MIN_FLOPS {
-        return gemm_blocked_rows(a, b, k, m, 0, n, bias_relu, out);
+        return gemm_blocked_rows(a, &packed, k, m, 0, n, bias_relu, out);
     }
-    let ranges: Vec<(usize, usize)> = (0..threads)
-        .map(|t| (t * n / threads, (t + 1) * n / threads))
-        .filter(|(lo, hi)| lo < hi)
-        .collect();
-    let parts = ordered_map(&ranges, threads, |_, &(lo, hi)| {
-        let mut part = vec![0.0f32; (hi - lo) * m];
-        gemm_blocked_rows(a, b, k, m, lo, hi, bias_relu, &mut part);
-        part
+    // MC-aligned boundaries keep whole row tiles on one worker; each worker
+    // streams the shared packed strips and writes its rows in place.
+    let ranges = partition::row_ranges(n, threads, MC);
+    partition::par_rows(out, n, m, &ranges, |lo, hi, rows| {
+        gemm_blocked_rows(a, &packed, k, m, lo, hi, bias_relu, rows);
     });
-    let mut off = 0usize;
-    for p in parts {
-        out[off..off + p.len()].copy_from_slice(&p);
-        off += p.len();
-    }
 }
 
 /// Cache-tiled GEMM + fused bias-ReLU; everything else stays on the
@@ -224,7 +221,7 @@ mod tests {
             let a = sample(n * k, (n * 31 + k) as u32);
             let b = sample(k * m, (k * 17 + m) as u32);
             for threads in [1usize, 2, 4] {
-                let par = Parallelism::with_threads(threads);
+                let par = Parallelism::pinned(threads);
                 let mut reference = vec![0.0f32; n * m];
                 kernels::matmul_par(&a, &b, n, k, m, &par, &mut reference);
                 let mut blocked = vec![0.0f32; n * m];
@@ -243,7 +240,7 @@ mod tests {
         let w = sample(k * m, 4);
         let bias = sample(m, 5);
         for threads in [1usize, 3] {
-            let par = Parallelism::with_threads(threads);
+            let par = Parallelism::pinned(threads);
             let mut unfused = vec![0.0f32; n * m];
             kernels::matmul_par(&x, &w, n, k, m, &par, &mut unfused);
             kernels::bias_relu_inplace(&mut unfused, &bias, n, m);

@@ -14,14 +14,18 @@
 //! that accumulate (`matmul*`, `scatter_add_rows`, the banded aggregates)
 //! require `out` to be zeroed on entry, all others overwrite every element.
 
+use crate::partition;
 use crate::Unary;
 use mega_core::band::BandMask;
-use mega_core::parallel::{ordered_map, Chunk, ChunkPlan, Parallelism};
+use mega_core::parallel::{join_workers, ordered_map, Chunk, ChunkPlan, Parallelism};
 
 /// Below this many multiply-adds (`n·k·m`) the parallel matmul falls back to
 /// the serial kernel: spawn cost dominates, and the bits are identical either
-/// way, so the cutoff is purely a performance choice.
-pub const PAR_MATMUL_MIN_FLOPS: usize = 1 << 14;
+/// way, so the cutoff is purely a performance choice. Spawning a scoped
+/// worker costs tens of microseconds; at ~1 multiply-add per cycle a thread
+/// only pays for itself once it has ≳10⁵ of them, hence `1 << 17` (a 64×64
+/// product at depth 32 stays serial, a 128³ one fans out).
+pub const PAR_MATMUL_MIN_FLOPS: usize = 1 << 17;
 
 /// Shadow-memory race detection for the chunked banded kernels.
 ///
@@ -161,7 +165,9 @@ pub fn matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, out: &mut [f32
 
 /// Matrix product under a thread budget, bit-identical to [`matmul`] for
 /// every thread count: output rows are split into contiguous per-worker
-/// ranges and each row is produced by the exact serial row kernel.
+/// ranges and each row is produced by the exact serial row kernel, written
+/// directly into its disjoint slice of `out` (no partial buffers, no
+/// copy-back).
 ///
 /// # Panics
 ///
@@ -179,30 +185,33 @@ pub fn matmul_par(
     if threads <= 1 || n * k * m < PAR_MATMUL_MIN_FLOPS {
         return matmul(a, b, n, k, m, out);
     }
+    let ranges = partition::row_ranges(n, threads, 1);
+    matmul_par_with_ranges(a, b, n, k, m, &ranges, out);
+}
+
+/// [`matmul_par`] over an explicit row partition — the race-checkable entry
+/// point, mirroring [`banded_aggregate_with_plan`]: the `race-check`
+/// harness drives it with overlapping and gappy partitions to prove the
+/// GEMM shadow writer map fires, while [`matmul_par`] always passes the
+/// valid partition [`partition::row_ranges`] computes.
+#[doc(hidden)]
+pub fn matmul_par_with_ranges(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    ranges: &[(usize, usize)],
+    out: &mut [f32],
+) {
     assert_eq!(a.len(), n * k, "a must be {n}x{k}");
     assert_eq!(b.len(), k * m, "b must be {k}x{m}");
-    assert_eq!(out.len(), n * m, "out must be {n}x{m}");
-    let ranges: Vec<(usize, usize)> = (0..threads)
-        .map(|t| (t * n / threads, (t + 1) * n / threads))
-        .filter(|(lo, hi)| lo < hi)
-        .collect();
-    let parts = ordered_map(&ranges, threads, |_, &(lo, hi)| {
-        let mut part = vec![0.0f32; (hi - lo) * m];
-        for i in lo..hi {
-            matmul_row(
-                &a[i * k..(i + 1) * k],
-                b,
-                m,
-                &mut part[(i - lo) * m..(i - lo + 1) * m],
-            );
+    partition::par_rows(out, n, m, ranges, |lo, hi, rows| {
+        for r in lo..hi {
+            let out_row = &mut rows[(r - lo) * m..(r - lo + 1) * m];
+            matmul_row(&a[r * k..(r + 1) * k], b, m, out_row);
         }
-        part
     });
-    let mut off = 0usize;
-    for p in parts {
-        out[off..off + p.len()].copy_from_slice(&p);
-        off += p.len();
-    }
 }
 
 /// `out = aᵀ` for a row-major `rows × cols` input.
@@ -511,15 +520,16 @@ pub fn banded_aggregate_serial(
 /// `[r - ω, r)` (row `r` is the `hi` side), then slots `(r, r + k)` with `k`
 /// ascending (row `r` is the `lo` side). Replaying exactly that order makes
 /// each owned row bit-identical to the serial result.
-fn aggregate_chunk(
+fn aggregate_chunk_into(
     band: &BandMask,
     chunk: &Chunk,
     x: &[f32],
     dim: usize,
     weights: &[f32],
-) -> Vec<f32> {
+    out: &mut [f32],
+) {
     let w_max = band.window();
-    let mut out = vec![0.0f32; chunk.owned_len() * dim];
+    debug_assert_eq!(out.len(), chunk.owned_len() * dim);
     for r in chunk.start..chunk.end {
         let row = &mut out[(r - chunk.start) * dim..(r - chunk.start + 1) * dim];
         for lo in r.saturating_sub(w_max)..r {
@@ -541,7 +551,6 @@ fn aggregate_chunk(
             }
         }
     }
-    out
 }
 
 /// Parallel chunked banded aggregation — bit-identical to
@@ -578,10 +587,18 @@ pub fn banded_aggregate(
 /// deliberately corrupt plans (overlapping or gappy ownership built via
 /// `ChunkPlan::from_raw_parts`) to prove the shadow writer map actually
 /// fires; [`banded_aggregate`] calls it with the validated plan the
-/// `Parallelism` config resolves to. Under `race-check`, every chunk claims
-/// its owned rows in a shared writer-id map (cross-chunk overlap panics),
-/// every read is bounds-checked against the chunk's ±ω window, and full row
-/// coverage is asserted after the map phase.
+/// `Parallelism` config resolves to. Under `race-check`, every chunk's
+/// owned rows are claimed in a shared writer-id map *before* any work is
+/// scheduled (cross-chunk overlap and coverage gaps panic up front), and
+/// every read is bounds-checked against the chunk's ±ω window.
+///
+/// Scheduling: the plan's chunks are grouped into at most `threads`
+/// contiguous *runs*, one worker per run, and each chunk writes its rows
+/// directly into the run's disjoint slice of the output. This keeps the
+/// plan's chunk granularity (and the read-window geometry the race checker
+/// verifies) while paying the spawn/timer overhead once per worker rather
+/// than once per chunk — the per-chunk partial buffers and the O(L·dim)
+/// concatenation copy of the previous reduction are gone entirely.
 pub fn banded_aggregate_with_plan(
     band: &BandMask,
     x: &[f32],
@@ -591,23 +608,46 @@ pub fn banded_aggregate_with_plan(
     threads: usize,
 ) -> Vec<f32> {
     #[cfg(feature = "race-check")]
-    let writers = race::WriterMap::new("output row", plan.len());
-    let partials = ordered_map(plan.chunks(), threads, |chunk_id, chunk| {
-        #[cfg(feature = "race-check")]
-        writers.claim_range(chunk.start, chunk.end, chunk_id as u32);
-        #[cfg(not(feature = "race-check"))]
-        let _ = chunk_id;
-        let t = mega_obs::timer();
-        let out = aggregate_chunk(band, chunk, x, dim, weights);
-        t.observe("core.parallel.chunk_fwd_ns");
-        out
-    });
-    #[cfg(feature = "race-check")]
-    writers.assert_complete();
-    let mut out = Vec::with_capacity(x.len());
-    for partial in partials {
-        out.extend_from_slice(&partial);
+    {
+        let writers = race::WriterMap::new("output row", plan.len());
+        for (chunk_id, chunk) in plan.chunks().iter().enumerate() {
+            writers.claim_range(chunk.start, chunk.end, chunk_id as u32);
+        }
+        writers.assert_complete();
     }
+    let chunks = plan.chunks();
+    let mut out = vec![0.0f32; x.len()];
+    let workers = threads.max(1).min(chunks.len());
+    let runs: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * chunks.len() / workers, (w + 1) * chunks.len() / workers))
+        .filter(|(a, b)| a < b)
+        .collect();
+    let mut jobs = Vec::with_capacity(runs.len());
+    let mut rest = out.as_mut_slice();
+    let mut cursor = 0usize;
+    for &(c0, c1) in &runs {
+        let run = &chunks[c0..c1];
+        let start = run[0].start;
+        let end = run[run.len() - 1].end;
+        assert!(
+            start == cursor,
+            "chunk runs must partition the path in order: run starts at \
+             {start}, expected {cursor}"
+        );
+        let (rows, tail) = rest.split_at_mut((end - start) * dim);
+        rest = tail;
+        cursor = end;
+        jobs.push(move || {
+            let t = mega_obs::timer();
+            for chunk in run {
+                let lo = (chunk.start - start) * dim;
+                let hi = (chunk.end - start) * dim;
+                aggregate_chunk_into(band, chunk, x, dim, weights, &mut rows[lo..hi]);
+            }
+            t.observe("core.parallel.run_fwd_ns");
+        });
+    }
+    join_workers(jobs);
     out
 }
 
@@ -694,15 +734,19 @@ pub fn banded_weight_grad_with_plan(
 ) -> Vec<f32> {
     #[cfg(feature = "race-check")]
     let writers = race::WriterMap::new("edge slot", edge_count);
+    let slots = band.active_slots();
     let partials = ordered_map(plan.chunks(), threads, |chunk_id, chunk| {
         #[cfg(not(feature = "race-check"))]
         let _ = chunk_id;
         let t = mega_obs::timer();
-        let mut local: Vec<(usize, f32)> = Vec::new();
-        for s in band.active_slots() {
-            if s.lo < chunk.start || s.lo >= chunk.end {
-                continue;
-            }
+        // `active_slots` is sorted ascending by `(lo, offset)`, so the slots
+        // owned by this chunk (`start <= lo < end`) are one contiguous
+        // subrange — two binary searches instead of the full-list scan that
+        // made the kernel O(chunks × slots) and sank 4-thread scaling.
+        let begin = slots.partition_point(|s| s.lo < chunk.start);
+        let end = slots.partition_point(|s| s.lo < chunk.end);
+        let mut local: Vec<(usize, f32)> = Vec::with_capacity(end - begin);
+        for s in &slots[begin..end] {
             check_read(chunk, s.lo);
             check_read(chunk, s.hi);
             #[cfg(feature = "race-check")]

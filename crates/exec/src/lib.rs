@@ -34,6 +34,7 @@
 
 mod blocked;
 pub mod kernels;
+mod partition;
 mod pool;
 mod reference;
 mod simd;

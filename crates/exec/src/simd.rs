@@ -36,8 +36,9 @@
 
 use crate::blocked::{pack_strips, MC, NR};
 use crate::kernels;
+use crate::partition;
 use crate::{Backend, Unary};
-use mega_core::parallel::{ordered_map, Parallelism};
+use mega_core::parallel::Parallelism;
 
 /// Which lane implementation a [`SimdBackend`] instance dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,16 +122,17 @@ impl SimdBackend {
 /// scalar chain). The fixed-width arrays give LLVM the same unrolled shape
 /// the intrinsics spell out explicitly.
 mod wide {
-    use super::{pack_strips, MC, NR};
+    use super::{MC, NR};
 
-    /// GEMM over rows `[lo, hi)` with `W`-lane accumulators: the strip is
-    /// walked one `W`-wide column chunk at a time, each chunk folding its
-    /// `k` products in ascending order — per output element this is exactly
-    /// the reference fold.
+    /// GEMM over rows `[lo, hi)` with `W`-lane accumulators: the
+    /// caller-packed strip (shared read-only across workers, packed once
+    /// per GEMM) is walked one `W`-wide column chunk at a time, each chunk
+    /// folding its `k` products in ascending order — per output element
+    /// this is exactly the reference fold.
     #[allow(clippy::too_many_arguments)]
     pub fn gemm_rows<const W: usize>(
         a: &[f32],
-        b: &[f32],
+        packed: &[f32],
         k: usize,
         m: usize,
         lo: usize,
@@ -139,7 +141,6 @@ mod wide {
         out: &mut [f32],
     ) {
         let strips = m.div_ceil(NR);
-        let packed = pack_strips(b, k, m);
         let mut ib = lo;
         while ib < hi {
             let i_end = (ib + MC).min(hi);
@@ -248,10 +249,11 @@ mod wide {
 /// the `unsafe` call sites in the dispatcher sound.
 #[cfg(target_arch = "x86_64")]
 mod avx {
-    use super::{pack_strips, MC, NR};
+    use super::{MC, NR};
     use std::arch::x86_64::*;
 
-    /// GEMM over rows `[lo, hi)`: packed strips, `MC`-row tiles, four
+    /// GEMM over rows `[lo, hi)`: caller-packed strips (packed once per
+    /// GEMM, shared read-only across workers), `MC`-row tiles, four
     /// `__m256` accumulators spanning the `NR`-column tile. Per lane this
     /// is `acc += av * b` in ascending `k` — `vmulps` + `vaddps`, never
     /// `vfmadd` (FMA's single rounding would change the bits).
@@ -259,7 +261,7 @@ mod avx {
     #[target_feature(enable = "avx")]
     pub fn gemm_rows(
         a: &[f32],
-        b: &[f32],
+        packed: &[f32],
         k: usize,
         m: usize,
         lo: usize,
@@ -268,7 +270,6 @@ mod avx {
         out: &mut [f32],
     ) {
         let strips = m.div_ceil(NR);
-        let packed = pack_strips(b, k, m);
         let mut ib = lo;
         while ib < hi {
             let i_end = (ib + MC).min(hi);
@@ -521,31 +522,25 @@ fn gemm_simd(
     if let Some(bias) = bias_relu {
         assert_eq!(bias.len(), m, "bias must be 1x{m}");
     }
+    let packed = pack_strips(b, k, m);
+    let packed = packed.as_slice();
     let rows = |lo: usize, hi: usize, part: &mut [f32]| match mode {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: Mode::Avx is only constructed after
         // `is_x86_feature_detected!("avx")` returned true.
-        Mode::Avx => unsafe { avx::gemm_rows(a, b, k, m, lo, hi, bias_relu, part) },
-        Mode::Portable(w) => portable_widths!(w, gemm_rows(a, b, k, m, lo, hi, bias_relu, part)),
+        Mode::Avx => unsafe { avx::gemm_rows(a, packed, k, m, lo, hi, bias_relu, part) },
+        Mode::Portable(w) => {
+            portable_widths!(w, gemm_rows(a, packed, k, m, lo, hi, bias_relu, part))
+        }
     };
     let threads = par.effective_threads().min(n.max(1));
     if threads <= 1 || n * k * m < kernels::PAR_MATMUL_MIN_FLOPS {
         return rows(0, n, out);
     }
-    let ranges: Vec<(usize, usize)> = (0..threads)
-        .map(|t| (t * n / threads, (t + 1) * n / threads))
-        .filter(|(lo, hi)| lo < hi)
-        .collect();
-    let parts = ordered_map(&ranges, threads, |_, &(lo, hi)| {
-        let mut part = vec![0.0f32; (hi - lo) * m];
-        rows(lo, hi, &mut part);
-        part
-    });
-    let mut off = 0usize;
-    for p in parts {
-        out[off..off + p.len()].copy_from_slice(&p);
-        off += p.len();
-    }
+    // MC-aligned boundaries keep whole row tiles on one worker; each worker
+    // streams the shared packed strips and writes its rows in place.
+    let ranges = partition::row_ranges(n, threads, MC);
+    partition::par_rows(out, n, m, &ranges, |lo, hi, part| rows(lo, hi, part));
 }
 
 impl Backend for SimdBackend {
@@ -729,7 +724,7 @@ mod tests {
             let b = sample(k * m, (k * 17 + m) as u32);
             for backend in modes() {
                 for threads in [1usize, 2, 4] {
-                    let par = Parallelism::with_threads(threads);
+                    let par = Parallelism::pinned(threads);
                     let mut want = vec![0.0f32; n * m];
                     ReferenceBackend.matmul(&a, &b, n, k, m, &par, &mut want);
                     let mut got = vec![0.0f32; n * m];

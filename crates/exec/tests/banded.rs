@@ -45,7 +45,7 @@ fn parallel_aggregation_bit_identical_to_serial() {
     let serial = banded_aggregate_serial(&band, &x, dim, &weights);
     for threads in [1usize, 2, 4, 8] {
         for chunk in [band.window(), 4 * band.window(), band.len().max(1)] {
-            let par = Parallelism::with_threads(threads).with_chunk_size(chunk);
+            let par = Parallelism::pinned(threads).with_chunk_size(chunk);
             let got = banded_aggregate(&band, &x, dim, &weights, &par);
             assert_eq!(serial.len(), got.len());
             for (a, b) in serial.iter().zip(&got) {
@@ -69,7 +69,7 @@ fn weight_grad_bit_identical_to_serial() {
         .map_or(0, |m| m + 1);
     let serial = banded_weight_grad_serial(&band, &x, &d_out, dim, edges);
     for threads in [1usize, 3, 8] {
-        let par = Parallelism::with_threads(threads).with_chunk_size(5);
+        let par = Parallelism::pinned(threads).with_chunk_size(5);
         let got = banded_weight_grad(&band, &x, &d_out, dim, edges, &par);
         for (a, b) in serial.iter().zip(&got) {
             assert_eq!(a.to_bits(), b.to_bits());

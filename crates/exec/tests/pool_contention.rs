@@ -1,0 +1,56 @@
+//! Concurrency stress for [`BufferPool`]: the freelist and its telemetry
+//! must stay coherent under simultaneous acquire/release from the thread
+//! counts the intra-op GEMM actually runs.
+//!
+//! Lives in its own integration-test binary (= its own process) so the
+//! global `mega_obs` state exercised by `pool_telemetry.rs` cannot
+//! interleave with the counter asserts here.
+
+use mega_exec::BufferPool;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn concurrent_acquire_release_keeps_counters_consistent() {
+    const THREADS: usize = 4;
+    const CYCLES: usize = 500;
+    let pool = Arc::new(BufferPool::new());
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            s.spawn(move || {
+                for i in 0..CYCLES {
+                    // Four size classes, phase-shifted per thread so threads
+                    // contend on the same classes out of step.
+                    let len = 16usize << ((t + i) % 4);
+                    let mut buf = pool.acquire(len);
+                    assert_eq!(buf.len(), len);
+                    // Zeroing is the pool's visibility contract: a dirty
+                    // recycled buffer here would mean one thread observed
+                    // another's released contents.
+                    assert!(
+                        buf.iter().all(|&v| v == 0.0),
+                        "thread {t} cycle {i}: recycled buffer not zeroed"
+                    );
+                    buf.iter_mut().for_each(|v| *v = t as f32 + 1.0);
+                    pool.release(buf);
+                }
+            });
+        }
+    });
+    // Every acquire was exactly one hit or one miss — no drops, no double
+    // counts under contention.
+    assert_eq!(pool.hits() + pool.misses(), (THREADS * CYCLES) as u64);
+    // Releases beyond the per-class cap are dropped, so the resident set
+    // stays bounded by classes-in-use × cap.
+    assert!(pool.pooled() <= 4 * BufferPool::MAX_PER_CLASS);
+    // Steady state: with at most THREADS buffers checked out per class at
+    // any instant, the freelist warms up and almost every acquire after the
+    // first few cycles is a hit.
+    assert!(
+        pool.hits() >= (THREADS * (CYCLES - 2 * THREADS)) as u64,
+        "freelist failed to warm up: {} hits / {} misses",
+        pool.hits(),
+        pool.misses()
+    );
+}

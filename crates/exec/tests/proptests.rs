@@ -66,7 +66,7 @@ proptest! {
         let b: Vec<f32> =
             (0..k * m).map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-2.0f32..2.0) }).collect();
         for threads in [1usize, 4] {
-            let par = Parallelism::with_threads(threads);
+            let par = Parallelism::pinned(threads);
             let mut want = vec![0.0f32; n * m];
             ReferenceBackend.matmul(&a, &b, n, k, m, &par, &mut want);
             let mut got = vec![0.0f32; n * m];
@@ -125,7 +125,7 @@ proptest! {
             (0..k * m).map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-2.0f32..2.0) }).collect();
         for backend in simd_modes() {
             for threads in [1usize, 4] {
-                let par = Parallelism::with_threads(threads);
+                let par = Parallelism::pinned(threads);
                 let mut want = vec![0.0f32; n * m];
                 ReferenceBackend.matmul(&a, &b, n, k, m, &par, &mut want);
                 let mut got = vec![0.0f32; n * m];
@@ -177,6 +177,56 @@ proptest! {
                 ReferenceBackend.unary(op, a, &mut want);
                 backend.unary(op, a, &mut got);
                 prop_assert_eq!(bit_vec(&got), bit_vec(&want), "{:?} lanes={}", op, lanes);
+            }
+        }
+    }
+
+    /// Threaded GEMM ≡ serial, bit-for-bit, over random shapes × pinned
+    /// thread counts {1, 2, 4} × every lane implementation, for both the
+    /// plain matmul and the fused `linear_relu` epilogue. The anchor is the
+    /// *serial* scalar kernel (`kernels::matmul`), not another parallel
+    /// path, so this pins the whole threading stack — row partitioning,
+    /// shared packed strips, direct-write fan-out — to the serial fold.
+    /// Shapes reach past the `1 << 17` flop cutoff so the fan-out really
+    /// runs (pinning bypasses the host-core clamp).
+    #[test]
+    fn threaded_gemm_bit_identical_to_serial(
+        (n, k, m) in (1usize..96, 1usize..96, 1usize..96),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> =
+            (0..n * k).map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-2.0f32..2.0) }).collect();
+        let b: Vec<f32> =
+            (0..k * m).map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-2.0f32..2.0) }).collect();
+        let bias: Vec<f32> = (0..m).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut serial = vec![0.0f32; n * m];
+        mega_exec::kernels::matmul(&a, &b, n, k, m, &mut serial);
+        let mut serial_fused = serial.clone();
+        mega_exec::kernels::bias_relu_inplace(&mut serial_fused, &bias, n, m);
+        let mut dense: Vec<(String, Box<dyn Backend>)> = vec![
+            ("reference".into(), Box::new(ReferenceBackend)),
+            ("blocked".into(), Box::new(BlockedBackend)),
+        ];
+        for simd in simd_modes() {
+            dense.push((format!("simd-{}", simd.lane_width()), Box::new(simd)));
+        }
+        for threads in [1usize, 2, 4] {
+            let par = Parallelism::pinned(threads);
+            for (name, backend) in &dense {
+                let mut got = vec![0.0f32; n * m];
+                backend.matmul(&a, &b, n, k, m, &par, &mut got);
+                prop_assert_eq!(
+                    bit_vec(&got), bit_vec(&serial),
+                    "matmul {} threads={}", name, threads
+                );
+                let mut fused = vec![0.0f32; n * m];
+                backend.linear_relu(&a, &b, &bias, n, k, m, &par, &mut fused);
+                prop_assert_eq!(
+                    bit_vec(&fused), bit_vec(&serial_fused),
+                    "linear_relu {} threads={}", name, threads
+                );
             }
         }
     }

@@ -112,7 +112,7 @@ fn equivalence_grid_passes_under_race_check() {
     let grad = banded_weight_grad_serial(&band, &x, &d_out, dim, edges);
     for threads in [2usize, 4, 8] {
         for chunk in [band.window(), 4 * band.window(), band.len().max(1)] {
-            let par = Parallelism::with_threads(threads).with_chunk_size(chunk);
+            let par = Parallelism::pinned(threads).with_chunk_size(chunk);
             let got_fwd = banded_aggregate(&band, &x, dim, &weights, &par);
             let got_grad = banded_weight_grad(&band, &x, &d_out, dim, edges, &par);
             for (a, b) in fwd.iter().zip(&got_fwd) {
@@ -212,6 +212,65 @@ fn overlap_panics_through_the_threaded_path_too() {
         result.is_err(),
         "threaded run over overlapping plan must panic"
     );
+}
+
+#[test]
+fn gemm_overlapping_row_partition_panics() {
+    // Two ranges both claim rows [4, 8): the GEMM shadow writer map must
+    // fire with the same overlap diagnostic as the banded engine — before
+    // any slice of the output is handed to a worker.
+    let (n, k, m) = (16usize, 8usize, 8usize);
+    let a = random_rows(n, k, 51);
+    let b = random_rows(k, m, 52);
+    let mut out = vec![0.0f32; n * m];
+    let msg = panic_message(|| {
+        mega_exec::kernels::matmul_par_with_ranges(&a, &b, n, k, m, &[(0, 8), (4, 16)], &mut out);
+    });
+    assert!(msg.contains("race-check"), "got: {msg}");
+    assert!(msg.contains("owned ranges overlap"), "got: {msg}");
+    assert!(msg.contains("gemm output row"), "got: {msg}");
+}
+
+#[test]
+fn gemm_row_coverage_gap_panics() {
+    let (n, k, m) = (16usize, 8usize, 8usize);
+    let a = random_rows(n, k, 53);
+    let b = random_rows(k, m, 54);
+    let mut out = vec![0.0f32; n * m];
+    // Rows [8, 10) belong to no range.
+    let msg = panic_message(|| {
+        mega_exec::kernels::matmul_par_with_ranges(&a, &b, n, k, m, &[(0, 8), (10, 16)], &mut out);
+    });
+    assert!(msg.contains("never claimed"), "got: {msg}");
+}
+
+#[test]
+fn gemm_equivalence_passes_under_race_check() {
+    // The happy path through the instrumented GEMM partitioner: valid
+    // partitions from every backend stay bit-identical to serial with the
+    // writer map armed — the checked row-ownership proof for the dense
+    // kernels, matching the banded grid above.
+    use mega_exec::{Backend, BlockedBackend, ReferenceBackend, SimdBackend};
+    let (n, k, m) = (96usize, 48usize, 40usize);
+    let a = random_rows(n, k, 55);
+    let b = random_rows(k, m, 56);
+    let mut serial = vec![0.0f32; n * m];
+    mega_exec::kernels::matmul(&a, &b, n, k, m, &mut serial);
+    let backends: [(&str, Box<dyn Backend>); 3] = [
+        ("reference", Box::new(ReferenceBackend)),
+        ("blocked", Box::new(BlockedBackend)),
+        ("simd", Box::new(SimdBackend::new())),
+    ];
+    for (name, backend) in backends {
+        for threads in [2usize, 4] {
+            let par = Parallelism::pinned(threads);
+            let mut got = vec![0.0f32; n * m];
+            backend.matmul(&a, &b, n, k, m, &par, &mut got);
+            for (g, s) in got.iter().zip(&serial) {
+                assert_eq!(g.to_bits(), s.to_bits(), "{name} threads={threads}");
+            }
+        }
+    }
 }
 
 #[test]

@@ -345,7 +345,7 @@ mod tests {
             .collect();
         let serial = Batch::mega(&ss, &schedules);
         for threads in [1, 2, 4, 8] {
-            let par = mega_core::Parallelism::with_threads(threads);
+            let par = mega_core::Parallelism::pinned(threads);
             let p = Batch::mega_with(&ss, &schedules, &par);
             assert_eq!(p.node_feats, serial.node_feats, "threads={threads}");
             assert_eq!(p.graph_of_node, serial.graph_of_node);

@@ -203,7 +203,7 @@ mod tests {
             .map(|s| preprocess(&s.graph, &cfg).unwrap())
             .collect();
         for threads in [1, 2, 4] {
-            let par = Parallelism::with_threads(threads);
+            let par = Parallelism::pinned(threads);
             let fanned = preprocess_samples(&ss, &cfg, &par).unwrap();
             assert_eq!(fanned.len(), serial.len());
             for (a, b) in fanned.iter().zip(&serial) {
@@ -236,7 +236,7 @@ mod tests {
                 edges,
             );
             for threads in [1, 2, 4, 8] {
-                let ex = BandScheduler::new(&sched, Parallelism::with_threads(threads));
+                let ex = BandScheduler::new(&sched, Parallelism::pinned(threads));
                 let fwd = ex.forward(&x, &weights);
                 let bwd = ex.backward_x(&d_out, &weights);
                 let dw = ex.weight_grad(&x, &d_out);
@@ -263,7 +263,7 @@ mod tests {
     fn scheduler_plan_covers_path() {
         let ss = samples();
         let sched = preprocess(&ss[0].graph, &MegaConfig::default()).unwrap();
-        let ex = BandScheduler::new(&sched, Parallelism::with_threads(4).with_chunk_size(3));
+        let ex = BandScheduler::new(&sched, Parallelism::pinned(4).with_chunk_size(3));
         let plan = ex.plan();
         assert_eq!(plan.len(), sched.path().len());
         let covered: usize = plan.chunks().iter().map(|c| c.owned_len()).sum();

@@ -373,7 +373,7 @@ mod tests {
         );
         let serial = a.matmul(&b);
         for threads in [1, 2, 4, 8] {
-            let par = mega_core::Parallelism::with_threads(threads);
+            let par = mega_core::Parallelism::pinned(threads);
             let p = a.matmul_with(&b, &par);
             assert_eq!(p.shape(), serial.shape());
             for (x, y) in p.as_slice().iter().zip(serial.as_slice()) {

@@ -93,7 +93,7 @@ fn parallel_chunked_bit_identical_to_serial() {
 
         for threads in [1usize, 2, 4, 8] {
             for chunk in [omega, 4 * omega, len] {
-                let par = Parallelism::with_threads(threads).with_chunk_size(chunk);
+                let par = Parallelism::pinned(threads).with_chunk_size(chunk);
                 let fwd = banded_aggregate(band, &x, DIM, &weights, &par);
                 assert_eq!(fwd.len(), fwd_serial.len());
                 for (a, b) in fwd.iter().zip(&fwd_serial) {
@@ -125,13 +125,13 @@ fn parallel_traversal_thread_count_invariant() {
     let cfg = MegaConfig::default();
     let reference = traverse_parallel(&g, &cfg, 4, &Parallelism::with_threads(1)).unwrap();
     for threads in [2usize, 4, 8] {
-        let t = traverse_parallel(&g, &cfg, 4, &Parallelism::with_threads(threads)).unwrap();
+        let t = traverse_parallel(&g, &cfg, 4, &Parallelism::pinned(threads)).unwrap();
         assert_eq!(t.path, reference.path, "threads={threads}");
         assert_eq!(t.revisits, reference.revisits);
     }
     // And one agent degenerates to the serial traversal exactly.
     let serial = traverse(&g, &cfg).unwrap();
-    let one = traverse_parallel(&g, &cfg, 1, &Parallelism::with_threads(4)).unwrap();
+    let one = traverse_parallel(&g, &cfg, 1, &Parallelism::pinned(4)).unwrap();
     assert_eq!(one.path, serial.path);
 }
 
@@ -145,7 +145,7 @@ fn tape_parallelism_bit_identical_gradients() {
 
     let run = |threads: usize| {
         let mut tape = mega::tensor::Tape::new();
-        tape.set_parallelism(Parallelism::with_threads(threads));
+        tape.set_parallelism(Parallelism::pinned(threads));
         let va = tape.leaf(a.clone());
         let vb = tape.leaf(b.clone());
         let prod = tape.matmul(va, vb);

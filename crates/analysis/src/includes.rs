@@ -1,0 +1,307 @@
+//! Logical-path resolution for `#[path = "..."]` modules and `include!`.
+//!
+//! Every rule in this crate scopes by workspace-relative path, but `#[path]`
+//! attributes and `include!` macros let source text live somewhere other
+//! than where it compiles: a `#[path = "gen/tables.rs"] mod tables;` in
+//! `crates/exec/src/lib.rs` behaves like `crates/exec/src/tables.rs`, and an
+//! `include!("simd_part.rs")` inside `crates/exec/src/simd.rs` is pasted
+//! verbatim into that file. This module builds the map from a file's
+//! physical path to its logical scope path so rules fire (or don't) as if
+//! the file sat where the module tree puts it. Findings still report the
+//! physical path — that is where the fix goes.
+//!
+//! Resolution rules, matching rustc's for the forms we parse:
+//!
+//! * `include!("p.rs")` — the text is pasted into the includer, so the
+//!   included file inherits the includer's scope path wholesale.
+//! * `#[path = "p.rs"] mod name;` — the file compiles as module `name`
+//!   next to the includer, so its scope is `dir(includer_scope)/name.rs`.
+//! * Both are transitive (an included file's own includes resolve against
+//!   its logical scope), with a visited-set cycle guard that falls back to
+//!   the physical path.
+//!
+//! Directives are read from the **raw** source, not [`crate::scan::strip`]
+//! output, because the target path is itself a string literal and stripping
+//! would erase it. `include_str!`/`include_bytes!` embed data, not code,
+//! and are deliberately ignored, as are `#[path]` attributes inside inline
+//! `mod { ... }` blocks (rustc anchors those differently; the workspace
+//! does not use them).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a file is pulled into the module tree.
+enum Edge {
+    /// `include!("...")`: verbatim paste, scope inherited unchanged.
+    Include,
+    /// `#[path = "..."] mod <name>;`: compiles as `<name>.rs` beside the
+    /// includer's scope path.
+    PathMod(String),
+}
+
+/// Maps each physically-located file that is pulled in via `#[path]` or
+/// `include!` to the workspace-relative path its code logically compiles
+/// at. Files whose logical and physical paths agree are omitted.
+pub fn logical_paths(sources: &[(String, String)]) -> BTreeMap<String, String> {
+    let mut edges: BTreeMap<String, (String, Edge)> = BTreeMap::new();
+    for (rel, source) in sources {
+        for (target, edge) in directives(rel, source) {
+            // First includer wins; `sources` is sorted so ties are
+            // deterministic.
+            edges.entry(target).or_insert((rel.clone(), edge));
+        }
+    }
+    let mut out = BTreeMap::new();
+    for target in edges.keys() {
+        let mut seen = BTreeSet::new();
+        let scope = resolve_scope(target, &edges, &mut seen);
+        if scope != *target {
+            out.insert(target.clone(), scope);
+        }
+    }
+    out
+}
+
+/// Follows include edges up to a file that is not itself included,
+/// rewriting the path per [`Edge`] at each hop. `seen` guards cycles:
+/// revisiting a file aborts the chain at its physical path.
+fn resolve_scope(
+    file: &str,
+    edges: &BTreeMap<String, (String, Edge)>,
+    seen: &mut BTreeSet<String>,
+) -> String {
+    if !seen.insert(file.to_string()) {
+        return file.to_string();
+    }
+    match edges.get(file) {
+        None => file.to_string(),
+        Some((includer, Edge::Include)) => resolve_scope(includer, edges, seen),
+        Some((includer, Edge::PathMod(name))) => {
+            let parent_scope = resolve_scope(includer, edges, seen);
+            match parent_scope.rsplit_once('/') {
+                Some((dir, _)) => format!("{dir}/{name}.rs"),
+                None => format!("{name}.rs"),
+            }
+        }
+    }
+}
+
+/// Extracts every include directive from one file's raw source as
+/// `(resolved workspace-relative target, edge kind)` pairs.
+fn directives(rel: &str, source: &str) -> Vec<(String, Edge)> {
+    let mut out = Vec::new();
+    // A `#[path = "..."]` whose `mod name;` has not been seen yet; survives
+    // intervening attributes, comments, and blank lines.
+    let mut pending_path: Option<String> = None;
+    for raw in source.lines() {
+        let line = raw.trim();
+        if line.starts_with("//") {
+            continue;
+        }
+        if let Some(target) = include_target(line) {
+            out.push((resolve_relative(rel, &target), Edge::Include));
+        }
+        if let Some((lit, rest)) = path_attribute(line) {
+            pending_path = Some(lit);
+            if let Some(name) = mod_name(rest) {
+                let lit = pending_path.take().unwrap();
+                out.push((resolve_relative(rel, &lit), Edge::PathMod(name)));
+            }
+            continue;
+        }
+        if pending_path.is_some() {
+            if let Some(name) = mod_name(line) {
+                let lit = pending_path.take().unwrap();
+                out.push((resolve_relative(rel, &lit), Edge::PathMod(name)));
+            } else if !(line.is_empty() || line.starts_with("#[")) {
+                // Something other than the mod item follows the attribute;
+                // drop it rather than mis-attach.
+                pending_path = None;
+            }
+        }
+    }
+    out
+}
+
+/// Returns the string-literal argument of an `include!` call on this line,
+/// rejecting `include_str!`/`include_bytes!` and non-literal arguments
+/// (`concat!`, paths built at macro time).
+fn include_target(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("include!") {
+        let abs = from + pos;
+        let word_start = abs == 0 || {
+            let c = bytes[abs - 1];
+            !(c.is_ascii_alphanumeric() || c == b'_')
+        };
+        if word_start {
+            return string_literal(
+                line[abs + "include!".len()..]
+                    .trim_start()
+                    .strip_prefix('(')?,
+            );
+        }
+        from = abs + "include!".len();
+    }
+    None
+}
+
+/// Parses a `#[path = "lit"]` attribute, returning the literal and the
+/// remainder of the line after the closing `]` (which may hold the
+/// `mod name;` itself).
+fn path_attribute(line: &str) -> Option<(String, &str)> {
+    let rest = line.strip_prefix("#[")?.trim_start().strip_prefix("path")?;
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let lit = string_literal(rest)?;
+    let after = &rest[rest.find('"').unwrap_or(0) + lit.len() + 2..];
+    Some((lit, after.trim_start().strip_prefix(']').unwrap_or(after)))
+}
+
+/// Extracts the identifier from a non-inline `mod` item, tolerating
+/// visibility qualifiers: `pub(crate) mod foo;` → `foo`. Inline bodies
+/// (`mod foo { ... }`) are rejected — their `#[path]` semantics differ.
+fn mod_name(line: &str) -> Option<String> {
+    let mut rest = line.trim_start();
+    if let Some(after_pub) = rest.strip_prefix("pub") {
+        rest = after_pub.trim_start();
+        if let Some(after_paren) = rest.strip_prefix('(') {
+            rest = after_paren.split_once(')')?.1.trim_start();
+        }
+    }
+    let rest = rest.strip_prefix("mod")?;
+    let rest = rest.strip_prefix(|c: char| c.is_whitespace())?.trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    let after = rest[name.len()..].trim_start();
+    (!name.is_empty() && after.starts_with(';')).then_some(name)
+}
+
+/// Reads a plain `"..."` literal from the start of `rest` (no raw strings,
+/// no escapes — module paths in practice are plain ASCII literals).
+fn string_literal(rest: &str) -> Option<String> {
+    let body = rest.trim_start().strip_prefix('"')?;
+    let end = body.find('"')?;
+    Some(body[..end].to_string())
+}
+
+/// Joins `lit` onto the directory of `includer_rel`, collapsing `.` and
+/// `..` components textually (workspace-relative paths never escape the
+/// root in practice; a stray leading `..` is dropped).
+fn resolve_relative(includer_rel: &str, lit: &str) -> String {
+    let mut parts: Vec<&str> = includer_rel.split('/').collect();
+    parts.pop();
+    for comp in lit.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            c => parts.push(c),
+        }
+    }
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(sources: &[(&str, &str)]) -> BTreeMap<String, String> {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        logical_paths(&owned)
+    }
+
+    #[test]
+    fn include_inherits_the_includer_scope() {
+        let m = map(&[(
+            "crates/exec/src/simd.rs",
+            "include!(\"gen/simd_part.rs\");\n",
+        )]);
+        assert_eq!(
+            m.get("crates/exec/src/gen/simd_part.rs").unwrap(),
+            "crates/exec/src/simd.rs"
+        );
+    }
+
+    #[test]
+    fn path_mod_compiles_beside_the_includer() {
+        let m = map(&[(
+            "crates/exec/src/lib.rs",
+            "#[path = \"../generated/tables.rs\"]\npub mod tables;\n",
+        )]);
+        assert_eq!(
+            m.get("crates/exec/generated/tables.rs").unwrap(),
+            "crates/exec/src/tables.rs"
+        );
+    }
+
+    #[test]
+    fn same_line_path_mod_and_visibility_qualifiers_parse() {
+        let m = map(&[(
+            "crates/core/src/lib.rs",
+            "#[path = \"impls/fast.rs\"] pub(crate) mod fast;\n",
+        )]);
+        assert_eq!(
+            m.get("crates/core/src/impls/fast.rs").unwrap(),
+            "crates/core/src/fast.rs"
+        );
+    }
+
+    #[test]
+    fn chains_resolve_transitively() {
+        // lib.rs --#[path]--> parts/alpha.rs (as alpha.rs), which
+        // include!s detail.rs: detail inherits alpha's logical scope.
+        let m = map(&[
+            (
+                "crates/exec/src/lib.rs",
+                "#[path = \"parts/alpha.rs\"]\nmod alpha;\n",
+            ),
+            (
+                "crates/exec/src/parts/alpha.rs",
+                "include!(\"detail.rs\");\n",
+            ),
+        ]);
+        assert_eq!(
+            m.get("crates/exec/src/parts/detail.rs").unwrap(),
+            "crates/exec/src/alpha.rs"
+        );
+    }
+
+    #[test]
+    fn cycles_fall_back_to_physical_paths() {
+        let m = map(&[
+            ("a/one.rs", "include!(\"two.rs\");\n"),
+            ("a/two.rs", "include!(\"one.rs\");\n"),
+        ]);
+        // Each resolves through the other and hits the cycle guard; the
+        // resulting scope equals a physical path either way, so no entry
+        // may claim a scope outside `a/`.
+        for scope in m.values() {
+            assert!(scope.starts_with("a/"), "scope escaped the cycle: {scope}");
+        }
+    }
+
+    #[test]
+    fn data_embeds_and_comments_are_ignored() {
+        let m = map(&[(
+            "crates/exec/src/lib.rs",
+            "// include!(\"ghost.rs\");\nlet s = include_str!(\"data.txt\");\n\
+             let b = include_bytes!(\"blob.bin\");\n",
+        )]);
+        assert!(m.is_empty(), "{m:?}");
+    }
+
+    #[test]
+    fn attribute_not_followed_by_a_mod_item_is_dropped() {
+        let m = map(&[(
+            "crates/exec/src/lib.rs",
+            "#[path = \"x.rs\"]\nfn not_a_mod() {}\nmod later;\n",
+        )]);
+        assert!(m.is_empty(), "{m:?}");
+    }
+}

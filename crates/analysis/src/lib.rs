@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod includes;
 mod pragma;
 mod rules;
 pub mod scan;
@@ -128,13 +129,27 @@ impl fmt::Display for Finding {
 /// `path` (path scoping is part of every rule, so the same text can be
 /// clean at one path and a violation at another).
 pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    lint_source_as(path, path, source)
+}
+
+/// Lints one file's source text with rule scoping decided by `scope_path`
+/// while findings (and pragma suppressions) stay anchored at the physical
+/// `path`. This is how `#[path = "..."]` modules and `include!`d files are
+/// judged by where their code *compiles* — e.g. a fragment `include!`d into
+/// the SIMD backend inherits its `unsafe` exemption — while the report
+/// still points at the file to edit.
+pub fn lint_source_as(path: &str, scope_path: &str, source: &str) -> Vec<Finding> {
     let lines = scan::strip(source);
     let (suppressions, mut findings) = pragma::collect(path, &lines);
     let mut raw = Vec::new();
-    rules::run(path, &lines, &mut raw);
+    rules::run(scope_path, &lines, &mut raw);
     findings.extend(
         raw.into_iter()
-            .filter(|f| !suppressions.covers(f.line, f.rule)),
+            .filter(|f| !suppressions.covers(f.line, f.rule))
+            .map(|mut f| {
+                f.file = path.to_string();
+                f
+            }),
     );
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
@@ -143,17 +158,27 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
 /// Lints every Rust source under `root` (skipping `target/`, `shims/`,
 /// fixture trees, and hidden directories). Returns the number of files
 /// checked plus all findings, sorted by file then line.
+///
+/// A pre-pass resolves `#[path = "..."]` modules and `include!` targets so
+/// each file is scoped at the path its code logically compiles at (see
+/// [`lint_source_as`]); files outside the module tree's physical layout are
+/// therefore judged by their includer's location, not their own.
 pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
     let files = walk::rust_sources(root)?;
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let source = std::fs::read_to_string(file)?;
-        findings.extend(lint_source(&rel, &source));
+        sources.push((rel, std::fs::read_to_string(file)?));
+    }
+    let logical = includes::logical_paths(&sources);
+    let mut findings = Vec::new();
+    for (rel, source) in &sources {
+        let scope = logical.get(rel).map(String::as_str).unwrap_or(rel);
+        findings.extend(lint_source_as(rel, scope, source));
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok((files.len(), findings))
@@ -205,5 +230,57 @@ mod tests {
         assert_eq!(away.len(), 1);
         assert_eq!(away[0].rule, Rule::UnsafeScope);
         assert!(lint_source("crates/exec/src/simd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_source_as_scopes_logically_but_reports_physically() {
+        let src = "// SAFETY: trusted\nunsafe { body() }\n";
+        let as_simd = lint_source_as(
+            "crates/exec/src/simd_part.rs",
+            "crates/exec/src/simd.rs",
+            src,
+        );
+        assert!(as_simd.is_empty(), "{as_simd:?}");
+        let as_core = lint_source_as("crates/exec/src/simd_part.rs", "crates/core/src/a.rs", src);
+        assert_eq!(as_core.len(), 1);
+        assert_eq!(as_core[0].rule, Rule::UnsafeScope);
+        assert_eq!(as_core[0].file, "crates/exec/src/simd_part.rs");
+    }
+
+    #[test]
+    fn workspace_scoping_follows_path_attributes_and_includes() {
+        let root = std::env::temp_dir().join(format!("mega-lint-includes-{}", std::process::id()));
+        let exec = root.join("crates/exec/src");
+        let core = root.join("crates/core");
+        std::fs::create_dir_all(&exec).unwrap();
+        std::fs::create_dir_all(core.join("src")).unwrap();
+        std::fs::create_dir_all(core.join("extra")).unwrap();
+        // A fragment include!d into the one sanctioned unsafe file must
+        // inherit its exemption instead of firing unsafe-scope.
+        std::fs::write(exec.join("simd.rs"), "include!(\"simd_part.rs\");\n").unwrap();
+        std::fs::write(
+            exec.join("simd_part.rs"),
+            "// SAFETY: lanes bounds-checked by caller\nunsafe { go() }\n",
+        )
+        .unwrap();
+        // A #[path] module physically outside core's src/ tree compiles
+        // inside it, so order-sensitive rules must still apply there —
+        // reported at the physical path, where the fix goes.
+        std::fs::write(
+            core.join("src/lib.rs"),
+            "#[path = \"../extra/impl.rs\"]\nmod imp;\n",
+        )
+        .unwrap();
+        std::fs::write(
+            core.join("extra/impl.rs"),
+            "use std::collections::HashMap;\n",
+        )
+        .unwrap();
+        let (checked, findings) = lint_workspace(&root).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(checked, 4);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::UnorderedCollection);
+        assert_eq!(findings[0].file, "crates/core/extra/impl.rs");
     }
 }

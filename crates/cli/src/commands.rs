@@ -208,7 +208,10 @@ pub fn train(args: &Args) -> Result<(), String> {
     let backend_name = args.get("backend").unwrap_or("reference");
     let mut sim: Option<std::sync::Arc<mega_gpu_sim::SimBackend>> = None;
     let unknown = |name: &str| {
-        format!("unknown backend `{name}` (reference | blocked | simd | sim | sim:<inner>)")
+        format!(
+            "unknown backend `{name}` (reference | blocked | simd | sim | sim:<inner> | \
+             profiled | profiled:<inner>)"
+        )
     };
     let backend: std::sync::Arc<dyn mega_exec::Backend> = match backend_name {
         name if name == "sim" || name.starts_with("sim:") => {
@@ -220,6 +223,13 @@ pub fn train(args: &Args) -> Result<(), String> {
             ));
             sim = Some(s.clone());
             s
+        }
+        // `profiled` decorates another backend with per-kernel
+        // FLOP/byte/time attribution (surfaced by `mega report`).
+        name if name.starts_with("profiled:") => {
+            let inner_name = name.strip_prefix("profiled:").unwrap_or("reference");
+            let inner = mega_exec::backend_by_name(inner_name).ok_or_else(|| unknown(name))?;
+            std::sync::Arc::new(mega_exec::ProfiledBackend::new(inner))
         }
         name => mega_exec::backend_by_name(name).ok_or_else(|| unknown(name))?,
     };

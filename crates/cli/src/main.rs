@@ -10,6 +10,7 @@
 
 mod args;
 mod commands;
+mod report;
 
 use args::Args;
 use mega_obs::{data, error};
@@ -34,11 +35,15 @@ COMMANDS:
         --dataset NAME        zinc | aqsol | csl | cycles (default zinc)
         --model NAME          gcn | gt | gat (default gcn)
         --engine NAME         dgl | mega (default mega)
-        --backend NAME        kernel backend: reference | blocked | simd | sim[:inner]
+        --backend NAME        kernel backend: reference | blocked | simd |
+                              sim[:inner] | profiled[:inner]
                               (default reference). All backends are
                               bit-identical; `blocked` uses cache-tiled
                               GEMMs, `sim` wraps reference and prints a
-                              simulated GTX 1080 kernel report after training.
+                              simulated GTX 1080 kernel report after
+                              training, `profiled` wraps another backend
+                              and attributes FLOPs/bytes/time per kernel
+                              into the metrics registry (see `mega report`).
         --epochs N            (default 5)   --batch N   (default 32)
         --hidden N            (default 32)  --lr F      (default 0.005)
         --threads N           CPU worker threads for preprocessing, batching
@@ -56,6 +61,19 @@ COMMANDS:
         --threads N           (default 1)
         --trace-out FILE      write a Chrome-trace JSON of the run
         --metrics-out FILE    write a deterministic metrics snapshot JSON
+    report <snapshot.json>    Render a markdown performance report from a
+                              metrics snapshot: per-kernel roofline table
+                              (from `--backend profiled` runs), buffer-pool
+                              residency, traversal locality, training
+                              health, and spans
+        --baseline FILE       diff against an earlier snapshot, or place a
+                              bench_results/backend_matmul.json sweep on
+                              the GEMM roof
+        --out FILE            write the markdown to FILE instead of stdout
+        --calibration FILE    load roofs from FILE (or save, with --calibrate)
+        --calibrate           measure machine roofs now instead of using
+                              the fixed deterministic reference roofs
+        --calibrate-backend N backend to calibrate on (default simd)
 
 GLOBAL OPTIONS:
     --quiet                   suppress status messages (data output only);
@@ -80,6 +98,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&args),
         "train" => commands::train(&args),
         "profile" => commands::profile(&args),
+        "report" => report::report(&args),
         "help" | "--help" | "-h" => {
             data!("{USAGE}");
             Ok(())

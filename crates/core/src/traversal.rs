@@ -76,6 +76,40 @@ impl Traversal {
     pub fn expansion_factor(&self) -> f64 {
         self.path.len() as f64 / self.working_graph.node_count() as f64
     }
+
+    /// Revisit count per band window: the path chunked into consecutive
+    /// windows of ω positions (the granularity at which the band mask sees
+    /// it), each entry counting the node appearances in that chunk beyond a
+    /// node's global first appearance. Uneven tails keep their own entry.
+    ///
+    /// This is the revisit *placement* signal hotness-driven tiering needs:
+    /// a flat profile means revisits are an Eulerian-walk tax spread over
+    /// the whole band, spikes mean specific band regions re-materialize the
+    /// same nodes and are worth caching.
+    pub fn band_window_revisits(&self) -> Vec<usize> {
+        let w = self.window.max(1);
+        let mut out = vec![0usize; self.path.len().div_ceil(w)];
+        let mut seen = vec![false; self.working_graph.node_count()];
+        for (i, &v) in self.path.iter().enumerate() {
+            if seen[v] {
+                out[i / w] += 1;
+            } else {
+                seen[v] = true;
+            }
+        }
+        out
+    }
+
+    /// Number of path appearances per node id (0 for nodes the walk never
+    /// reached — impossible for finished walks, which visit every node).
+    /// Entries `> 1` are the re-materialized "hot" nodes.
+    pub fn node_hotness(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.working_graph.node_count()];
+        for &v in &self.path {
+            out[v] += 1;
+        }
+        out
+    }
 }
 
 struct State<'g> {
@@ -366,6 +400,20 @@ fn emit_traversal_obs(t: &Traversal) {
     mega_obs::counter_add("core.traversal.covered_edges", t.covered_edges as u64);
     mega_obs::record_value("core.traversal.path_len", t.path.len() as u64);
     mega_obs::record_value("core.traversal.window", t.window as u64);
+    // Revisit placement per band window and node re-materialization counts:
+    // the distributions hotness-driven tiering consumes. Value histograms
+    // are deterministic, so these survive into byte-compared reports.
+    for &r in &t.band_window_revisits() {
+        mega_obs::record_value("core.traversal.band_window_revisits", r as u64);
+    }
+    let mut hot_nodes = 0u64;
+    for &count in &t.node_hotness() {
+        if count > 1 {
+            hot_nodes += 1;
+            mega_obs::record_value("core.traversal.node_hotness", count as u64);
+        }
+    }
+    mega_obs::counter_add("core.traversal.hot_nodes", hot_nodes);
 }
 
 /// Multi-seed objective traversal: `agents` independent walks on contiguous
@@ -716,6 +764,36 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.covered_edges, 5);
+    }
+
+    #[test]
+    fn band_window_revisits_partition_the_revisit_total() {
+        let g = generate::complete(10).unwrap();
+        for w in [1usize, 2, 4] {
+            let t = traverse(&g, &full_cfg(w)).unwrap();
+            let per_window = t.band_window_revisits();
+            assert_eq!(per_window.len(), t.path.len().div_ceil(w));
+            assert_eq!(
+                per_window.iter().sum::<usize>(),
+                t.revisits,
+                "window {w}: per-window revisits must partition the total"
+            );
+        }
+    }
+
+    #[test]
+    fn node_hotness_counts_path_appearances() {
+        let g = fig3a();
+        let t = traverse(&g, &full_cfg(2)).unwrap();
+        let hot = t.node_hotness();
+        assert_eq!(hot.len(), 7);
+        assert_eq!(hot.iter().sum::<usize>(), t.path.len());
+        for (v, &count) in hot.iter().enumerate() {
+            assert_eq!(count, t.path.iter().filter(|&&p| p == v).count());
+        }
+        // Revisits are exactly the appearances beyond each node's first.
+        let beyond_first: usize = hot.iter().map(|&c| c.saturating_sub(1)).sum();
+        assert_eq!(beyond_first, t.revisits);
     }
 
     #[test]

@@ -36,11 +36,13 @@ mod blocked;
 pub mod kernels;
 mod partition;
 mod pool;
+mod profiled;
 mod reference;
 mod simd;
 
 pub use blocked::BlockedBackend;
 pub use pool::BufferPool;
+pub use profiled::{Calibration, ProfiledBackend};
 pub use reference::ReferenceBackend;
 pub use simd::SimdBackend;
 
@@ -246,12 +248,15 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     }
 }
 
-/// Resolves a backend by its CLI name (`reference`, `blocked`, or `simd`).
+/// Resolves a backend by its CLI name (`reference`, `blocked`, `simd`, or
+/// `profiled` — the roofline decorator over the reference backend; the CLI
+/// also accepts `profiled:<inner>` and wraps the named inner backend).
 pub fn backend_by_name(name: &str) -> Option<Arc<dyn Backend>> {
     match name {
         "reference" => Some(Arc::new(ReferenceBackend)),
         "blocked" => Some(Arc::new(BlockedBackend)),
         "simd" => Some(Arc::new(SimdBackend::new())),
+        "profiled" => Some(Arc::new(ProfiledBackend::new(Arc::new(ReferenceBackend)))),
         _ => None,
     }
 }
@@ -265,6 +270,7 @@ mod tests {
         assert_eq!(backend_by_name("reference").unwrap().name(), "reference");
         assert_eq!(backend_by_name("blocked").unwrap().name(), "blocked");
         assert_eq!(backend_by_name("simd").unwrap().name(), "simd");
+        assert_eq!(backend_by_name("profiled").unwrap().name(), "profiled");
         assert!(backend_by_name("cuda").is_none());
     }
 

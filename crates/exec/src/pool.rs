@@ -1,4 +1,5 @@
-//! Size-class freelist of `f32` buffers.
+//! Size-class freelist of `f32` buffers with demand-adaptive caps and
+//! per-class memory telemetry.
 //!
 //! Training builds and drops one autograd tape per batch; every tape node
 //! used to allocate (and free) a fresh `Vec<f32>`. The pool intercepts that
@@ -16,24 +17,83 @@
 //!   issued is fine (that is how fresh allocations enter circulation);
 //!   dropping an acquired buffer instead of releasing it is also fine, the
 //!   pool just loses one reuse candidate.
-//! * Each size class keeps at most [`BufferPool::MAX_PER_CLASS`] buffers;
-//!   beyond that, released buffers are simply dropped, bounding the pool's
-//!   resident memory.
+//! * Each size class keeps at most its **adaptive cap**: the high-water
+//!   mark of concurrently outstanding buffers in that class, clamped to
+//!   `[1, MAX_PER_CLASS]`. The hit/miss telemetry that motivated this (the
+//!   ROADMAP follow-up) showed steady-state training re-acquires exactly as
+//!   many buffers per class as it holds at peak — a miss only happens when
+//!   concurrent demand grows past everything seen before, which is exactly
+//!   the event that raises the high-water mark and with it the cap. So the
+//!   cap tracks measured demand instead of parking `MAX_PER_CLASS` buffers
+//!   a single-threaded trainer can never use.
+//!
+//! While `mega_obs` tracing is enabled the pool also exports per-class
+//! gauges (`exec.pool.class<k>.{resident_bytes, resident_hwm_bytes, cap}`),
+//! the global `exec.pool.hits`/`misses` counters, and a Chrome-trace
+//! counter track of total resident bytes; [`BufferPool::class_stats`]
+//! exposes the same numbers programmatically.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Per-size-class freelist state plus its demand telemetry.
+#[derive(Debug, Default)]
+struct ClassState {
+    parked: Vec<Vec<f32>>,
+    /// Bytes held by `parked` buffers (capacities, not lengths).
+    resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    resident_hwm_bytes: u64,
+    /// Buffers currently checked out of this class (acquired, not yet
+    /// released). Foreign releases can push this below true demand — it
+    /// saturates at zero — which only ever *lowers* the cap, never grows it.
+    outstanding: usize,
+    /// High-water mark of `outstanding`: the measured concurrent demand
+    /// that drives the adaptive cap.
+    outstanding_hwm: usize,
+}
+
+impl ClassState {
+    /// The adaptive retention cap: measured peak demand, at least 1 (so a
+    /// class can always warm up), at most [`BufferPool::MAX_PER_CLASS`].
+    fn cap(&self) -> usize {
+        self.outstanding_hwm.clamp(1, BufferPool::MAX_PER_CLASS)
+    }
+}
+
+/// A point-in-time copy of one size class's telemetry, from
+/// [`BufferPool::class_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolClassStats {
+    /// Size-class index: the class holds buffers of capacity
+    /// `[2^class, 2^(class+1))` elements.
+    pub class: u32,
+    /// Buffers currently parked in the freelist.
+    pub parked: usize,
+    /// Bytes held by parked buffers.
+    pub resident_bytes: u64,
+    /// High-water mark of resident bytes.
+    pub resident_hwm_bytes: u64,
+    /// Buffers currently checked out.
+    pub outstanding: usize,
+    /// High-water mark of concurrently checked-out buffers.
+    pub outstanding_hwm: usize,
+    /// Current adaptive retention cap.
+    pub cap: usize,
+}
+
 /// A thread-safe size-class freelist of `Vec<f32>` buffers.
 #[derive(Debug, Default)]
 pub struct BufferPool {
-    classes: Mutex<BTreeMap<u32, Vec<Vec<f32>>>>,
+    classes: Mutex<BTreeMap<u32, ClassState>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl BufferPool {
-    /// Buffers retained per size class; further releases are dropped.
+    /// Upper bound on buffers retained per size class, whatever the demand
+    /// high-water mark says; further releases are dropped.
     pub const MAX_PER_CLASS: usize = 32;
 
     /// An empty pool.
@@ -54,19 +114,45 @@ impl BufferPool {
         (usize::BITS - 1).saturating_sub(capacity.leading_zeros())
     }
 
+    /// Emits the per-class gauges and the resident-bytes counter track for
+    /// one touched class. `total_resident` is summed under the same lock
+    /// that observed the class, so the track never interleaves stale sums.
+    fn emit_class_telemetry(class: u32, stats: (u64, u64, usize), total_resident: u64) {
+        let (resident, hwm, cap) = stats;
+        mega_obs::gauge_set(
+            &format!("exec.pool.class{class}.resident_bytes"),
+            resident as f64,
+        );
+        mega_obs::gauge_set(
+            &format!("exec.pool.class{class}.resident_hwm_bytes"),
+            hwm as f64,
+        );
+        mega_obs::gauge_set(&format!("exec.pool.class{class}.cap"), cap as f64);
+        mega_obs::trace_counter("exec.pool.resident_bytes", total_resident as f64);
+    }
+
     /// Takes a zeroed buffer of exactly `len` elements, recycling a pooled
     /// allocation when one is available.
     pub fn acquire(&self, len: usize) -> Vec<f32> {
-        let recycled = {
+        let class = Self::class_of_request(len);
+        let obs = mega_obs::enabled();
+        let (recycled, telemetry) = {
             let mut classes = self.classes.lock().expect("buffer pool poisoned");
-            classes
-                .get_mut(&Self::class_of_request(len))
-                .and_then(Vec::pop)
+            let state = classes.entry(class).or_default();
+            state.outstanding += 1;
+            state.outstanding_hwm = state.outstanding_hwm.max(state.outstanding);
+            let recycled = state.parked.pop();
+            if let Some(buf) = &recycled {
+                state.resident_bytes -= 4 * buf.capacity() as u64;
+            }
+            let stats = (state.resident_bytes, state.resident_hwm_bytes, state.cap());
+            let telemetry = obs.then(|| (stats, classes.values().map(|s| s.resident_bytes).sum()));
+            (recycled, telemetry)
         };
-        match recycled {
+        let buf = match recycled {
             Some(mut buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                if mega_obs::enabled() {
+                if obs {
                     mega_obs::counter_add("exec.pool.hits", 1);
                 }
                 buf.clear();
@@ -75,25 +161,36 @@ impl BufferPool {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                if mega_obs::enabled() {
+                if obs {
                     mega_obs::counter_add("exec.pool.misses", 1);
                 }
                 vec![0.0f32; len]
             }
+        };
+        if let Some((stats, total)) = telemetry {
+            Self::emit_class_telemetry(class, stats, total);
         }
+        buf
     }
 
     /// Returns a buffer to the pool for reuse. Zero-capacity buffers and
-    /// overflow beyond the per-class cap are dropped.
+    /// overflow beyond the class's adaptive cap are dropped.
     pub fn release(&self, buf: Vec<f32>) {
-        if buf.capacity() == 0 {
-            return;
-        }
         let class = Self::class_of_capacity(buf.capacity());
+        let obs = mega_obs::enabled();
         let mut classes = self.classes.lock().expect("buffer pool poisoned");
-        let bucket = classes.entry(class).or_default();
-        if bucket.len() < Self::MAX_PER_CLASS {
-            bucket.push(buf);
+        let state = classes.entry(class).or_default();
+        state.outstanding = state.outstanding.saturating_sub(1);
+        if buf.capacity() > 0 && state.parked.len() < state.cap() {
+            state.resident_bytes += 4 * buf.capacity() as u64;
+            state.resident_hwm_bytes = state.resident_hwm_bytes.max(state.resident_bytes);
+            state.parked.push(buf);
+        }
+        if obs {
+            let stats = (state.resident_bytes, state.resident_hwm_bytes, state.cap());
+            let total = classes.values().map(|s| s.resident_bytes).sum();
+            drop(classes);
+            Self::emit_class_telemetry(class, stats, total);
         }
     }
 
@@ -113,8 +210,37 @@ impl BufferPool {
             .lock()
             .expect("buffer pool poisoned")
             .values()
-            .map(Vec::len)
+            .map(|s| s.parked.len())
             .sum()
+    }
+
+    /// Bytes currently parked in the pool, across all classes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.classes
+            .lock()
+            .expect("buffer pool poisoned")
+            .values()
+            .map(|s| s.resident_bytes)
+            .sum()
+    }
+
+    /// Telemetry for every size class the pool has touched, ascending by
+    /// class index.
+    pub fn class_stats(&self) -> Vec<PoolClassStats> {
+        self.classes
+            .lock()
+            .expect("buffer pool poisoned")
+            .iter()
+            .map(|(&class, s)| PoolClassStats {
+                class,
+                parked: s.parked.len(),
+                resident_bytes: s.resident_bytes,
+                resident_hwm_bytes: s.resident_hwm_bytes,
+                outstanding: s.outstanding,
+                outstanding_hwm: s.outstanding_hwm,
+                cap: s.cap(),
+            })
+            .collect()
     }
 }
 
@@ -155,12 +281,70 @@ mod tests {
     }
 
     #[test]
-    fn per_class_cap_bounds_growth() {
+    fn adaptive_cap_follows_demand_high_water_mark() {
         let pool = BufferPool::new();
+        // Foreign releases with no observed demand: the cap floor of 1
+        // keeps exactly one warm buffer, the rest are dropped.
         for _ in 0..(BufferPool::MAX_PER_CLASS + 5) {
             pool.release(vec![0.0; 8]);
         }
-        assert_eq!(pool.pooled(), BufferPool::MAX_PER_CLASS);
+        assert_eq!(pool.pooled(), 1);
+
+        // Raise the demand high-water mark to 3 by holding three buffers of
+        // one class at once; the cap follows.
+        let held: Vec<_> = (0..3).map(|_| pool.acquire(8)).collect();
+        for b in held {
+            pool.release(b);
+        }
+        let stats = pool.class_stats();
+        let class3 = stats
+            .iter()
+            .find(|s| s.class == 3)
+            .expect("class 3 touched");
+        assert_eq!(class3.outstanding_hwm, 3);
+        assert_eq!(class3.cap, 3);
+        assert_eq!(class3.parked, 3, "all three fit under the demand cap");
+        assert_eq!(class3.resident_bytes, 3 * 8 * 4);
+        assert!(class3.resident_hwm_bytes >= class3.resident_bytes);
+
+        // Overflow past the raised cap is still dropped.
+        for _ in 0..10 {
+            pool.release(vec![0.0; 8]);
+        }
+        assert_eq!(pool.pooled(), 3);
+
+        // The cap never exceeds MAX_PER_CLASS however high demand goes.
+        let many: Vec<_> = (0..(BufferPool::MAX_PER_CLASS + 9))
+            .map(|_| pool.acquire(64))
+            .collect();
+        for b in many {
+            pool.release(b);
+        }
+        let stats = pool.class_stats();
+        let class6 = stats
+            .iter()
+            .find(|s| s.class == 6)
+            .expect("class 6 touched");
+        assert_eq!(class6.outstanding_hwm, BufferPool::MAX_PER_CLASS + 9);
+        assert_eq!(class6.cap, BufferPool::MAX_PER_CLASS);
+        assert_eq!(class6.parked, BufferPool::MAX_PER_CLASS);
+    }
+
+    #[test]
+    fn resident_bytes_track_park_and_drain() {
+        let pool = BufferPool::new();
+        let a = pool.acquire(16);
+        let b = pool.acquire(16);
+        assert_eq!(pool.resident_bytes(), 0);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.resident_bytes(), 2 * 16 * 4);
+        let _c = pool.acquire(16);
+        assert_eq!(pool.resident_bytes(), 16 * 4, "a hit drains resident bytes");
+        let stats = pool.class_stats();
+        let class4 = stats.iter().find(|s| s.class == 4).unwrap();
+        assert_eq!(class4.resident_hwm_bytes, 2 * 16 * 4);
+        assert_eq!(class4.outstanding, 1);
     }
 
     #[test]

@@ -297,6 +297,8 @@ impl Trainer {
         // One pool for the whole run: tapes recycle node buffers batch to
         // batch instead of re-allocating.
         let pool = Arc::new(BufferPool::new());
+        // Global step counter for the health monitors and the sentinel dump.
+        let mut step = 0u64;
         for epoch in 1..=self.epochs {
             let _epoch_span = mega_obs::span("epoch");
             mega_obs::counter_add("gnn.train.epochs", 1);
@@ -326,7 +328,8 @@ impl Trainer {
                     model.loss(&mut tape, pred, batch, task)
                 };
                 phases.forward += t_fwd.elapsed().as_secs_f64();
-                loss_sum += tape.value(loss).at(0, 0) as f64;
+                let batch_loss = tape.value(loss).at(0, 0) as f64;
+                loss_sum += batch_loss;
                 let t_bwd = mega_obs::Stopwatch::start();
                 let grads = {
                     let _s = mega_obs::span("backward");
@@ -334,13 +337,33 @@ impl Trainer {
                 };
                 phases.backward += t_bwd.elapsed().as_secs_f64();
                 let t_opt = mega_obs::Stopwatch::start();
-                {
+                let grad_norm = {
                     let _s = mega_obs::span("optimizer");
                     binder.apply(&mut store, &grads);
-                    store.clip_grad_norm(self.grad_clip);
+                    let pre_clip = store.clip_grad_norm(self.grad_clip);
                     opt.step(&mut store);
-                }
+                    pre_clip
+                };
                 phases.optimizer += t_opt.elapsed().as_secs_f64();
+                step += 1;
+                // NaN/Inf sentinel: always on (two float checks per batch).
+                // A non-finite loss or gradient norm poisons every later
+                // step, so fail fast with the full diagnostic picture while
+                // the offending tape is still alive.
+                if !batch_loss.is_finite() || !grad_norm.is_finite() {
+                    Self::abort_nonfinite(epoch, step, batch_loss, grad_norm, &tape);
+                }
+                if mega_obs::enabled() {
+                    mega_obs::record_value(
+                        "gnn.health.loss_milli",
+                        (batch_loss * 1e3).max(0.0) as u64,
+                    );
+                    mega_obs::record_value(
+                        "gnn.health.grad_norm_milli",
+                        (grad_norm as f64 * 1e3).max(0.0) as u64,
+                    );
+                    mega_obs::trace_counter("gnn.health.grad_norm", grad_norm as f64);
+                }
             }
             let train_loss = loss_sum / epoch_batches.len().max(1) as f64;
             let t_eval = mega_obs::Stopwatch::start();
@@ -398,6 +421,29 @@ impl Trainer {
             test_loss,
             test_metric,
         }
+    }
+
+    /// Aborts training on a non-finite loss or gradient norm with a
+    /// diagnostic dump: the offending tape op (where non-finiteness entered
+    /// the forward pass), the epoch/step coordinates, the full metrics
+    /// snapshot, and the flight-recorder ring of recent span events.
+    ///
+    /// Panicking (rather than returning an error) is deliberate: a poisoned
+    /// parameter store has no recovery path mid-run, and the panic payload
+    /// carries the dump to whatever harness drives training.
+    fn abort_nonfinite(epoch: usize, step: u64, loss: f64, grad_norm: f32, tape: &Tape) -> ! {
+        let offender = match tape.first_nonfinite() {
+            Some((idx, kind)) => format!("node #{idx} ({kind})"),
+            None => "not on the tape (entered through optimizer state)".to_string(),
+        };
+        panic!(
+            "non-finite training signal at epoch {epoch} step {step}: \
+             loss={loss}, pre-clip grad norm={grad_norm}\n\
+             offending op: {offender}\n\
+             metrics snapshot:\n{}\n{}",
+            mega_obs::snapshot().to_json(false),
+            mega_obs::render_flight_recorder(),
+        );
     }
 
     /// Evaluates `(loss, metric)` over batches without updating parameters.
@@ -586,6 +632,35 @@ mod tests {
         for w in hist.records.windows(2) {
             assert!(w[1].sim_seconds > w[0].sim_seconds);
         }
+    }
+
+    #[test]
+    fn nan_sentinel_aborts_with_diagnostic_dump() {
+        let ds = zinc(&DatasetSpec::tiny(31));
+        let cfg = tiny_config(&ds, ModelKind::GatedGcn, 1);
+        // An infinite learning rate blows the parameters up after the first
+        // optimizer step, so the second batch's forward pass goes non-finite
+        // — the sentinel must abort with the full diagnostic dump. Run on a
+        // scratch thread to capture the panic payload for inspection.
+        let handle = std::thread::spawn(move || {
+            Trainer::new(EngineChoice::Baseline)
+                .with_epochs(3)
+                .with_batch_size(8)
+                .with_lr(f32::INFINITY)
+                .run(&ds, cfg);
+        });
+        let err = handle.join().expect_err("training must abort, not finish");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("sentinel panics with a formatted dump");
+        assert!(msg.contains("non-finite training signal"), "dump: {msg}");
+        assert!(msg.contains("epoch 1 step"), "dump names the step: {msg}");
+        assert!(
+            msg.contains("offending op: node #"),
+            "dump names the op: {msg}"
+        );
+        assert!(msg.contains("metrics snapshot:"), "dump: {msg}");
+        assert!(msg.contains("flight recorder"), "dump: {msg}");
     }
 
     #[test]

@@ -273,11 +273,11 @@ impl GnnCostModel {
                 let edge_projs = self.spec.proj_per_layer / 3;
                 for _ in 0..edge_projs {
                     let out = p.alloc(topo.n_slots * d * 4);
-                    p.launch_sgemm(edges, weights, out, topo.n_slots, d, d);
+                    p.launch_linear_relu(edges, weights, out, topo.n_slots, d, d);
                 }
                 for _ in edge_projs..self.spec.proj_per_layer {
                     let out = p.alloc(topo.n_nodes * d * 4);
-                    p.launch_sgemm(nodes, weights, out, topo.n_nodes, d, d);
+                    p.launch_linear_relu(nodes, weights, out, topo.n_nodes, d, d);
                 }
                 let edge_elt = self.spec.elementwise_calls / 2;
                 for _ in 0..edge_elt {
@@ -340,11 +340,11 @@ impl GnnCostModel {
                 let edge_projs = self.spec.proj_per_layer / 3;
                 for _ in 0..edge_projs {
                     let out = p.alloc(band_rows * d * 4);
-                    p.launch_sgemm(path_buf, weights, out, band_rows, d, d);
+                    p.launch_linear_relu(path_buf, weights, out, band_rows, d, d);
                 }
                 for _ in edge_projs..self.spec.proj_per_layer {
                     let out = p.alloc(topo.n_nodes * d * 4);
-                    p.launch_sgemm(nodes, weights, out, topo.n_nodes, d, d);
+                    p.launch_linear_relu(nodes, weights, out, topo.n_nodes, d, d);
                 }
                 let edge_elt = self.spec.elementwise_calls / 2;
                 for _ in 0..edge_elt {

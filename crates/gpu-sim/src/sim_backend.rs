@@ -65,6 +65,17 @@ impl SimBackend {
         let buf = p.alloc(elements * 4);
         p.launch_elementwise(buf, elements, flops_per_element);
     }
+
+    /// Records a fused linear+ReLU launch of shape `n × k × m` — one sgemm
+    /// whose bias/ReLU epilogue runs in registers, not a separate
+    /// elementwise pass over the output.
+    fn sim_linear_relu(&self, n: usize, k: usize, m: usize) {
+        let mut p = self.profiler.lock().expect("profiler poisoned");
+        let a = p.alloc(n * k * 4);
+        let b = p.alloc(k * m * 4);
+        let c = p.alloc(n * m * 4);
+        p.launch_linear_relu(a, b, c, n, m, k);
+    }
 }
 
 impl Backend for SimBackend {
@@ -98,9 +109,7 @@ impl Backend for SimBackend {
         out: &mut [f32],
     ) {
         self.inner.linear_relu(x, w, bias, n, k, m, par, out);
-        self.sim_sgemm(n, k, m);
-        // Fused epilogue: one add + one max per output element.
-        self.sim_elementwise(n * m, 2);
+        self.sim_linear_relu(n, k, m);
     }
 
     fn add(&self, a: &[f32], b: &[f32], out: &mut [f32]) {

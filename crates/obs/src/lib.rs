@@ -71,6 +71,19 @@ struct SpanRecord {
     dur_ns: u64,
 }
 
+/// One sample of a counter track, as stored in the registry and emitted as
+/// a Chrome-trace `ph: "C"` counter event.
+#[derive(Debug, Clone)]
+struct CounterSample {
+    name: String,
+    tid: u64,
+    ts_ns: u64,
+    value: f64,
+}
+
+/// Spans retained in the flight-recorder ring (most recent last).
+const FLIGHT_CAPACITY: usize = 128;
+
 #[derive(Debug, Default)]
 struct Registry {
     counters: BTreeMap<String, u64>,
@@ -78,6 +91,14 @@ struct Registry {
     values: BTreeMap<String, Histogram>,
     timings: BTreeMap<String, Histogram>,
     spans: Vec<SpanRecord>,
+    /// Timestamped counter-track samples ([`trace_counter`]); trace-only —
+    /// they carry wall-clock timestamps, so they never enter deterministic
+    /// snapshots.
+    counter_tracks: Vec<CounterSample>,
+    /// Bounded ring of the most recent completed spans — the black box the
+    /// NaN/Inf sentinel dumps when training aborts. Unlike `spans` (which
+    /// grows for the whole run), this stays at [`FLIGHT_CAPACITY`] entries.
+    flight: std::collections::VecDeque<SpanRecord>,
     /// Total enabled-path API calls — used by `benches/obs_overhead.rs` to
     /// bound the disabled-path overhead of an instrumented workload.
     api_calls: u64,
@@ -147,6 +168,27 @@ pub fn gauge_set(name: &str, value: f64) {
     let mut r = registry().lock().expect("obs registry poisoned");
     r.api_calls += 1;
     r.gauges.insert(name.to_string(), value);
+}
+
+/// Records a timestamped sample on the named *counter track* — rendered by
+/// [`trace_json`] as a Chrome-trace `ph: "C"` counter event, so quantities
+/// like pool resident bytes or the gradient norm plot as their own lanes
+/// next to the span events. Trace-only: samples carry wall-clock
+/// timestamps and never appear in snapshots. No-op when disabled.
+pub fn trace_counter(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let tid = thread_id();
+    let mut r = registry().lock().expect("obs registry poisoned");
+    r.api_calls += 1;
+    r.counter_tracks.push(CounterSample {
+        name: name.to_string(),
+        tid,
+        ts_ns,
+        value,
+    });
 }
 
 fn record_hist(timing: bool, name: &str, v: u64) {
@@ -335,14 +377,19 @@ impl Drop for SpanGuard {
         } else {
             format!("{}/{}", inner.prefix, inner.name)
         };
-        let mut r = registry().lock().expect("obs registry poisoned");
-        r.api_calls += 2; // open + close both touch the enabled check
-        r.spans.push(SpanRecord {
+        let record = SpanRecord {
             path,
             tid: thread_id(),
             start_ns: inner.start_ns,
             dur_ns,
-        });
+        };
+        let mut r = registry().lock().expect("obs registry poisoned");
+        r.api_calls += 2; // open + close both touch the enabled check
+        if r.flight.len() == FLIGHT_CAPACITY {
+            r.flight.pop_front();
+        }
+        r.flight.push_back(record.clone());
+        r.spans.push(record);
     }
 }
 
@@ -572,16 +619,19 @@ impl Snapshot {
 }
 
 /// Serializes every completed span in Chrome trace-event JSON (an array of
-/// `"ph": "X"` complete events, loadable in `chrome://tracing` / Perfetto).
+/// `"ph": "X"` complete events plus `"ph": "C"` counter events from
+/// [`trace_counter`], loadable in `chrome://tracing` / Perfetto).
 /// Timestamps are microseconds since the process-wide trace epoch.
 pub fn trace_json() -> String {
     let r = registry().lock().expect("obs registry poisoned");
-    let mut o = String::with_capacity(64 + r.spans.len() * 96);
+    let mut o = String::with_capacity(64 + (r.spans.len() + r.counter_tracks.len()) * 96);
     o.push_str("[\n");
-    for (i, s) in r.spans.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for s in &r.spans {
+        if !first {
             o.push_str(",\n");
         }
+        first = false;
         let name = s.path.rsplit('/').next().unwrap_or(&s.path);
         o.push_str("  {\"name\": ");
         json_escape(name, &mut o);
@@ -596,8 +646,79 @@ pub fn trace_json() -> String {
         json_escape(&s.path, &mut o);
         o.push_str("}}");
     }
+    for c in &r.counter_tracks {
+        if !first {
+            o.push_str(",\n");
+        }
+        first = false;
+        o.push_str("  {\"name\": ");
+        json_escape(&c.name, &mut o);
+        o.push_str(", \"cat\": \"mega\", \"ph\": \"C\", \"pid\": 1, ");
+        let _ = write!(
+            o,
+            "\"tid\": {}, \"ts\": {:.3}, \"args\": {{\"value\": ",
+            c.tid,
+            c.ts_ns as f64 / 1e3
+        );
+        json_f64(c.value, &mut o);
+        o.push_str("}}");
+    }
     o.push_str("\n]\n");
     o
+}
+
+/// One entry of the flight-recorder ring (a recently completed span).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Full `/`-joined span path.
+    pub path: String,
+    /// Sequential id of the recording thread.
+    pub tid: u64,
+    /// Start offset from the trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The flight recorder: the most recent completed spans (oldest first,
+/// at most [`FLIGHT_CAPACITY`](self) entries). This is the bounded black
+/// box the training NaN/Inf sentinel dumps on abort — cheap enough to
+/// keep populated for a whole run, detailed enough to show what the
+/// process was doing when a non-finite value appeared.
+pub fn flight_recorder() -> Vec<FlightEvent> {
+    let r = registry().lock().expect("obs registry poisoned");
+    r.flight
+        .iter()
+        .map(|s| FlightEvent {
+            path: s.path.clone(),
+            tid: s.tid,
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+        })
+        .collect()
+}
+
+/// Renders the flight recorder as one line per event (oldest first), for
+/// inclusion in diagnostic dumps. Empty when instrumentation never ran.
+pub fn render_flight_recorder() -> String {
+    let events = flight_recorder();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder ({} events, most recent last):",
+        events.len()
+    );
+    for e in &events {
+        let _ = writeln!(
+            out,
+            "  t={:>12.3}us +{:>10.3}us tid={} {}",
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+            e.tid,
+            e.path
+        );
+    }
+    out
 }
 
 /// The distinct thread ids that appear in the recorded spans — useful for
@@ -771,6 +892,54 @@ mod tests {
         assert!(t.contains("\"ph\": \"X\""));
         assert!(t.contains("\"alpha\""));
         assert!(t.contains("alpha/beta"));
+        reset();
+    }
+
+    #[test]
+    fn counter_tracks_emit_chrome_counter_events() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        trace_counter("pool.resident", 4096.0);
+        trace_counter("pool.resident", 8192.0);
+        {
+            let _s = span("work");
+        }
+        set_enabled(false);
+        trace_counter("pool.resident", 1.0); // disabled: dropped
+        let t = trace_json();
+        assert_eq!(t.matches("\"ph\": \"C\"").count(), 2);
+        assert_eq!(t.matches("\"ph\": \"X\"").count(), 1);
+        assert!(t.contains("\"value\": 8192.0"));
+        // Counter samples are trace-only: snapshots ignore them.
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        reset();
+    }
+
+    #[test]
+    fn flight_recorder_keeps_a_bounded_recent_window() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        for _ in 0..FLIGHT_CAPACITY + 22 {
+            let _s = span("tick");
+        }
+        {
+            let _s = span("last_thing");
+        }
+        set_enabled(false);
+        let events = flight_recorder();
+        assert_eq!(events.len(), FLIGHT_CAPACITY, "ring must stay bounded");
+        assert_eq!(
+            events.last().map(|e| e.path.as_str()),
+            Some("last_thing"),
+            "most recent span must be retained"
+        );
+        let rendered = render_flight_recorder();
+        assert!(rendered.contains("last_thing"));
+        assert!(rendered.contains("128 events"));
         reset();
     }
 

@@ -76,6 +76,109 @@ fn percentiles_match_sorted_oracle_skewed() {
     }
 }
 
+/// The deterministic sample stream thread `t` records (disjoint ranges per
+/// thread so the union multiset is easy to reproduce serially).
+fn thread_stream(t: u64) -> Vec<u64> {
+    let mut rng = XorShift(t * 7919 + 1);
+    (0..2048).map(|_| rng.next() % 1_000_000).collect()
+}
+
+#[test]
+fn concurrent_private_histograms_merge_deterministically() {
+    const THREADS: u64 = 8;
+    // Each worker records its own stream into a private histogram; the
+    // scheduler decides nothing, because recording is thread-local.
+    let record_all = || -> Vec<Histogram> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut h = Histogram::new();
+                        for v in thread_stream(t) {
+                            h.record(v);
+                        }
+                        h
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    let run_a = record_all();
+    let run_b = record_all();
+    // Ordered merge (thread index order) is identical run to run ...
+    let merge_in_order = |parts: &[Histogram]| {
+        let mut m = Histogram::new();
+        for p in parts {
+            m.merge(p);
+        }
+        m
+    };
+    let merged_a = merge_in_order(&run_a);
+    let merged_b = merge_in_order(&run_b);
+    assert_eq!(merged_a, merged_b, "ordered merge must be deterministic");
+    // ... and equals both the reverse-order merge (commutativity) and a
+    // serial recording of the union stream.
+    let mut reversed = Histogram::new();
+    for p in run_a.iter().rev() {
+        reversed.merge(p);
+    }
+    assert_eq!(merged_a, reversed);
+    let mut unified = Histogram::new();
+    for t in 0..THREADS {
+        for v in thread_stream(t) {
+            unified.record(v);
+        }
+    }
+    assert_eq!(merged_a, unified);
+}
+
+#[test]
+fn percentile_bounds_hold_under_registry_contention() {
+    const THREADS: u64 = 8;
+    // All workers hammer the same named histogram in the global registry
+    // concurrently; the mutex serializes bucket increments, so counts must
+    // be exact and the percentile guarantee must survive any interleaving.
+    mega_obs::reset();
+    mega_obs::set_enabled(true);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for v in thread_stream(t) {
+                    mega_obs::record_value("contended.values", v);
+                }
+            });
+        }
+    });
+    mega_obs::set_enabled(false);
+    let snap = mega_obs::snapshot();
+    let (_, summary) = snap
+        .values
+        .iter()
+        .find(|(n, _)| n == "contended.values")
+        .expect("contended histogram recorded")
+        .clone();
+    let mut union: Vec<u64> = (0..THREADS).flat_map(thread_stream).collect();
+    union.sort_unstable();
+    assert_eq!(
+        summary.count,
+        union.len() as u64,
+        "lost samples under contention"
+    );
+    assert_eq!(summary.sum, union.iter().sum::<u64>());
+    for (q, p) in [
+        (0.50, summary.p50),
+        (0.90, summary.p90),
+        (0.99, summary.p99),
+    ] {
+        let rank = ((q * union.len() as f64).ceil() as usize).clamp(1, union.len());
+        let exact = union[rank - 1];
+        assert!(p >= exact, "q={q}: {p} below exact {exact}");
+        assert!(p <= 2 * exact.max(1), "q={q}: {p} above 2x exact {exact}");
+    }
+    mega_obs::reset();
+}
+
 #[test]
 fn percentiles_exact_on_powers_of_two_and_zero() {
     let mut h = Histogram::new();

@@ -211,6 +211,25 @@ impl Tape {
         &self.nodes[v.0].value
     }
 
+    /// The first node (in recording order) whose value holds a NaN or an
+    /// infinity, as `(node index, op kind name)` — `None` when every value
+    /// on the tape is finite.
+    ///
+    /// Recording order is evaluation order, so the returned node is where
+    /// non-finiteness *entered* the forward pass: everything downstream is
+    /// contaminated by it, everything upstream was still healthy. The
+    /// trainer's NaN/Inf sentinel uses this to name the offending op in its
+    /// diagnostic dump.
+    pub fn first_nonfinite(&self) -> Option<(usize, &'static str)> {
+        self.nodes.iter().enumerate().find_map(|(i, n)| {
+            n.value
+                .as_slice()
+                .iter()
+                .any(|v| !v.is_finite())
+                .then(|| (i, n.op.kind_name()))
+        })
+    }
+
     fn push(&mut self, value: Tensor, op: Op) -> Var {
         if mega_obs::enabled() {
             mega_obs::counter_add("tensor.tape.ops", 1);
@@ -1401,6 +1420,26 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::zeros(2, 2));
         tape.backward(x);
+    }
+
+    #[test]
+    fn first_nonfinite_names_the_entry_point() {
+        let mut tape = Tape::new();
+        let healthy = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(tape.first_nonfinite(), None);
+        // Inf enters through a scale; everything downstream is contaminated
+        // but the scan must name the first offender in recording order.
+        let blown = tape.scale(healthy, f32::INFINITY);
+        let _downstream = tape.relu(blown);
+        let (idx, kind) = tape.first_nonfinite().expect("inf on tape");
+        assert_eq!(idx, 1);
+        assert_eq!(kind, "scale");
+        // NaN is caught too (inf - inf inside an add of opposing infs).
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(1, 1, vec![f32::NAN]));
+        let (idx, kind) = tape.first_nonfinite().expect("nan on tape");
+        assert_eq!((idx, kind), (0, "leaf"));
+        let _ = x;
     }
 
     #[test]

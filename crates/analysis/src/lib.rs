@@ -59,6 +59,12 @@ pub enum Rule {
     ObsRouting,
     /// `HashMap`/`HashSet` in a result-affecting crate's `src/` tree.
     UnorderedCollection,
+    /// A fused composite-kernel `fn` definition (`*linear_relu*`,
+    /// `*axpy*`, `*norm_act*`, ...) outside the audited fusion surface
+    /// (`crates/exec/src/`, the tape planner, the GPU simulator). Fused
+    /// arithmetic must go through the `Backend` trait so its bit-exactness
+    /// proof lives in one reviewed place.
+    FusionScope,
     /// A comment that carries the pragma marker but fails to parse as
     /// `allow(<rule>, reason = "...")`, names an unknown rule, or omits
     /// the reason. Never suppressible.
@@ -67,13 +73,14 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NoFma,
         Rule::FloatReassoc,
         Rule::UnsafeScope,
         Rule::UndocumentedUnsafe,
         Rule::ObsRouting,
         Rule::UnorderedCollection,
+        Rule::FusionScope,
         Rule::BadPragma,
     ];
 
@@ -86,6 +93,7 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::ObsRouting => "obs-routing",
             Rule::UnorderedCollection => "unordered-collection",
+            Rule::FusionScope => "fusion-scope",
             Rule::BadPragma => "bad-pragma",
         }
     }

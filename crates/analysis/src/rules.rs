@@ -52,6 +52,32 @@ const ORDER_SENSITIVE: [&str; 11] = [
     "crates/cli/src/",
 ];
 
+/// The audited fusion surface: the only places allowed to *define* fused
+/// composite kernels. `crates/exec/src/` holds the kernels, backend
+/// drivers, and `Backend` trait defaults; the tape's planner files hold
+/// the recording/dispatch entry points; the GPU simulator models fused
+/// launches without real arithmetic.
+const FUSION_HOMES: [&str; 4] = [
+    "crates/exec/src/",
+    "crates/gpu-sim/src/",
+    "crates/tensor/src/tape.rs",
+    "crates/tensor/src/plan.rs",
+];
+
+/// Name fragments that mark a fused composite kernel: a GEMM with a
+/// folded-in epilogue, a scaled add, or a normalization with a fused
+/// activation. A `fn` whose name carries one of these implements (or
+/// wraps) arithmetic whose bit-exactness proof must live with the audited
+/// kernels, not in model or trainer code.
+const FUSED_KERNEL_FRAGMENTS: [&str; 6] = [
+    "linear_relu",
+    "linear_leaky",
+    "bias_relu",
+    "bias_leaky",
+    "axpy",
+    "norm_act",
+];
+
 /// Runs every rule over the scanned file, appending raw (pre-suppression)
 /// findings.
 pub fn run(path: &str, lines: &[Line], findings: &mut Vec<Finding>) {
@@ -62,6 +88,7 @@ pub fn run(path: &str, lines: &[Line], findings: &mut Vec<Finding>) {
         unsafe_hygiene(path, lineno, idx, lines, findings);
         obs_routing(path, lineno, line, findings);
         unordered_collection(path, lineno, line, findings);
+        fusion_scope(path, lineno, line, findings);
     }
 }
 
@@ -204,6 +231,38 @@ fn obs_routing(path: &str, lineno: usize, line: &Line, findings: &mut Vec<Findin
                 ),
             );
         }
+    }
+}
+
+/// `fusion-scope`: fused composite kernels may be defined only on the
+/// audited fusion surface. Call sites (`backend.axpy(...)`) are free;
+/// the rule fires on `fn` *definitions* whose name carries a fused-kernel
+/// fragment, in result-affecting `src/` trees outside [`FUSION_HOMES`].
+fn fusion_scope(path: &str, lineno: usize, line: &Line, findings: &mut Vec<Finding>) {
+    if !ORDER_SENSITIVE.iter().any(|p| path.starts_with(p))
+        || path.contains("/tests/")
+        || FUSION_HOMES.iter().any(|p| path.starts_with(p))
+    {
+        return;
+    }
+    let mut prev_is_fn = false;
+    for ident in scan::identifiers(&line.code) {
+        if prev_is_fn {
+            if let Some(frag) = FUSED_KERNEL_FRAGMENTS.iter().find(|f| ident.contains(**f)) {
+                emit(
+                    findings,
+                    path,
+                    lineno,
+                    Rule::FusionScope,
+                    format!(
+                        "`fn {ident}` defines a fused composite kernel (`*{frag}*`) outside \
+                         the audited fusion surface (crates/exec, the tape planner, the GPU \
+                         simulator); route fused arithmetic through the `Backend` trait"
+                    ),
+                );
+            }
+        }
+        prev_is_fn = ident == "fn";
     }
 }
 

@@ -1,0 +1,18 @@
+// Fixture for the fusion-scope rule. Seeded violations: ad-hoc fused
+// composite kernel definitions in model code. Call sites never fire.
+fn linear_relu_manual(x: &[f32], w: &[f32], b: &[f32]) -> Vec<f32> {
+    x.iter().map(|v| (v * w[0] + b[0]).max(0.0)).collect()
+}
+pub fn fused_axpy(y: &mut [f32], x: &[f32], k: f32) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += k * xi;
+    }
+}
+fn layer_norm_act_inline() {}
+fn call_sites_are_fine(backend: &dyn Backend) {
+    backend.axpy(&[], 1.0, &[], &mut []);
+    let _ = backend.linear_relu; // mentioning the method is not defining it
+    // a comment saying fn axpy must not fire either
+}
+// mega-lint: allow(fusion-scope, reason = "fixture: pragma silences the rule")
+fn bias_leaky_relu_suppressed() {}

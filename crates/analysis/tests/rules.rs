@@ -16,6 +16,7 @@ const UNDOCUMENTED_UNSAFE: &str = include_str!("fixtures/undocumented_unsafe.rs"
 const OBS_ROUTING: &str = include_str!("fixtures/obs_routing.rs");
 const UNORDERED: &str = include_str!("fixtures/unordered_collection.rs");
 const PRAGMAS: &str = include_str!("fixtures/pragmas.rs");
+const FUSION_SCOPE: &str = include_str!("fixtures/fusion_scope.rs");
 const BAD_PRAGMA: &str = include_str!("fixtures/bad_pragma.rs");
 
 /// The seeded lines at which `rule` fired, in order.
@@ -73,6 +74,33 @@ fn unordered_collection_fires_in_result_affecting_crates_only() {
     assert_eq!(lines(&inside, Rule::UnorderedCollection), [2, 3, 5, 5, 7]);
     assert!(lint_source("crates/obs/src/cache.rs", UNORDERED).is_empty());
     assert!(lint_source("crates/core/tests/cache.rs", UNORDERED).is_empty());
+}
+
+#[test]
+fn fusion_scope_fires_outside_the_audited_surface_only() {
+    let inside = lint_source("crates/gnn/src/layers.rs", FUSION_SCOPE);
+    assert_eq!(lines(&inside, Rule::FusionScope), [3, 6, 11]);
+    assert_eq!(
+        inside.len(),
+        3,
+        "call sites, comments, and the pragma-covered fn must not fire: {inside:?}"
+    );
+    // The audited fusion surface is exempt: kernels/backends, the tape
+    // planner files, the GPU simulator — and tests anywhere.
+    for home in [
+        "crates/exec/src/kernels.rs",
+        "crates/tensor/src/tape.rs",
+        "crates/tensor/src/plan.rs",
+        "crates/gpu-sim/src/profiler.rs",
+        "crates/exec/tests/scaling.rs",
+    ] {
+        assert!(
+            lint_source(home, FUSION_SCOPE)
+                .iter()
+                .all(|f| f.rule != Rule::FusionScope),
+            "{home} must be exempt"
+        );
+    }
 }
 
 #[test]

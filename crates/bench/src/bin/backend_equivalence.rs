@@ -1,9 +1,13 @@
-//! Bit-exact backend equivalence check.
+//! Bit-exact backend and planner equivalence check.
 //!
-//! Trains the same fixed-seed model under two execution backends and prints
-//! the loss trajectory as raw `f64` bit patterns. `--backend a,b` selects the
-//! pair (default `reference,reference`); the process exits non-zero when the
-//! trajectories differ, so CI can assert reference ≡ blocked directly.
+//! Trains the same fixed-seed model under a matrix of execution backends
+//! and planner settings and prints the loss trajectory as raw `f64` bit
+//! patterns. `--backend a,b` selects the backends (default
+//! `reference,reference`); `--plan on,off` additionally crosses the tape
+//! planner (fusion + pack caching) against the unfused eager oracle. Every
+//! configuration is compared against the first; the process exits non-zero
+//! when any trajectory differs, so CI can assert reference ≡ blocked and
+//! planned ≡ unplanned directly.
 
 use mega_datasets::{zinc, DatasetSpec};
 use mega_exec::{backend_by_name, Backend};
@@ -11,7 +15,7 @@ use mega_gnn::{EngineChoice, GnnConfig, ModelKind, Trainer, TrainingHistory};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-fn run(engine: EngineChoice, backend: Arc<dyn Backend>) -> TrainingHistory {
+fn run(engine: EngineChoice, backend: Arc<dyn Backend>, plan: bool) -> TrainingHistory {
     let ds = zinc(&DatasetSpec {
         train: 64,
         val: 16,
@@ -26,6 +30,7 @@ fn run(engine: EngineChoice, backend: Arc<dyn Backend>) -> TrainingHistory {
         .with_epochs(3)
         .with_batch_size(8)
         .with_backend(backend)
+        .with_plan(plan)
         .run(&ds, cfg)
 }
 
@@ -54,37 +59,67 @@ fn bits(hist: &TrainingHistory) -> Vec<u64> {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let mut pair = "reference,reference".to_string();
+    let mut backends = "reference,reference".to_string();
+    let mut plans = "on".to_string();
     while let Some(a) = args.next() {
-        if a == "--backend" {
-            pair = args.next().unwrap_or_default();
+        match a.as_str() {
+            "--backend" => backends = args.next().unwrap_or_default(),
+            "--plan" => plans = args.next().unwrap_or_default(),
+            _ => {}
         }
     }
-    let names: Vec<&str> = pair.split(',').collect();
-    let mut trajectories: Vec<(String, Vec<u64>)> = Vec::new();
+    let names: Vec<&str> = backends.split(',').collect();
+    let mut plan_flags = Vec::new();
+    for p in plans.split(',') {
+        match p {
+            "on" => plan_flags.push(true),
+            "off" => plan_flags.push(false),
+            other => {
+                eprintln!("unknown --plan value `{other}` (expected on or off)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // The configuration matrix: every backend crossed with every planner
+    // setting, each trained under both engines.
+    let mut configs: Vec<(String, Arc<dyn Backend>, bool)> = Vec::new();
     for name in &names {
         let Some(backend) = backend_by_name(name) else {
             eprintln!("unknown backend `{name}` (expected reference, blocked, or simd)");
             return ExitCode::FAILURE;
         };
+        for &plan in &plan_flags {
+            let label = format!("{name}[plan={}]", if plan { "on" } else { "off" });
+            configs.push((label, backend.clone(), plan));
+        }
+    }
+    let mut trajectories: Vec<(String, Vec<u64>)> = Vec::new();
+    for (label, backend, plan) in &configs {
         for engine in [EngineChoice::Baseline, EngineChoice::Mega] {
-            let hist = run(engine, backend.clone());
-            print_history(engine.label(), &hist);
-            trajectories.push((format!("{name}/{}", engine.label()), bits(&hist)));
+            let hist = run(engine, backend.clone(), *plan);
+            let full = format!("{label}/{}", engine.label());
+            print_history(&full, &hist);
+            trajectories.push((full, bits(&hist)));
         }
     }
-    // Compare the two backends engine-by-engine (Baseline vs Baseline,
-    // Mega vs Mega) when a pair was requested.
-    if names.len() == 2 {
-        for e in 0..2 {
+    // Every configuration must match the first, engine by engine.
+    let per_config = 2; // Baseline + Mega
+    let mut ok = true;
+    for c in 1..configs.len() {
+        for e in 0..per_config {
             let (ref la, ref a) = trajectories[e];
-            let (ref lb, ref b) = trajectories[2 + e];
+            let (ref lb, ref b) = trajectories[c * per_config + e];
             if a != b {
-                eprintln!("MISMATCH: {la} differs from {lb}");
-                return ExitCode::FAILURE;
+                eprintln!("MISMATCH: {lb} differs from {la}");
+                ok = false;
+            } else {
+                println!("MATCH: {lb} == {la} (bit-exact)");
             }
-            println!("MATCH: {la} == {lb} (bit-exact)");
         }
     }
-    ExitCode::SUCCESS
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

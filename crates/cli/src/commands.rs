@@ -233,19 +233,25 @@ pub fn train(args: &Args) -> Result<(), String> {
         }
         name => mega_exec::backend_by_name(name).ok_or_else(|| unknown(name))?,
     };
+    // The planner (op fusion + cross-step pack caching) is on by default
+    // and bit-identical to the unfused path; `--no-plan` selects the eager
+    // oracle (e.g. to A/B the planner's wall clock or counters).
+    let plan = !args.has_flag("no-plan");
     let trainer = Trainer::new(engine)
         .with_epochs(args.get_or("epochs", 5usize)?)
         .with_batch_size(args.get_or("batch", 32usize)?)
         .with_lr(args.get_or("lr", 5e-3f32)?)
         .with_parallelism(mega_core::Parallelism::with_threads(threads))
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_plan(plan);
     info!(
-        "training {} on {} with the {} engine ({} threads, {} backend)...",
+        "training {} on {} with the {} engine ({} threads, {} backend, planner {})...",
         kind.label(),
         ds.name,
         engine.label(),
         mega_core::Parallelism::with_threads(threads).effective_threads(),
-        backend_name
+        backend_name,
+        if plan { "on" } else { "off" }
     );
     let instrument = wants_obs(args);
     if instrument {

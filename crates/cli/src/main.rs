@@ -46,6 +46,10 @@ COMMANDS:
                               into the metrics registry (see `mega report`).
         --epochs N            (default 5)   --batch N   (default 32)
         --hidden N            (default 32)  --lr F      (default 0.005)
+        --no-plan             disable the tape planner (op fusion + pack
+                              caching; on by default). Bit-identical either
+                              way — the eager path is the planner's
+                              exactness oracle.
         --threads N           CPU worker threads for preprocessing, batching
                               and tape matmuls; 0 = auto from
                               RAYON_NUM_THREADS or the hardware (default 1).

@@ -266,6 +266,7 @@ fn render(
     );
     let _ = writeln!(o, "- roofs: {roofs_label}");
     render_roofline(&mut o, &snap, cal);
+    render_planner(&mut o, &snap);
     render_pool(&mut o, &snap);
     render_traversal(&mut o, &snap);
     render_health(&mut o, &snap);
@@ -358,6 +359,73 @@ fn render_roofline(o: &mut String, snap: &Snap, cal: &Calibration) {
             eng(bytes / 1e9),
             eng(ai),
             eng(roof_gflops),
+        );
+    }
+}
+
+/// Percentage of `part` in `total`, or `-` for an empty total.
+fn pct(part: u64, total: u64) -> String {
+    if total > 0 {
+        format!("{:.1}%", part as f64 / total as f64 * 100.0)
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Tape-planner telemetry: fusion traffic (`tensor.plan.*`), the
+/// cross-step pack cache (`exec.pack.*`), and chunk-plan reuse
+/// (`core.parallel.plan_cache.*`).
+fn render_planner(o: &mut String, snap: &Snap) {
+    let deferred = snap.counter("tensor.plan.deferred");
+    let pack: Vec<u64> = ["hits", "misses", "invalidations"]
+        .map(|s| snap.counter(&format!("exec.pack.{s}")).unwrap_or(0))
+        .to_vec();
+    let chunk_hits = snap.counter("core.parallel.plan_cache.hits").unwrap_or(0);
+    let chunk_misses = snap.counter("core.parallel.plan_cache.misses").unwrap_or(0);
+    let has_pack = pack.iter().any(|&v| v > 0);
+    let has_chunk = chunk_hits + chunk_misses > 0;
+    if deferred.is_none() && !has_pack && !has_chunk {
+        return;
+    }
+    let _ = writeln!(o, "\n## Planner");
+    let _ = writeln!(o);
+    if let Some(d) = deferred {
+        let flushes = snap.counter("tensor.plan.flushes").unwrap_or(0);
+        let fused = snap.counter("tensor.plan.fused").unwrap_or(0);
+        let elided = snap.counter("tensor.plan.elided").unwrap_or(0);
+        let _ = writeln!(
+            o,
+            "- deferred ops: {d} across {flushes} flushes; {fused} fusions elided {elided} \
+             nodes (fusion hit rate {})",
+            pct(elided, d)
+        );
+        let kinds: Vec<(&str, u64)> = snap
+            .counters
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix("tensor.plan.fused.").map(|kind| (kind, *v)))
+            .collect();
+        if !kinds.is_empty() {
+            let _ = writeln!(o);
+            let _ = writeln!(o, "| fused kernel | rewrites |");
+            let _ = writeln!(o, "|---|---|");
+            for (kind, count) in kinds {
+                let _ = writeln!(o, "| {kind} | {count} |");
+            }
+        }
+    }
+    if has_pack {
+        let (h, m, inv) = (pack[0], pack[1], pack[2]);
+        let _ = writeln!(
+            o,
+            "- pack cache: {h} hits / {m} misses (hit rate {}), {inv} invalidations",
+            pct(h, h + m)
+        );
+    }
+    if has_chunk {
+        let _ = writeln!(
+            o,
+            "- chunk-plan cache: {chunk_hits} hits / {chunk_misses} misses (reuse rate {})",
+            pct(chunk_hits, chunk_hits + chunk_misses)
         );
     }
 }
@@ -621,12 +689,24 @@ mod tests {
     const DET_SNAPSHOT: &str = r#"{
   "deterministic": true,
   "counters": {
+    "core.parallel.plan_cache.hits": 5,
+    "core.parallel.plan_cache.misses": 1,
     "core.traversal.hot_nodes": 3,
+    "exec.pack.hits": 9,
+    "exec.pack.invalidations": 3,
+    "exec.pack.misses": 3,
     "exec.pool.hits": 6,
     "exec.pool.misses": 2,
     "exec.profiled.matmul.bytes": 3145728,
     "exec.profiled.matmul.calls": 4,
-    "exec.profiled.matmul.flops": 536870912
+    "exec.profiled.matmul.flops": 536870912,
+    "tensor.plan.deferred": 40,
+    "tensor.plan.elided": 10,
+    "tensor.plan.flushes": 6,
+    "tensor.plan.fused": 6,
+    "tensor.plan.fused.axpy": 1,
+    "tensor.plan.fused.layer_norm_act": 1,
+    "tensor.plan.fused.linear_relu": 4
   },
   "gauges": {
     "exec.pool.class6.cap": 3.0,
@@ -664,6 +744,34 @@ mod tests {
         assert!(a.contains("band_window_revisits"), "{a}");
         assert!(a.contains("| loss | 8 | 1.200 |"), "{a}");
         assert!(a.contains("| train/epoch | 2 | - |"), "{a}");
+    }
+
+    #[test]
+    fn planner_section_summarizes_fusion_and_caches() {
+        let cal = Calibration::reference();
+        let md = render("m.json", DET_SNAPSHOT, None, &cal, "r").unwrap();
+        assert!(md.contains("## Planner"), "{md}");
+        assert!(
+            md.contains(
+                "- deferred ops: 40 across 6 flushes; 6 fusions elided 10 nodes \
+                 (fusion hit rate 25.0%)"
+            ),
+            "{md}"
+        );
+        assert!(md.contains("| linear_relu | 4 |"), "{md}");
+        assert!(md.contains("| axpy | 1 |"), "{md}");
+        assert!(
+            md.contains("- pack cache: 9 hits / 3 misses (hit rate 75.0%), 3 invalidations"),
+            "{md}"
+        );
+        assert!(
+            md.contains("- chunk-plan cache: 5 hits / 1 misses (reuse rate 83.3%)"),
+            "{md}"
+        );
+        // A snapshot with no planner counters renders no Planner section.
+        let bare = r#"{"counters": {"x": 1}}"#;
+        let md = render("m.json", bare, None, &cal, "r").unwrap();
+        assert!(!md.contains("## Planner"), "{md}");
     }
 
     #[test]

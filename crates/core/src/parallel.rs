@@ -22,9 +22,10 @@
 //! pre-allocated vector, so scheduling order cannot affect output order.
 
 use crate::band::BandMask;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The host's available parallelism, resolved once per process.
 ///
@@ -131,6 +132,20 @@ impl Parallelism {
         // overlap stays a small fraction of each chunk.
         (len / (4 * workers).max(1)).max(window).max(1)
     }
+}
+
+/// Upper bound on memoized plans: a training run touches a handful of
+/// (band, parallelism) geometries, so the cap only matters to pathological
+/// callers sweeping lengths — beyond it, plans are built but not retained.
+const PLAN_CACHE_CAP: usize = 1024;
+
+/// Memo key for a cached plan: `(band length, window, chunk size)`.
+type PlanKey = (usize, usize, usize);
+
+/// The process-wide plan memo behind [`ChunkPlan::for_band_cached`].
+fn plan_cache() -> &'static Mutex<BTreeMap<PlanKey, Arc<ChunkPlan>>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<PlanKey, Arc<ChunkPlan>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// One segment of the path: owns rows `[start, end)` exclusively and reads
@@ -372,6 +387,42 @@ impl ChunkPlan {
         plan
     }
 
+    /// The memoized twin of [`ChunkPlan::for_band`]: plans are pure
+    /// functions of `(len, window, chunk_size)`, so identical band/
+    /// parallelism pairs across steps and epochs share one `Arc`'d plan
+    /// instead of rebuilding it per call. Hits and misses are counted as
+    /// `core.parallel.plan_cache.{hits,misses}`; the cache is process-wide
+    /// and never invalidated (the key fully determines the value).
+    pub fn for_band_cached(band: &BandMask, par: &Parallelism) -> Arc<ChunkPlan> {
+        let key = (
+            band.len(),
+            band.window(),
+            par.effective_chunk_size(band.len(), band.window()),
+        );
+        let cache = plan_cache();
+        {
+            let guard = cache.lock().expect("plan cache poisoned");
+            if let Some(plan) = guard.get(&key) {
+                if mega_obs::enabled() {
+                    mega_obs::counter_add("core.parallel.plan_cache.hits", 1);
+                }
+                return plan.clone();
+            }
+        }
+        // Build outside the lock: for_band validates and records its own
+        // construction counters, and a racing duplicate build is harmless
+        // (both produce the identical plan; last insert wins).
+        let plan = Arc::new(Self::for_band(band, par));
+        if mega_obs::enabled() {
+            mega_obs::counter_add("core.parallel.plan_cache.misses", 1);
+        }
+        let mut guard = cache.lock().expect("plan cache poisoned");
+        if guard.len() < PLAN_CACHE_CAP {
+            guard.insert(key, plan.clone());
+        }
+        plan
+    }
+
     /// Path length covered.
     pub fn len(&self) -> usize {
         self.len
@@ -599,6 +650,22 @@ mod tests {
         assert!(ChunkPlan::from_raw_parts(3, 1, Vec::new())
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn for_band_cached_shares_one_plan_per_geometry() {
+        let g = mega_graph::generate::cycle(12).unwrap();
+        let path: Vec<usize> = (0..12).collect();
+        let band = BandMask::build(&g, &path, 2);
+        let par = Parallelism::pinned(2).with_chunk_size(5);
+        let a = ChunkPlan::for_band_cached(&band, &par);
+        let b = ChunkPlan::for_band_cached(&band, &par);
+        assert!(Arc::ptr_eq(&a, &b), "same geometry must share one plan");
+        assert_eq!(*a, ChunkPlan::for_band(&band, &par));
+        // A different chunking is a different plan, not a stale hit.
+        let c = ChunkPlan::for_band_cached(&band, &Parallelism::pinned(2).with_chunk_size(3));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*c, ChunkPlan::build(12, 2, 3));
     }
 
     #[test]

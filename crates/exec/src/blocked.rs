@@ -21,7 +21,7 @@
 
 use crate::kernels;
 use crate::partition;
-use crate::Backend;
+use crate::{Backend, PackedB};
 use mega_core::parallel::Parallelism;
 
 /// Output rows per tile: one tile of rows shares each cache-resident strip
@@ -116,9 +116,47 @@ fn gemm_blocked_rows(
     }
 }
 
+/// Blocked GEMM driver over an already-packed `b` (see [`pack_strips`]):
+/// the same serial cutoff and `MC`-aligned row split as the packing entry
+/// point, minus the O(k·m) pack. This is what the pack-cache fast path
+/// calls — a cached strip buffer skips straight to the multiply-adds.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_blocked_packed(
+    a: &[f32],
+    packed: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    par: &Parallelism,
+    bias_relu: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), n * k, "a must be {n}x{k}");
+    assert_eq!(
+        packed.len(),
+        m.div_ceil(NR) * k * NR,
+        "packed b must hold {k}x{m} in NR strips"
+    );
+    assert_eq!(out.len(), n * m, "out must be {n}x{m}");
+    if let Some(bias) = bias_relu {
+        assert_eq!(bias.len(), m, "bias must be 1x{m}");
+    }
+    let threads = par.effective_threads().min(n.max(1));
+    if threads <= 1 || n * k * m < kernels::PAR_MATMUL_MIN_FLOPS {
+        return gemm_blocked_rows(a, packed, k, m, 0, n, bias_relu, out);
+    }
+    // MC-aligned boundaries keep whole row tiles on one worker; each worker
+    // streams the shared packed strips and writes its rows in place.
+    let ranges = partition::row_ranges(n, threads, MC);
+    partition::par_rows(out, n, m, &ranges, |lo, hi, rows| {
+        gemm_blocked_rows(a, packed, k, m, lo, hi, bias_relu, rows);
+    });
+}
+
 /// Full blocked GEMM with the same shape checks, serial cutoff, and
 /// row-range parallel split as [`kernels::matmul_par`] — only the per-range
-/// loop order differs.
+/// loop order differs. Packs `b` fresh; callers holding a cached pack go
+/// through [`gemm_blocked_packed`] directly.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     a: &[f32],
@@ -130,23 +168,9 @@ fn gemm_blocked(
     bias_relu: Option<&[f32]>,
     out: &mut [f32],
 ) {
-    assert_eq!(a.len(), n * k, "a must be {n}x{k}");
     assert_eq!(b.len(), k * m, "b must be {k}x{m}");
-    assert_eq!(out.len(), n * m, "out must be {n}x{m}");
-    if let Some(bias) = bias_relu {
-        assert_eq!(bias.len(), m, "bias must be 1x{m}");
-    }
     let packed = pack_strips(b, k, m);
-    let threads = par.effective_threads().min(n.max(1));
-    if threads <= 1 || n * k * m < kernels::PAR_MATMUL_MIN_FLOPS {
-        return gemm_blocked_rows(a, &packed, k, m, 0, n, bias_relu, out);
-    }
-    // MC-aligned boundaries keep whole row tiles on one worker; each worker
-    // streams the shared packed strips and writes its rows in place.
-    let ranges = partition::row_ranges(n, threads, MC);
-    partition::par_rows(out, n, m, &ranges, |lo, hi, rows| {
-        gemm_blocked_rows(a, &packed, k, m, lo, hi, bias_relu, rows);
-    });
+    gemm_blocked_packed(a, &packed, n, k, m, par, bias_relu, out);
 }
 
 /// Cache-tiled GEMM + fused bias-ReLU; everything else stays on the
@@ -184,6 +208,38 @@ impl Backend for BlockedBackend {
         out: &mut [f32],
     ) {
         gemm_blocked(x, w, n, k, m, par, Some(bias), out);
+    }
+
+    fn supports_prepack(&self) -> bool {
+        true
+    }
+
+    fn prepack(&self, b: &[f32], k: usize, m: usize) -> Option<PackedB> {
+        assert_eq!(b.len(), k * m, "b must be {k}x{m}");
+        Some(PackedB::new(pack_strips(b, k, m), k, m))
+    }
+
+    fn matmul_packed(
+        &self,
+        a: &[f32],
+        packed: &PackedB,
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        gemm_blocked_packed(a, &packed.data, n, packed.k, packed.m, par, None, out);
+    }
+
+    fn linear_relu_packed(
+        &self,
+        x: &[f32],
+        packed: &PackedB,
+        bias: &[f32],
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        gemm_blocked_packed(x, &packed.data, n, packed.k, packed.m, par, Some(bias), out);
     }
 }
 
@@ -230,6 +286,30 @@ mod tests {
                     assert_eq!(x.to_bits(), y.to_bits(), "{n}x{k}x{m} threads={threads}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn packed_entry_points_bit_identical_to_fresh_pack() {
+        let (n, k, m) = (33usize, 64usize, 40usize);
+        let a = sample(n * k, 7);
+        let b = sample(k * m, 8);
+        let bias = sample(m, 9);
+        let backend = BlockedBackend;
+        let packed = backend.prepack(&b, k, m).expect("blocked backend packs");
+        assert_eq!((packed.k(), packed.m()), (k, m));
+        for threads in [1usize, 3] {
+            let par = Parallelism::pinned(threads);
+            let mut fresh = vec![0.0f32; n * m];
+            backend.matmul(&a, &b, n, k, m, &par, &mut fresh);
+            let mut cached = vec![0.0f32; n * m];
+            backend.matmul_packed(&a, &packed, n, &par, &mut cached);
+            assert_eq!(fresh, cached, "matmul threads={threads}");
+            let mut fresh = vec![0.0f32; n * m];
+            backend.linear_relu(&a, &b, &bias, n, k, m, &par, &mut fresh);
+            let mut cached = vec![0.0f32; n * m];
+            backend.linear_relu_packed(&a, &packed, &bias, n, &par, &mut cached);
+            assert_eq!(fresh, cached, "linear_relu threads={threads}");
         }
     }
 

@@ -34,6 +34,7 @@
 
 mod blocked;
 pub mod kernels;
+mod pack;
 mod partition;
 mod pool;
 mod profiled;
@@ -41,6 +42,7 @@ mod reference;
 mod simd;
 
 pub use blocked::BlockedBackend;
+pub use pack::{Orientation, PackCache, PackedB};
 pub use pool::BufferPool;
 pub use profiled::{Calibration, ProfiledBackend};
 pub use reference::ReferenceBackend;
@@ -113,6 +115,85 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
         kernels::bias_relu_inplace(out, bias, n, m);
     }
 
+    /// Whether [`Backend::prepack`] produces packs (and therefore whether
+    /// [`Backend::matmul_packed`] / [`Backend::linear_relu_packed`] are
+    /// usable). Callers that must do preparatory work *before* packing —
+    /// e.g. transposing `b` for a gradient GEMM — should check this first
+    /// so the preparation is not wasted on a backend that declines to pack.
+    fn supports_prepack(&self) -> bool {
+        false
+    }
+
+    /// Packs a `k × m` GEMM `b` operand into this backend's internal strip
+    /// layout, or `None` when the backend has no packed representation (the
+    /// default). A returned pack is a pure copy — no arithmetic — and is
+    /// only meaningful to the backend that produced it, consumed via
+    /// [`Backend::matmul_packed`] / [`Backend::linear_relu_packed`].
+    fn prepack(&self, b: &[f32], k: usize, m: usize) -> Option<PackedB> {
+        let _ = (b, k, m);
+        None
+    }
+
+    /// [`Backend::matmul`] with `b` already packed by this backend's
+    /// [`Backend::prepack`]. Backends that return `Some` from `prepack`
+    /// must override this; the default cannot consume any pack.
+    fn matmul_packed(
+        &self,
+        a: &[f32],
+        packed: &PackedB,
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        let _ = (a, packed, n, par, out);
+        panic!(
+            "backend `{}` produced a pack it cannot consume: prepack and \
+             matmul_packed must be overridden together",
+            self.name()
+        );
+    }
+
+    /// [`Backend::linear_relu`] with `w` already packed by this backend's
+    /// [`Backend::prepack`]. Same override contract as
+    /// [`Backend::matmul_packed`].
+    fn linear_relu_packed(
+        &self,
+        x: &[f32],
+        packed: &PackedB,
+        bias: &[f32],
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        let _ = (x, packed, bias, n, par, out);
+        panic!(
+            "backend `{}` produced a pack it cannot consume: prepack and \
+             linear_relu_packed must be overridden together",
+            self.name()
+        );
+    }
+
+    /// Fused dense layer + LeakyReLU: `out = leaky_relu(x · w + bias)`.
+    ///
+    /// Same arithmetic as `matmul` → add bias row → LeakyReLU (each element
+    /// is rounded at every step; nothing is contracted), one output sweep.
+    #[allow(clippy::too_many_arguments)]
+    fn linear_leaky_relu(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        slope: f32,
+        n: usize,
+        k: usize,
+        m: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        self.matmul(x, w, n, k, m, par, out);
+        kernels::bias_leaky_relu_inplace(out, bias, slope, n, m);
+    }
+
     /// Elementwise `out = a + b`.
     fn add(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
         kernels::add(a, b, out);
@@ -131,6 +212,13 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     /// Elementwise `out = k · a`.
     fn scale(&self, a: &[f32], k: f32, out: &mut [f32]) {
         kernels::scale(a, k, out);
+    }
+
+    /// Fused scale-then-add `out = k · a + b` — the planner's replacement
+    /// for a `scale` feeding a single `add`. Multiply then separately
+    /// rounded add per element, exactly the unfused pair's arithmetic.
+    fn axpy(&self, a: &[f32], k: f32, b: &[f32], out: &mut [f32]) {
+        kernels::axpy(a, k, b, out);
     }
 
     /// Adds a `1 × m` bias row to every row of the `n × m` input.
@@ -213,6 +301,42 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
         out: &mut [f32],
     ) {
         kernels::batch_norm(x, gamma, beta, rows, cols, eps, out);
+    }
+
+    /// Fused [`Backend::layer_norm`] + elementwise activation, applied to
+    /// the normalized output in place — bitwise the unfused pair.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_norm_act(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        rows: usize,
+        cols: usize,
+        eps: f32,
+        act: Unary,
+        out: &mut [f32],
+    ) {
+        self.layer_norm(x, gamma, beta, rows, cols, eps, out);
+        kernels::unary_inplace(act, out);
+    }
+
+    /// Fused [`Backend::batch_norm`] + elementwise activation, applied to
+    /// the normalized output in place — bitwise the unfused pair.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_norm_act(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        rows: usize,
+        cols: usize,
+        eps: f32,
+        act: Unary,
+        out: &mut [f32],
+    ) {
+        self.batch_norm(x, gamma, beta, rows, cols, eps, out);
+        kernels::unary_inplace(act, out);
     }
 
     /// Banded attention aggregation: `out = A·x` with `A` the symmetric

@@ -1,0 +1,209 @@
+//! Cross-step pack cache: packed GEMM operands reused between calls.
+//!
+//! `BlockedBackend` and `SimdBackend` both stream `b` through the
+//! `k × NR` strip layout of [`crate::BlockedBackend`]'s packer. Training
+//! replays the same weight matrices thousands of times, yet every GEMM
+//! call used to repack its `b` from scratch — forward *and* backward
+//! (which additionally re-transposes the weight). The [`PackCache`] keeps
+//! one packed copy per `(parameter id, orientation)` pair alive across
+//! tape runs; the trainer invalidates it at every optimizer step, the one
+//! point where parameter values change.
+//!
+//! Contract: a cached pack is a pure copy of the source matrix
+//! ([`crate::Backend::prepack`] performs no arithmetic), so consuming a
+//! cached strip is bit-identical to packing fresh. Counters
+//! `exec.pack.{hits,misses,invalidations}` count cache traffic only —
+//! a backend that declines to pack (reference) never touches them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A matrix packed into the strip layout of the backend that produced it,
+/// tagged with the logical `k × m` shape it was packed from.
+///
+/// Opaque outside `mega-exec`: only the backend that returned it from
+/// [`crate::Backend::prepack`] knows the layout, and the `*_packed` entry
+/// points assert the shape they are handed matches.
+#[derive(Debug)]
+pub struct PackedB {
+    pub(crate) data: Vec<f32>,
+    pub(crate) k: usize,
+    pub(crate) m: usize,
+}
+
+impl PackedB {
+    /// Wraps a backend's packed buffer with its logical source shape.
+    pub(crate) fn new(data: Vec<f32>, k: usize, m: usize) -> Self {
+        PackedB { data, k, m }
+    }
+
+    /// Rows of the logical (unpacked) matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the logical (unpacked) matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+/// Which matrix a cached pack was built from: the parameter itself (the
+/// forward GEMM's `b`) or its transpose (the backward `dx = g · wᵀ` GEMM's
+/// `b`). Caching the transposed orientation saves the per-call transpose
+/// *and* the per-call pack on the backward hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Orientation {
+    /// Packed from the parameter as stored (`k × m`).
+    Normal,
+    /// Packed from the parameter's transpose (`m × k`).
+    Transposed,
+}
+
+/// Cache of packed `b` operands keyed by `(parameter id, orientation)`.
+///
+/// One cache is shared by every tape of a training run (see
+/// `mega_gnn::Trainer`); `invalidate` must be called whenever parameter
+/// values change — the optimizer step boundary — and clears everything.
+/// Lookups for keys the backend declines to pack (reference backend)
+/// return `None` and leave the counters untouched.
+#[derive(Debug, Default)]
+pub struct PackCache {
+    entries: Mutex<BTreeMap<(u64, Orientation), Arc<PackedB>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PackCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PackCache::default()
+    }
+
+    /// Returns the cached pack for `(key, orientation)`, or builds one via
+    /// `pack` and caches it. `pack` returning `None` means the backend has
+    /// no packed layout; nothing is cached or counted, and the caller falls
+    /// back to the unpacked kernel.
+    pub fn get_or_pack(
+        &self,
+        key: u64,
+        orientation: Orientation,
+        pack: impl FnOnce() -> Option<PackedB>,
+    ) -> Option<Arc<PackedB>> {
+        {
+            let entries = self.entries.lock().expect("pack cache poisoned");
+            if let Some(packed) = entries.get(&(key, orientation)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if mega_obs::enabled() {
+                    mega_obs::counter_add("exec.pack.hits", 1);
+                }
+                return Some(packed.clone());
+            }
+        }
+        // Pack outside the lock: the copy is O(k·m) and other tapes may be
+        // looking up different parameters concurrently.
+        let packed = Arc::new(pack()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if mega_obs::enabled() {
+            mega_obs::counter_add("exec.pack.misses", 1);
+        }
+        let mut entries = self.entries.lock().expect("pack cache poisoned");
+        Some(entries.entry((key, orientation)).or_insert(packed).clone())
+    }
+
+    /// Drops every cached pack. Call at each optimizer step, after the
+    /// parameters have been updated: any strip packed from the old values
+    /// is stale from that point on.
+    pub fn invalidate(&self) {
+        let mut entries = self.entries.lock().expect("pack cache poisoned");
+        if entries.is_empty() {
+            return;
+        }
+        entries.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        if mega_obs::enabled() {
+            mega_obs::counter_add("exec.pack.invalidations", 1);
+        }
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Packs built (and cached) on lookup so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Times a non-empty cache was cleared.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Number of packs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("pack cache poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack(v: &[f32]) -> Option<PackedB> {
+        Some(PackedB::new(v.to_vec(), 1, v.len()))
+    }
+
+    #[test]
+    fn caches_per_key_and_orientation() {
+        let cache = PackCache::new();
+        let a = cache
+            .get_or_pack(7, Orientation::Normal, || pack(&[1.0, 2.0]))
+            .unwrap();
+        let b = cache
+            .get_or_pack(7, Orientation::Normal, || panic!("must hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // The transposed orientation is a distinct entry.
+        let t = cache
+            .get_or_pack(7, Orientation::Transposed, || pack(&[3.0]))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &t));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_clears_and_counts_once() {
+        let cache = PackCache::new();
+        cache.invalidate(); // empty: nothing to drop, nothing counted
+        assert_eq!(cache.invalidations(), 0);
+        cache
+            .get_or_pack(1, Orientation::Normal, || pack(&[1.0]))
+            .unwrap();
+        cache.invalidate();
+        assert_eq!(cache.invalidations(), 1);
+        assert!(cache.is_empty());
+        // Next lookup repacks: a miss, not a hit.
+        cache
+            .get_or_pack(1, Orientation::Normal, || pack(&[1.0]))
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn declined_packs_stay_uncounted() {
+        let cache = PackCache::new();
+        assert!(cache.get_or_pack(9, Orientation::Normal, || None).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert!(cache.is_empty());
+    }
+}

@@ -23,7 +23,7 @@
 //! production trainer; `tests/profiled.rs` gates the overhead at ≤ 5% of
 //! the unwrapped backend on the 512×512 GEMM harness.
 
-use crate::{Backend, Unary};
+use crate::{Backend, PackedB, Unary};
 use mega_core::band::BandMask;
 use mega_core::Parallelism;
 use std::sync::Arc;
@@ -132,6 +132,84 @@ impl Backend for ProfiledBackend {
         );
     }
 
+    fn supports_prepack(&self) -> bool {
+        self.inner.supports_prepack()
+    }
+
+    fn prepack(&self, b: &[f32], k: usize, m: usize) -> Option<PackedB> {
+        let t = mega_obs::timer();
+        let packed = self.inner.prepack(b, k, m)?;
+        // A pure layout copy: read k·m, write the padded strips.
+        self.record("prepack", 0, F32 * 2 * (k as u64) * (m as u64), t);
+        Some(packed)
+    }
+
+    fn matmul_packed(
+        &self,
+        a: &[f32],
+        packed: &PackedB,
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        let t = mega_obs::timer();
+        self.inner.matmul_packed(a, packed, n, par, out);
+        let (n64, k64, m64) = (n as u64, packed.k() as u64, packed.m() as u64);
+        // Same work as `matmul`; the cached pack only removes the per-call
+        // b copy, charged once at `prepack` time.
+        self.record(
+            "matmul",
+            2 * n64 * k64 * m64,
+            F32 * (n64 * k64 + k64 * m64 + n64 * m64),
+            t,
+        );
+    }
+
+    fn linear_relu_packed(
+        &self,
+        x: &[f32],
+        packed: &PackedB,
+        bias: &[f32],
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        let t = mega_obs::timer();
+        self.inner.linear_relu_packed(x, packed, bias, n, par, out);
+        let (n64, k64, m64) = (n as u64, packed.k() as u64, packed.m() as u64);
+        self.record(
+            "linear_relu",
+            2 * n64 * k64 * m64 + 2 * n64 * m64,
+            F32 * (n64 * k64 + k64 * m64 + m64 + n64 * m64),
+            t,
+        );
+    }
+
+    fn linear_leaky_relu(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        slope: f32,
+        n: usize,
+        k: usize,
+        m: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        let t = mega_obs::timer();
+        self.inner
+            .linear_leaky_relu(x, w, bias, slope, n, k, m, par, out);
+        let (n64, k64, m64) = (n as u64, k as u64, m as u64);
+        // GEMM plus the fused epilogue: add, compare, conditional multiply.
+        self.record(
+            "linear_leaky_relu",
+            2 * n64 * k64 * m64 + 3 * n64 * m64,
+            F32 * (n64 * k64 + k64 * m64 + m64 + n64 * m64),
+            t,
+        );
+    }
+
     fn add(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
         let t = mega_obs::timer();
         self.inner.add(a, b, out);
@@ -158,6 +236,13 @@ impl Backend for ProfiledBackend {
         self.inner.scale(a, k, out);
         let (f, by) = elementwise(out.len(), 1, 1);
         self.record("scale", f, by, t);
+    }
+
+    fn axpy(&self, a: &[f32], k: f32, b: &[f32], out: &mut [f32]) {
+        let t = mega_obs::timer();
+        self.inner.axpy(a, k, b, out);
+        let (f, by) = elementwise(out.len(), 2, 2);
+        self.record("axpy", f, by, t);
     }
 
     fn add_bias_rows(&self, x: &[f32], bias: &[f32], n: usize, m: usize, out: &mut [f32]) {
@@ -279,6 +364,53 @@ impl Backend for ProfiledBackend {
         self.record(
             "batch_norm",
             8 * len,
+            2 * len * F32 + 2 * cols as u64 * F32,
+            t,
+        );
+    }
+
+    fn layer_norm_act(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        rows: usize,
+        cols: usize,
+        eps: f32,
+        act: Unary,
+        out: &mut [f32],
+    ) {
+        let t = mega_obs::timer();
+        self.inner
+            .layer_norm_act(x, gamma, beta, rows, cols, eps, act, out);
+        let len = (rows * cols) as u64;
+        // Norm passes plus one in-place activation sweep.
+        self.record(
+            "layer_norm_act",
+            9 * len,
+            2 * len * F32 + 2 * cols as u64 * F32,
+            t,
+        );
+    }
+
+    fn batch_norm_act(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        rows: usize,
+        cols: usize,
+        eps: f32,
+        act: Unary,
+        out: &mut [f32],
+    ) {
+        let t = mega_obs::timer();
+        self.inner
+            .batch_norm_act(x, gamma, beta, rows, cols, eps, act, out);
+        let len = (rows * cols) as u64;
+        self.record(
+            "batch_norm_act",
+            9 * len,
             2 * len * F32 + 2 * cols as u64 * F32,
             t,
         );

@@ -37,7 +37,7 @@
 use crate::blocked::{pack_strips, MC, NR};
 use crate::kernels;
 use crate::partition;
-use crate::{Backend, Unary};
+use crate::{Backend, PackedB, Unary};
 use mega_core::parallel::Parallelism;
 
 /// Which lane implementation a [`SimdBackend`] instance dispatches to.
@@ -502,13 +502,14 @@ macro_rules! portable_widths {
     };
 }
 
-/// Full SIMD GEMM: same shape checks, serial cutoff, and per-worker row
-/// split as the blocked driver — only the per-range kernel is vectorized.
+/// SIMD GEMM driver over an already-packed `b` (the strip layout of
+/// [`pack_strips`]): same serial cutoff and `MC`-aligned row split as the
+/// packing entry point, minus the O(k·m) pack — the pack-cache fast path.
 #[allow(clippy::too_many_arguments)]
-fn gemm_simd(
+fn gemm_simd_packed(
     mode: Mode,
     a: &[f32],
-    b: &[f32],
+    packed: &[f32],
     n: usize,
     k: usize,
     m: usize,
@@ -517,13 +518,15 @@ fn gemm_simd(
     out: &mut [f32],
 ) {
     assert_eq!(a.len(), n * k, "a must be {n}x{k}");
-    assert_eq!(b.len(), k * m, "b must be {k}x{m}");
+    assert_eq!(
+        packed.len(),
+        m.div_ceil(NR) * k * NR,
+        "packed b must hold {k}x{m} in NR strips"
+    );
     assert_eq!(out.len(), n * m, "out must be {n}x{m}");
     if let Some(bias) = bias_relu {
         assert_eq!(bias.len(), m, "bias must be 1x{m}");
     }
-    let packed = pack_strips(b, k, m);
-    let packed = packed.as_slice();
     let rows = |lo: usize, hi: usize, part: &mut [f32]| match mode {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: Mode::Avx is only constructed after
@@ -541,6 +544,27 @@ fn gemm_simd(
     // streams the shared packed strips and writes its rows in place.
     let ranges = partition::row_ranges(n, threads, MC);
     partition::par_rows(out, n, m, &ranges, |lo, hi, part| rows(lo, hi, part));
+}
+
+/// Full SIMD GEMM: same shape checks, serial cutoff, and per-worker row
+/// split as the blocked driver — only the per-range kernel is vectorized.
+/// Packs `b` fresh; callers holding a cached pack go through
+/// [`gemm_simd_packed`] directly.
+#[allow(clippy::too_many_arguments)]
+fn gemm_simd(
+    mode: Mode,
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    par: &Parallelism,
+    bias_relu: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(b.len(), k * m, "b must be {k}x{m}");
+    let packed = pack_strips(b, k, m);
+    gemm_simd_packed(mode, a, &packed, n, k, m, par, bias_relu, out);
 }
 
 impl Backend for SimdBackend {
@@ -573,6 +597,58 @@ impl Backend for SimdBackend {
         out: &mut [f32],
     ) {
         gemm_simd(self.mode, x, w, n, k, m, par, Some(bias), out);
+    }
+
+    fn supports_prepack(&self) -> bool {
+        true
+    }
+
+    fn prepack(&self, b: &[f32], k: usize, m: usize) -> Option<PackedB> {
+        assert_eq!(b.len(), k * m, "b must be {k}x{m}");
+        Some(PackedB::new(pack_strips(b, k, m), k, m))
+    }
+
+    fn matmul_packed(
+        &self,
+        a: &[f32],
+        packed: &PackedB,
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        gemm_simd_packed(
+            self.mode,
+            a,
+            &packed.data,
+            n,
+            packed.k,
+            packed.m,
+            par,
+            None,
+            out,
+        );
+    }
+
+    fn linear_relu_packed(
+        &self,
+        x: &[f32],
+        packed: &PackedB,
+        bias: &[f32],
+        n: usize,
+        par: &Parallelism,
+        out: &mut [f32],
+    ) {
+        gemm_simd_packed(
+            self.mode,
+            x,
+            &packed.data,
+            n,
+            packed.k,
+            packed.m,
+            par,
+            Some(bias),
+            out,
+        );
     }
 
     fn add(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
@@ -757,6 +833,31 @@ mod tests {
             backend.linear_relu(&x, &w, &bias, n, k, m, &par, &mut fused);
             for (a, b) in fused.iter().zip(&unfused) {
                 assert_eq!(a.to_bits(), b.to_bits(), "lanes={}", backend.lane_width());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_entry_points_bit_identical_to_fresh_pack() {
+        let (n, k, m) = (33usize, 64usize, 40usize);
+        let a = sample(n * k, 7);
+        let b = sample(k * m, 8);
+        let bias = sample(m, 9);
+        for backend in modes() {
+            let lanes = backend.lane_width();
+            let packed = backend.prepack(&b, k, m).expect("simd backend packs");
+            for threads in [1usize, 3] {
+                let par = Parallelism::pinned(threads);
+                let mut fresh = vec![0.0f32; n * m];
+                backend.matmul(&a, &b, n, k, m, &par, &mut fresh);
+                let mut cached = vec![0.0f32; n * m];
+                backend.matmul_packed(&a, &packed, n, &par, &mut cached);
+                assert_eq!(fresh, cached, "matmul lanes={lanes} threads={threads}");
+                let mut fresh = vec![0.0f32; n * m];
+                backend.linear_relu(&a, &b, &bias, n, k, m, &par, &mut fresh);
+                let mut cached = vec![0.0f32; n * m];
+                backend.linear_relu_packed(&a, &packed, &bias, n, &par, &mut cached);
+                assert_eq!(fresh, cached, "linear_relu lanes={lanes} threads={threads}");
             }
         }
     }

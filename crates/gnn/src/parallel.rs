@@ -48,7 +48,7 @@ pub fn preprocess_samples(
 pub struct BandScheduler<'a> {
     sched: &'a AttentionSchedule,
     par: Parallelism,
-    plan: ChunkPlan,
+    plan: Arc<ChunkPlan>,
     edge_count: usize,
     backend: Arc<dyn Backend>,
 }
@@ -66,7 +66,10 @@ impl<'a> BandScheduler<'a> {
         par: Parallelism,
         backend: Arc<dyn Backend>,
     ) -> Self {
-        let plan = ChunkPlan::for_band(sched.band(), &par);
+        // Bands repeat across batches and epochs (the schedule is fixed per
+        // graph), so the memoized plan builder shares one plan per
+        // (band, parallelism) geometry for the whole process.
+        let plan = ChunkPlan::for_band_cached(sched.band(), &par);
         let edge_count = sched.working_graph().edge_count();
         BandScheduler {
             sched,

@@ -33,6 +33,7 @@
 
 pub mod init;
 pub mod optim;
+mod plan;
 pub mod tape;
 pub mod tensor;
 

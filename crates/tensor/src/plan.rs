@@ -1,0 +1,174 @@
+//! Peephole fusion pass of the tape planner.
+//!
+//! When a [`Tape`](crate::Tape) is in planning mode, op methods record
+//! nodes without executing them; at a flush boundary the pending span is
+//! handed to [`fuse`], which rewrites recognized op chains into single
+//! fused nodes before anything executes:
+//!
+//! * `matmul` → `add_row` → `relu` becomes one `linear_relu` node (the
+//!   `leaky_relu` tail becomes a `linear_leaky_relu` node),
+//! * `scale` → `add` becomes one `axpy` node,
+//! * `layer_norm`/`batch_norm` → `relu`/`leaky_relu` becomes one fused
+//!   norm-activation node.
+//!
+//! A chain only fuses when every interior node is pending in the same
+//! flush window and consumed exactly once — by the next link. Interior
+//! nodes of a fused chain are *elided*: they never materialize, reading
+//! them later panics, and the backward pass never visits them (their
+//! gradients stay zero because no surviving op lists them as an input).
+//! Fusion preserves bit-exact values and gradients: every fused kernel
+//! reproduces the unfused arithmetic element for element (enforced by the
+//! planner property tests).
+
+use crate::tape::{Node, Op, Var};
+use mega_exec::Unary;
+use std::collections::BTreeSet;
+
+/// What one fusion pass did to a pending window.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FusionStats {
+    /// Number of chain rewrites performed.
+    pub(crate) rewrites: usize,
+    /// Number of interior nodes elided by those rewrites.
+    pub(crate) elided: usize,
+}
+
+/// Runs the peephole pass over the pending window, rewriting fusable
+/// chains in place. Returns the set of elided (never-to-materialize) node
+/// indices and the pass statistics. `roots` are nodes a flush consumer is
+/// about to read; they count as consumers so they are never elided.
+pub(crate) fn fuse(
+    nodes: &mut [Node],
+    pending: &[usize],
+    roots: &[usize],
+) -> (BTreeSet<usize>, FusionStats) {
+    let mut elided: BTreeSet<usize> = BTreeSet::new();
+    let mut stats = FusionStats::default();
+    if pending.is_empty() {
+        return (elided, stats);
+    }
+    let first = pending[0];
+    let mut consumers = vec![0usize; nodes.len()];
+    for &idx in pending {
+        nodes[idx].op.for_each_input(|v| consumers[v.0] += 1);
+    }
+    for &r in roots {
+        consumers[r] += 1;
+    }
+
+    for &idx in pending {
+        if elided.contains(&idx) {
+            continue;
+        }
+        let fused = match nodes[idx].op {
+            Op::Relu(a) => fuse_activation(nodes, &consumers, &elided, first, a, None),
+            Op::LeakyRelu(a, slope) if slope > 0.0 => {
+                fuse_activation(nodes, &consumers, &elided, first, a, Some(slope))
+            }
+            Op::Add(p, q) => fuse_axpy(nodes, &consumers, &elided, first, p, q),
+            _ => None,
+        };
+        if let Some((op, dead)) = fused {
+            if mega_obs::enabled() {
+                mega_obs::counter_add("tensor.plan.fused", 1);
+                let mut name = String::with_capacity(40);
+                name.push_str("tensor.plan.fused.");
+                name.push_str(op.kind_name());
+                mega_obs::counter_add(&name, 1);
+            }
+            stats.rewrites += 1;
+            stats.elided += dead.len();
+            nodes[idx].op = op;
+            elided.extend(dead);
+        }
+    }
+    (elided, stats)
+}
+
+/// Whether node `v` is an interior link that can fold into its sole
+/// consumer: pending in the current window, not already claimed by an
+/// earlier rewrite, and consumed exactly once.
+fn fusable(
+    nodes: &[Node],
+    consumers: &[usize],
+    elided: &BTreeSet<usize>,
+    first: usize,
+    v: usize,
+) -> bool {
+    v >= first && nodes[v].value.is_none() && !elided.contains(&v) && consumers[v] == 1
+}
+
+fn act_of(slope: Option<f32>) -> Unary {
+    match slope {
+        None => Unary::Relu,
+        Some(s) => Unary::LeakyRelu(s),
+    }
+}
+
+/// Fuses `relu`/`leaky_relu` applied to a pending matmul-plus-bias or
+/// normalization chain. `slope` is `None` for plain relu. Leaky-relu
+/// tails fuse only for positive slopes (checked by the caller): the fused
+/// backward pass masks by the *output* sign, which matches the
+/// pre-activation sign exactly when the activation preserves it.
+fn fuse_activation(
+    nodes: &[Node],
+    consumers: &[usize],
+    elided: &BTreeSet<usize>,
+    first: usize,
+    a: Var,
+    slope: Option<f32>,
+) -> Option<(Op, Vec<usize>)> {
+    if !fusable(nodes, consumers, elided, first, a.0) {
+        return None;
+    }
+    match nodes[a.0].op {
+        Op::AddRow(mm, bias) => {
+            if !fusable(nodes, consumers, elided, first, mm.0) {
+                return None;
+            }
+            if let &Op::MatMul(x, w) = &nodes[mm.0].op {
+                let op = match slope {
+                    None => Op::LinearRelu(x, w, bias),
+                    Some(s) => Op::LinearAct(x, w, bias, s),
+                };
+                Some((op, vec![a.0, mm.0]))
+            } else {
+                None
+            }
+        }
+        Op::LayerNorm(x, gamma, beta, eps) => Some((
+            Op::LayerNormAct(x, gamma, beta, eps, act_of(slope)),
+            vec![a.0],
+        )),
+        Op::BatchNorm(x, gamma, beta, eps) => Some((
+            Op::BatchNormAct(x, gamma, beta, eps, act_of(slope)),
+            vec![a.0],
+        )),
+        _ => None,
+    }
+}
+
+/// Fuses a pending `scale` into an `add` that consumes it, as one `axpy`
+/// (`k·a + b`) node. The left operand is preferred; fusing a
+/// right-operand scale relies on f32 addition being commutative, which
+/// holds bitwise for all non-NaN values.
+fn fuse_axpy(
+    nodes: &[Node],
+    consumers: &[usize],
+    elided: &BTreeSet<usize>,
+    first: usize,
+    p: Var,
+    q: Var,
+) -> Option<(Op, Vec<usize>)> {
+    if fusable(nodes, consumers, elided, first, p.0) {
+        if let &Op::Scale(a, k) = &nodes[p.0].op {
+            return Some((Op::Axpy(a, q, k), vec![p.0]));
+        }
+    }
+    if p != q && fusable(nodes, consumers, elided, first, q.0) {
+        if let &Op::Scale(b, k) = &nodes[q.0].op {
+            return Some((Op::Axpy(b, p, k), vec![q.0]));
+        }
+    }
+    None
+}

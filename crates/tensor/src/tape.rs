@@ -13,20 +13,48 @@
 //! pre-backend tape), and output buffers come from a shared [`BufferPool`]
 //! so steady-state training recycles allocations instead of making fresh
 //! ones per node. Dropped tapes return their node buffers to the pool.
+//!
+//! # Planning mode
+//!
+//! By default the tape executes eagerly: each op method runs its kernel
+//! before returning. [`Tape::set_planning`] switches to plan-then-execute:
+//! op methods only *record* nodes (shapes are validated immediately, values
+//! stay unmaterialized), and at the next flush boundary — a reduction or
+//! other value-consuming op, an explicit [`Tape::flush`], or
+//! [`Tape::backward`] via the loss op — the pending span first runs through
+//! the peephole fusion pass (`plan.rs`; e.g. `matmul` → `add_row` →
+//! `relu` collapses into one `linear_relu` node) and then executes. Fused
+//! and eager execution are bit-identical, forward and backward; interior
+//! nodes of a fused chain never materialize and panic if read.
+//!
+//! Independently of planning, a [`PackCache`] installed via
+//! [`Tape::set_pack_cache`] lets GEMMs against parameters registered with
+//! [`Tape::leaf_param`] reuse the backend's packed `b`-operand layout
+//! across steps (forward in normal orientation, the `g · wᵀ` gradient GEMM
+//! in transposed orientation) instead of re-packing per call. The trainer
+//! invalidates the cache whenever the optimizer updates parameters.
 
+use crate::plan;
 use crate::tensor::Tensor;
-use mega_exec::{kernels, Backend, BufferPool, ReferenceBackend, Unary};
+use mega_exec::{
+    kernels, Backend, BufferPool, Orientation, PackCache, PackedB, ReferenceBackend, Unary,
+};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Var(usize);
+pub struct Var(pub(crate) usize);
 
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     Leaf,
     MatMul(Var, Var),
     LinearRelu(Var, Var, Var),
+    /// Planner-fused `leaky_relu(x · w + bias)` with a positive slope.
+    LinearAct(Var, Var, Var, f32),
+    /// Planner-fused `k · a + b` (a `scale` folded into an `add`).
+    Axpy(Var, Var, f32),
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -49,6 +77,11 @@ enum Op {
     SegmentSoftmax(Var, Arc<Vec<usize>>, usize),
     LayerNorm(Var, Var, Var, f32),
     BatchNorm(Var, Var, Var, f32),
+    /// Planner-fused layer norm followed by a sign-preserving activation
+    /// (`Relu` or `LeakyRelu` with positive slope).
+    LayerNormAct(Var, Var, Var, f32, Unary),
+    /// Planner-fused batch norm followed by a sign-preserving activation.
+    BatchNormAct(Var, Var, Var, f32, Unary),
     L1Loss(Var, Arc<Tensor>),
     CrossEntropy(Var, Arc<Vec<usize>>),
 }
@@ -56,11 +89,13 @@ enum Op {
 impl Op {
     /// Stable metric-name suffix of the op kind, for the
     /// `tensor.tape.op.<kind>` counters.
-    fn kind_name(&self) -> &'static str {
+    pub(crate) fn kind_name(&self) -> &'static str {
         match self {
             Op::Leaf => "leaf",
             Op::MatMul(..) => "matmul",
             Op::LinearRelu(..) => "linear_relu",
+            Op::LinearAct(..) => "linear_leaky_relu",
+            Op::Axpy(..) => "axpy",
             Op::Add(..) => "add",
             Op::Sub(..) => "sub",
             Op::Mul(..) => "mul",
@@ -83,15 +118,74 @@ impl Op {
             Op::SegmentSoftmax(..) => "segment_softmax",
             Op::LayerNorm(..) => "layer_norm",
             Op::BatchNorm(..) => "batch_norm",
+            Op::LayerNormAct(..) => "layer_norm_act",
+            Op::BatchNormAct(..) => "batch_norm_act",
             Op::L1Loss(..) => "l1_loss",
             Op::CrossEntropy(..) => "cross_entropy",
         }
     }
+
+    /// Calls `f` with every input [`Var`] of this op, in operand order.
+    /// The planner's fusion pass uses this to count consumers.
+    pub(crate) fn for_each_input(&self, mut f: impl FnMut(Var)) {
+        match self {
+            Op::Leaf => {}
+            Op::MatMul(a, b)
+            | Op::Axpy(a, b, _)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::AddRow(a, b)
+            | Op::DivEps(a, b, _)
+            | Op::RowDot(a, b)
+            | Op::MulColBroadcast(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Op::LinearRelu(x, w, bias) | Op::LinearAct(x, w, bias, _) => {
+                f(*x);
+                f(*w);
+                f(*bias);
+            }
+            Op::Scale(a, _)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Dropout(a, _, _)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Sum(a)
+            | Op::Mean(a)
+            | Op::GatherRows(a, _)
+            | Op::ScatterAddRows(a, _)
+            | Op::ScaleRows(a, _)
+            | Op::SegmentSoftmax(a, _, _)
+            | Op::L1Loss(a, _)
+            | Op::CrossEntropy(a, _) => f(*a),
+            Op::ConcatCols(parts) => {
+                for &p in parts.iter() {
+                    f(p);
+                }
+            }
+            Op::LayerNorm(a, gamma, beta, _)
+            | Op::BatchNorm(a, gamma, beta, _)
+            | Op::LayerNormAct(a, gamma, beta, _, _)
+            | Op::BatchNormAct(a, gamma, beta, _, _) => {
+                f(*a);
+                f(*gamma);
+                f(*beta);
+            }
+        }
+    }
 }
 
-struct Node {
-    value: Tensor,
-    op: Op,
+/// One tape node. `value` is `None` while the node is pending in planning
+/// mode — and forever, if the planner fuses the node away — so the output
+/// shape is tracked separately for shape validation and gradient sizing.
+pub(crate) struct Node {
+    pub(crate) value: Option<Tensor>,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) op: Op,
 }
 
 /// Gradients of one backward pass, indexed by [`Var`].
@@ -129,6 +223,16 @@ pub struct Tape {
     par: mega_core::Parallelism,
     backend: Arc<dyn Backend>,
     pool: Arc<BufferPool>,
+    /// Plan-then-execute mode: op methods defer execution to the next
+    /// flush boundary, where the fusion pass runs first.
+    planning: bool,
+    /// Recorded-but-unexecuted node indices, in recording order.
+    pending: Vec<usize>,
+    /// Node index → stable parameter key, for [`PackCache`] lookups.
+    param_keys: BTreeMap<usize, u64>,
+    /// Cross-step cache of packed GEMM `b` operands, shared with the
+    /// trainer that invalidates it at optimizer-update boundaries.
+    pack_cache: Option<Arc<PackCache>>,
 }
 
 impl Default for Tape {
@@ -142,7 +246,9 @@ impl Drop for Tape {
         // Recycle every node's buffer; with a shared pool the next tape's
         // forward pass allocates (almost) nothing.
         for node in self.nodes.drain(..) {
-            self.pool.release(node.value.into_data());
+            if let Some(value) = node.value {
+                self.pool.release(value.into_data());
+            }
         }
     }
 }
@@ -163,7 +269,38 @@ impl Tape {
             par: mega_core::Parallelism::default(),
             backend,
             pool,
+            planning: false,
+            pending: Vec::new(),
+            param_keys: BTreeMap::new(),
+            pack_cache: None,
         }
+    }
+
+    /// Switches plan-then-execute mode on or off. Turning planning off
+    /// flushes any pending ops first so every node is materialized.
+    ///
+    /// Planning changes *when* ops run (deferred to flush boundaries, after
+    /// the fusion pass), never *what* they compute: values and gradients
+    /// are bit-identical to eager execution.
+    pub fn set_planning(&mut self, on: bool) {
+        if !on {
+            self.flush();
+        }
+        self.planning = on;
+    }
+
+    /// Whether the tape is in plan-then-execute mode.
+    pub fn planning(&self) -> bool {
+        self.planning
+    }
+
+    /// Installs a shared cross-step cache of packed GEMM `b` operands.
+    /// GEMMs whose `b` side is a parameter registered via
+    /// [`Tape::leaf_param`] reuse the packed layout through this cache.
+    /// The owner must call [`PackCache::invalidate`] whenever parameter
+    /// values change (the trainer does so right after each optimizer step).
+    pub fn set_pack_cache(&mut self, cache: Arc<PackCache>) {
+        self.pack_cache = Some(cache);
     }
 
     /// Swaps the execution backend. Every backend is bit-compatible with the
@@ -207,8 +344,36 @@ impl Tape {
     }
 
     /// The value held at `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has no materialized value: it is still pending in
+    /// planning mode (call [`Tape::flush`]) or the planner fused it away
+    /// as the interior of an op chain.
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        self.nodes[v.0].value.as_ref().unwrap_or_else(|| {
+            panic!(
+                "node {} ({}) has no materialized value: it is pending \
+                 (call Tape::flush) or was fused away by the planner",
+                v.0,
+                self.nodes[v.0].op.kind_name()
+            )
+        })
+    }
+
+    /// Output shape of `v`, known even before materialization.
+    fn dims(&self, v: Var) -> (usize, usize) {
+        let n = &self.nodes[v.0];
+        (n.rows, n.cols)
+    }
+
+    /// Backward-pass value access: every node the reverse walk touches is
+    /// materialized (elided nodes receive no gradient by construction).
+    fn node_value(&self, idx: usize) -> &Tensor {
+        self.nodes[idx]
+            .value
+            .as_ref()
+            .expect("backward touched an unmaterialized node")
     }
 
     /// The first node (in recording order) whose value holds a NaN or an
@@ -222,7 +387,8 @@ impl Tape {
     /// diagnostic dump.
     pub fn first_nonfinite(&self) -> Option<(usize, &'static str)> {
         self.nodes.iter().enumerate().find_map(|(i, n)| {
-            n.value
+            let value = n.value.as_ref()?;
+            value
                 .as_slice()
                 .iter()
                 .any(|v| !v.is_finite())
@@ -230,7 +396,7 @@ impl Tape {
         })
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> Var {
+    fn push_node(&mut self, value: Option<Tensor>, rows: usize, cols: usize, op: Op) -> Var {
         if mega_obs::enabled() {
             mega_obs::counter_add("tensor.tape.ops", 1);
             let mut name = String::with_capacity(32);
@@ -238,14 +404,79 @@ impl Tape {
             name.push_str(op.kind_name());
             mega_obs::counter_add(&name, 1);
         }
-        self.nodes.push(Node { value, op });
+        self.nodes.push(Node {
+            value,
+            rows,
+            cols,
+            op,
+        });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Records an already-computed value (leaves and flush-boundary ops).
+    fn push_value(&mut self, value: Tensor, op: Op) -> Var {
+        let (rows, cols) = value.shape();
+        self.push_node(Some(value), rows, cols, op)
+    }
+
+    /// Records a backend-dispatched op. Eager tapes execute it on the
+    /// spot; planning tapes defer it to the next flush boundary.
+    fn record(&mut self, rows: usize, cols: usize, op: Op) -> Var {
+        let v = self.push_node(None, rows, cols, op);
+        if self.planning {
+            if mega_obs::enabled() {
+                mega_obs::counter_add("tensor.plan.deferred", 1);
+            }
+            self.pending.push(v.0);
+        } else {
+            self.execute_node(v.0);
+        }
+        v
+    }
+
+    /// Materializes every pending op, running the fusion pass first.
+    /// A no-op on eager tapes and when nothing is pending.
+    pub fn flush(&mut self) {
+        self.flush_with_roots(&[]);
+    }
+
+    /// Flush variant for value-consuming ops: `roots` are about to be read,
+    /// so the fusion pass must not elide them.
+    fn flush_with_roots(&mut self, roots: &[Var]) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let root_ids: Vec<usize> = roots.iter().map(|v| v.0).collect();
+        let (elided, stats) = plan::fuse(&mut self.nodes, &self.pending, &root_ids);
+        if mega_obs::enabled() {
+            mega_obs::counter_add("tensor.plan.flushes", 1);
+            if stats.elided > 0 {
+                mega_obs::counter_add("tensor.plan.elided", stats.elided as u64);
+            }
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for idx in pending {
+            if !elided.contains(&idx) {
+                self.execute_node(idx);
+            }
+        }
     }
 
     /// Records an input tensor (parameter or constant); gradients are
     /// computed for every leaf reachable from the loss.
     pub fn leaf(&mut self, t: Tensor) -> Var {
-        self.push(t, Op::Leaf)
+        self.push_value(t, Op::Leaf)
+    }
+
+    /// Records a *parameter* leaf with a stable identity `key` (one key per
+    /// parameter, reused across tapes/steps). GEMMs that consume the
+    /// parameter as their `b` operand route through the installed
+    /// [`PackCache`] under this key, reusing the packed layout across steps
+    /// until the cache is invalidated.
+    pub fn leaf_param(&mut self, t: Tensor, key: u64) -> Var {
+        let v = self.leaf(t);
+        self.param_keys.insert(v.0, key);
+        v
     }
 
     /// Acquires a pooled buffer sized for an `rows × cols` output.
@@ -259,23 +490,9 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let t = mega_obs::timer();
-        let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(
-            x.cols(),
-            y.rows(),
-            "matmul: inner dims {}x{} · {}x{}",
-            x.rows(),
-            x.cols(),
-            y.rows(),
-            y.cols()
-        );
-        let (n, k, m) = (x.rows(), x.cols(), y.cols());
-        let mut out = self.out_buf(n, m);
-        self.backend
-            .matmul(x.as_slice(), y.as_slice(), n, k, m, &self.par, &mut out);
-        t.observe("tensor.matmul_ns");
-        self.push(Tensor::from_vec(n, m, out), Op::MatMul(a, b))
+        let ((n, k), (br, m)) = (self.dims(a), self.dims(b));
+        assert_eq!(k, br, "matmul: inner dims {n}x{k} · {br}x{m}");
+        self.record(n, m, Op::MatMul(a, b))
     }
 
     /// Fused dense layer: `relu(x · w + bias)` in one node.
@@ -288,81 +505,40 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch or if `bias` is not `1 × w.cols()`.
     pub fn linear_relu(&mut self, x: Var, w: Var, bias: Var) -> Var {
-        let t = mega_obs::timer();
-        let (vx, vw, vb) = (self.value(x), self.value(w), self.value(bias));
+        let ((n, k), (wr, m), (br, bc)) = (self.dims(x), self.dims(w), self.dims(bias));
+        assert_eq!(k, wr, "linear_relu: inner dims {n}x{k} · {wr}x{m}");
+        assert_eq!(br, 1, "bias must be a single row");
+        assert_eq!(bc, m, "bias width mismatch");
+        self.record(n, m, Op::LinearRelu(x, w, bias))
+    }
+
+    /// Shape-checked recorder for same-shape elementwise binary ops.
+    fn elementwise_op(&mut self, a: Var, b: Var, op: Op) -> Var {
+        let (x, y) = (self.dims(a), self.dims(b));
         assert_eq!(
-            vx.cols(),
-            vw.rows(),
-            "linear_relu: inner dims {}x{} · {}x{}",
-            vx.rows(),
-            vx.cols(),
-            vw.rows(),
-            vw.cols()
+            x,
+            y,
+            "{}: shape mismatch {:?} vs {:?}",
+            op.kind_name(),
+            x,
+            y
         );
-        assert_eq!(vb.rows(), 1, "bias must be a single row");
-        assert_eq!(vb.cols(), vw.cols(), "bias width mismatch");
-        let (n, k, m) = (vx.rows(), vx.cols(), vw.cols());
-        let mut out = self.out_buf(n, m);
-        self.backend.linear_relu(
-            vx.as_slice(),
-            vw.as_slice(),
-            vb.as_slice(),
-            n,
-            k,
-            m,
-            &self.par,
-            &mut out,
-        );
-        t.observe("tensor.matmul_ns");
-        self.push(Tensor::from_vec(n, m, out), Op::LinearRelu(x, w, bias))
+        self.record(x.0, x.1, op)
     }
 
     /// Elementwise sum of same-shape tensors.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(
-            x.shape(),
-            y.shape(),
-            "add: shape mismatch {:?} vs {:?}",
-            x.shape(),
-            y.shape()
-        );
-        let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend.add(x.as_slice(), y.as_slice(), &mut out);
-        let t = Tensor::from_vec(x.rows(), x.cols(), out);
-        self.push(t, Op::Add(a, b))
+        self.elementwise_op(a, b, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(
-            x.shape(),
-            y.shape(),
-            "sub: shape mismatch {:?} vs {:?}",
-            x.shape(),
-            y.shape()
-        );
-        let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend.sub(x.as_slice(), y.as_slice(), &mut out);
-        let t = Tensor::from_vec(x.rows(), x.cols(), out);
-        self.push(t, Op::Sub(a, b))
+        self.elementwise_op(a, b, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(
-            x.shape(),
-            y.shape(),
-            "mul: shape mismatch {:?} vs {:?}",
-            x.shape(),
-            y.shape()
-        );
-        let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend.mul(x.as_slice(), y.as_slice(), &mut out);
-        let t = Tensor::from_vec(x.rows(), x.cols(), out);
-        self.push(t, Op::Mul(a, b))
+        self.elementwise_op(a, b, Op::Mul(a, b))
     }
 
     /// Adds a `1 × c` bias row to every row of `a`.
@@ -371,42 +547,32 @@ impl Tape {
     ///
     /// Panics if `bias` is not `1 × a.cols()`.
     pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
-        let (x, b) = (self.value(a), self.value(bias));
-        assert_eq!(b.rows(), 1, "bias must be a single row");
-        assert_eq!(b.cols(), x.cols(), "bias width mismatch");
-        let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend
-            .add_bias_rows(x.as_slice(), b.as_slice(), x.rows(), x.cols(), &mut out);
-        let t = Tensor::from_vec(x.rows(), x.cols(), out);
-        self.push(t, Op::AddRow(a, bias))
+        let ((r, c), (br, bc)) = (self.dims(a), self.dims(bias));
+        assert_eq!(br, 1, "bias must be a single row");
+        assert_eq!(bc, c, "bias width mismatch");
+        self.record(r, c, Op::AddRow(a, bias))
     }
 
     /// Multiplies every element by `k`.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let x = self.value(a);
-        let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend.scale(x.as_slice(), k, &mut out);
-        let t = Tensor::from_vec(x.rows(), x.cols(), out);
-        self.push(t, Op::Scale(a, k))
+        let (r, c) = self.dims(a);
+        self.record(r, c, Op::Scale(a, k))
     }
 
-    /// Elementwise activation through the backend.
-    fn unary_op(&mut self, a: Var, unary: Unary, op: Op) -> Var {
-        let x = self.value(a);
-        let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend.unary(unary, x.as_slice(), &mut out);
-        let t = Tensor::from_vec(x.rows(), x.cols(), out);
-        self.push(t, op)
+    /// Same-shape unary op recorder.
+    fn unary_op(&mut self, a: Var, op: Op) -> Var {
+        let (r, c) = self.dims(a);
+        self.record(r, c, op)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        self.unary_op(a, Unary::Relu, Op::Relu(a))
+        self.unary_op(a, Op::Relu(a))
     }
 
     /// Leaky rectified linear unit: `x` if positive, else `slope * x`.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        self.unary_op(a, Unary::LeakyRelu(slope), Op::LeakyRelu(a, slope))
+        self.unary_op(a, Op::LeakyRelu(a, slope))
     }
 
     /// Inverted dropout with a precomputed keep-mask: kept elements are
@@ -418,68 +584,75 @@ impl Tape {
     /// Panics if the mask length differs from the element count or
     /// `keep_prob` is not in `(0, 1]`.
     pub fn dropout(&mut self, a: Var, mask: Arc<Vec<bool>>, keep_prob: f32) -> Var {
-        let x = self.value(a);
-        assert_eq!(mask.len(), x.rows() * x.cols(), "one mask bit per element");
+        let (r, c) = self.dims(a);
+        assert_eq!(mask.len(), r * c, "one mask bit per element");
         assert!(
             keep_prob > 0.0 && keep_prob <= 1.0,
             "keep_prob must be in (0, 1]"
         );
+        self.flush_with_roots(&[a]);
         let inv = 1.0 / keep_prob;
-        let mut out = x.clone();
+        let mut out = self.value(a).clone();
         for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
             *o = if mask[i] { *o * inv } else { 0.0 };
         }
-        self.push(out, Op::Dropout(a, mask, keep_prob))
+        self.push_value(out, Op::Dropout(a, mask, keep_prob))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        self.unary_op(a, Unary::Sigmoid, Op::Sigmoid(a))
+        self.unary_op(a, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        self.unary_op(a, Unary::Tanh, Op::Tanh(a))
+        self.unary_op(a, Op::Tanh(a))
     }
 
     /// Sum of all elements (scalar `1 × 1`).
     pub fn sum(&mut self, a: Var) -> Var {
+        self.flush_with_roots(&[a]);
         let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
-        self.push(v, Op::Sum(a))
+        self.push_value(v, Op::Sum(a))
     }
 
     /// Mean of all elements (scalar `1 × 1`).
     pub fn mean(&mut self, a: Var) -> Var {
+        self.flush_with_roots(&[a]);
         let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
-        self.push(v, Op::Mean(a))
+        self.push_value(v, Op::Mean(a))
     }
 
     /// Elementwise `a / (b + eps)` for same-shape tensors (the paper's gated
     /// aggregation normalizer).
     pub fn div_eps(&mut self, a: Var, b: Var, eps: f32) -> Var {
+        self.flush_with_roots(&[a, b]);
         let v = self.value(a).zip_map(self.value(b), |x, y| x / (y + eps));
-        self.push(v, Op::DivEps(a, b, eps))
+        self.push_value(v, Op::DivEps(a, b, eps))
     }
 
     /// Row-wise dot product of same-shape tensors: output is `r × 1` with
     /// `out[i] = Σ_c a[i,c]·b[i,c]` (attention scores).
     pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.dims(a), self.dims(b), "row_dot shape mismatch");
+        self.flush_with_roots(&[a, b]);
         let (x, y) = (self.value(a), self.value(b));
-        assert_eq!(x.shape(), y.shape(), "row_dot shape mismatch");
         let mut out = Tensor::zeros(x.rows(), 1);
         for r in 0..x.rows() {
             let s: f32 = x.row(r).iter().zip(y.row(r)).map(|(&p, &q)| p * q).sum();
             out.set(r, 0, s);
         }
-        self.push(out, Op::RowDot(a, b))
+        self.push_value(out, Op::RowDot(a, b))
     }
 
     /// Broadcast-multiplies each row of `a` (`r × c`) by the matching scalar
     /// in `w` (`r × 1`) — applying attention weights to values.
     pub fn mul_col_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let ((r, _), (wr, wc)) = (self.dims(a), self.dims(w));
+        assert_eq!(wc, 1, "weights must be a column");
+        assert_eq!(r, wr, "row count mismatch");
+        self.flush_with_roots(&[a, w]);
         let (x, y) = (self.value(a), self.value(w));
-        assert_eq!(y.cols(), 1, "weights must be a column");
-        assert_eq!(x.rows(), y.rows(), "row count mismatch");
         let mut out = x.clone();
         for r in 0..out.rows() {
             let k = y.at(r, 0);
@@ -487,7 +660,7 @@ impl Tape {
                 *o *= k;
             }
         }
-        self.push(out, Op::MulColBroadcast(a, w))
+        self.push_value(out, Op::MulColBroadcast(a, w))
     }
 
     /// Horizontally concatenates tensors with equal row counts (multi-head
@@ -498,6 +671,7 @@ impl Tape {
     /// Panics if `parts` is empty or row counts differ.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        self.flush_with_roots(parts);
         let rows = self.value(parts[0]).rows();
         let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
         let mut out = Tensor::zeros(rows, total);
@@ -511,29 +685,22 @@ impl Tape {
             }
             offset += t.cols();
         }
-        self.push(out, Op::ConcatCols(Arc::new(parts.to_vec())))
+        self.push_value(out, Op::ConcatCols(Arc::new(parts.to_vec())))
     }
 
     /// Gathers rows of `a` by `index` (e.g. node features → per-edge source
     /// features, or node features → path positions).
     pub fn gather_rows(&mut self, a: Var, index: Arc<Vec<usize>>) -> Var {
-        let x = self.value(a);
-        let mut out = self.out_buf(index.len(), x.cols());
-        self.backend
-            .gather_rows(x.as_slice(), x.rows(), x.cols(), &index, &mut out);
-        let t = Tensor::from_vec(index.len(), x.cols(), out);
-        self.push(t, Op::GatherRows(a, index))
+        let (_, c) = self.dims(a);
+        let rows = index.len();
+        self.record(rows, c, Op::GatherRows(a, index))
     }
 
     /// Scatter-adds rows of `a` into `out_rows` buckets by `index` (e.g.
     /// per-edge messages → destination nodes, or path positions → nodes).
     pub fn scatter_add_rows(&mut self, a: Var, index: Arc<Vec<usize>>, out_rows: usize) -> Var {
-        let x = self.value(a);
-        let mut out = self.out_buf(out_rows, x.cols());
-        self.backend
-            .scatter_add_rows(x.as_slice(), &index, x.cols(), out_rows, &mut out);
-        let t = Tensor::from_vec(out_rows, x.cols(), out);
-        self.push(t, Op::ScatterAddRows(a, index))
+        let (_, c) = self.dims(a);
+        self.record(out_rows, c, Op::ScatterAddRows(a, index))
     }
 
     /// Scales row `i` by `factors[i]` (segment means, appearance averaging).
@@ -542,13 +709,9 @@ impl Tape {
     ///
     /// Panics if `factors.len() != a.rows()`.
     pub fn scale_rows(&mut self, a: Var, factors: Arc<Vec<f32>>) -> Var {
-        let x = self.value(a);
-        assert_eq!(factors.len(), x.rows(), "one factor per row required");
-        let mut out = self.out_buf(x.rows(), x.cols());
-        self.backend
-            .scale_rows(x.as_slice(), &factors, x.cols(), &mut out);
-        let t = Tensor::from_vec(x.rows(), x.cols(), out);
-        self.push(t, Op::ScaleRows(a, factors))
+        let (r, c) = self.dims(a);
+        assert_eq!(factors.len(), r, "one factor per row required");
+        self.record(r, c, Op::ScaleRows(a, factors))
     }
 
     /// Column-wise softmax within row segments: rows sharing `segments[i]`
@@ -559,56 +722,31 @@ impl Tape {
     ///
     /// Panics if `segments.len() != a.rows()` or an id is out of range.
     pub fn segment_softmax(&mut self, a: Var, segments: Arc<Vec<usize>>, n_segments: usize) -> Var {
-        let x = self.value(a);
-        assert_eq!(segments.len(), x.rows(), "one segment id per row required");
-        let (r, c) = x.shape();
-        let mut out = self.out_buf(r, c);
-        self.backend
-            .segment_softmax(x.as_slice(), r, c, &segments, n_segments, &mut out);
-        let t = Tensor::from_vec(r, c, out);
-        self.push(t, Op::SegmentSoftmax(a, segments, n_segments))
+        let (r, c) = self.dims(a);
+        assert_eq!(segments.len(), r, "one segment id per row required");
+        self.record(r, c, Op::SegmentSoftmax(a, segments, n_segments))
+    }
+
+    /// Shared shape validation of the norm-op family.
+    fn norm_dims(&self, kind: &str, a: Var, gamma: Var, beta: Var) -> (usize, usize) {
+        let (r, c) = self.dims(a);
+        assert_eq!(self.dims(gamma), (1, c), "{kind} gamma shape");
+        assert_eq!(self.dims(beta), (1, c), "{kind} beta shape");
+        (r, c)
     }
 
     /// Row-wise layer normalization with learnable `gamma`, `beta` (each
     /// `1 × c`).
     pub fn layer_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        let (x, g, b) = (self.value(a), self.value(gamma), self.value(beta));
-        assert_eq!(g.shape(), (1, x.cols()), "gamma shape");
-        assert_eq!(b.shape(), (1, x.cols()), "beta shape");
-        let (r, c) = x.shape();
-        let mut out = self.out_buf(r, c);
-        self.backend.layer_norm(
-            x.as_slice(),
-            g.as_slice(),
-            b.as_slice(),
-            r,
-            c,
-            eps,
-            &mut out,
-        );
-        let t = Tensor::from_vec(r, c, out);
-        self.push(t, Op::LayerNorm(a, gamma, beta, eps))
+        let (r, c) = self.norm_dims("layer_norm", a, gamma, beta);
+        self.record(r, c, Op::LayerNorm(a, gamma, beta, eps))
     }
 
     /// Column-wise batch normalization (statistics over rows) with learnable
     /// `gamma`, `beta` (each `1 × c`). Training-mode statistics only.
     pub fn batch_norm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        let (x, g, b) = (self.value(a), self.value(gamma), self.value(beta));
-        assert_eq!(g.shape(), (1, x.cols()), "gamma shape");
-        assert_eq!(b.shape(), (1, x.cols()), "beta shape");
-        let (r, c) = x.shape();
-        let mut out = self.out_buf(r, c);
-        self.backend.batch_norm(
-            x.as_slice(),
-            g.as_slice(),
-            b.as_slice(),
-            r,
-            c,
-            eps,
-            &mut out,
-        );
-        let t = Tensor::from_vec(r, c, out);
-        self.push(t, Op::BatchNorm(a, gamma, beta, eps))
+        let (r, c) = self.norm_dims("batch_norm", a, gamma, beta);
+        self.record(r, c, Op::BatchNorm(a, gamma, beta, eps))
     }
 
     /// Mean absolute error against a constant target (scalar output).
@@ -617,8 +755,9 @@ impl Tape {
     ///
     /// Panics on shape mismatch.
     pub fn l1_loss(&mut self, pred: Var, target: Tensor) -> Var {
+        assert_eq!(self.dims(pred), target.shape(), "l1 target shape mismatch");
+        self.flush_with_roots(&[pred]);
         let p = self.value(pred);
-        assert_eq!(p.shape(), target.shape(), "l1 target shape mismatch");
         let n = (p.rows() * p.cols()).max(1) as f32;
         let loss = p
             .as_slice()
@@ -627,7 +766,7 @@ impl Tape {
             .map(|(&a, &b)| (a - b).abs())
             .sum::<f32>()
             / n;
-        self.push(
+        self.push_value(
             Tensor::from_vec(1, 1, vec![loss]),
             Op::L1Loss(pred, Arc::new(target)),
         )
@@ -640,8 +779,13 @@ impl Tape {
     ///
     /// Panics if `labels.len() != logits.rows()` or a label is out of range.
     pub fn cross_entropy(&mut self, logits: Var, labels: Arc<Vec<usize>>) -> Var {
+        assert_eq!(
+            labels.len(),
+            self.dims(logits).0,
+            "one label per row required"
+        );
+        self.flush_with_roots(&[logits]);
         let x = self.value(logits);
-        assert_eq!(labels.len(), x.rows(), "one label per row required");
         let mut loss = 0.0f32;
         for i in 0..x.rows() {
             let row = x.row(i);
@@ -651,10 +795,317 @@ impl Tape {
             loss += logsum - row[labels[i]];
         }
         loss /= x.rows().max(1) as f32;
-        self.push(
+        self.push_value(
             Tensor::from_vec(1, 1, vec![loss]),
             Op::CrossEntropy(logits, labels),
         )
+    }
+
+    /// Looks up (or builds) the cached packed form of parameter `v` as a
+    /// GEMM `b` operand. `None` when no cache is installed, `v` is not a
+    /// registered parameter, or the backend has no packed representation.
+    ///
+    /// `Orientation::Transposed` caches the pack of the parameter's
+    /// transpose — a cache hit skips both the transpose and the packing of
+    /// the backward pass's `g · wᵀ` GEMM.
+    fn packed_for(&self, v: Var, orientation: Orientation) -> Option<Arc<PackedB>> {
+        let cache = self.pack_cache.as_ref()?;
+        if !self.backend.supports_prepack() {
+            return None;
+        }
+        let key = *self.param_keys.get(&v.0)?;
+        let t = self.nodes[v.0].value.as_ref()?;
+        let (r, c) = t.shape();
+        cache.get_or_pack(key, orientation, || match orientation {
+            Orientation::Normal => self.backend.prepack(t.as_slice(), r, c),
+            Orientation::Transposed => {
+                let mut bt = self.pool.acquire(r * c);
+                kernels::transpose(t.as_slice(), r, c, &mut bt);
+                let packed = self.backend.prepack(&bt, c, r);
+                self.pool.release(bt);
+                packed
+            }
+        })
+    }
+
+    /// Executes one recorded node, materializing its value. Flush-boundary
+    /// ops (losses, reductions, dropout, concat) compute at record time and
+    /// never come through here.
+    fn execute_node(&mut self, idx: usize) {
+        let op = self.nodes[idx].op.clone();
+        let (rows, cols) = (self.nodes[idx].rows, self.nodes[idx].cols);
+        let value = match &op {
+            Op::MatMul(a, b) => {
+                let t = mega_obs::timer();
+                let (n, k) = self.dims(*a);
+                let m = cols;
+                let mut out = self.out_buf(n, m);
+                if let Some(packed) = self.packed_for(*b, Orientation::Normal) {
+                    self.backend.matmul_packed(
+                        self.value(*a).as_slice(),
+                        &packed,
+                        n,
+                        &self.par,
+                        &mut out,
+                    );
+                } else {
+                    self.backend.matmul(
+                        self.value(*a).as_slice(),
+                        self.value(*b).as_slice(),
+                        n,
+                        k,
+                        m,
+                        &self.par,
+                        &mut out,
+                    );
+                }
+                t.observe("tensor.matmul_ns");
+                Tensor::from_vec(n, m, out)
+            }
+            Op::LinearRelu(x, w, bias) => {
+                let t = mega_obs::timer();
+                let (n, k) = self.dims(*x);
+                let m = cols;
+                let mut out = self.out_buf(n, m);
+                if let Some(packed) = self.packed_for(*w, Orientation::Normal) {
+                    self.backend.linear_relu_packed(
+                        self.value(*x).as_slice(),
+                        &packed,
+                        self.value(*bias).as_slice(),
+                        n,
+                        &self.par,
+                        &mut out,
+                    );
+                } else {
+                    self.backend.linear_relu(
+                        self.value(*x).as_slice(),
+                        self.value(*w).as_slice(),
+                        self.value(*bias).as_slice(),
+                        n,
+                        k,
+                        m,
+                        &self.par,
+                        &mut out,
+                    );
+                }
+                t.observe("tensor.matmul_ns");
+                Tensor::from_vec(n, m, out)
+            }
+            Op::LinearAct(x, w, bias, slope) => {
+                let t = mega_obs::timer();
+                let (n, k) = self.dims(*x);
+                let m = cols;
+                let mut out = self.out_buf(n, m);
+                if let Some(packed) = self.packed_for(*w, Orientation::Normal) {
+                    // Packed GEMM plus the same in-place epilogue the
+                    // default unpacked path applies.
+                    self.backend.matmul_packed(
+                        self.value(*x).as_slice(),
+                        &packed,
+                        n,
+                        &self.par,
+                        &mut out,
+                    );
+                    kernels::bias_leaky_relu_inplace(
+                        &mut out,
+                        self.value(*bias).as_slice(),
+                        *slope,
+                        n,
+                        m,
+                    );
+                } else {
+                    self.backend.linear_leaky_relu(
+                        self.value(*x).as_slice(),
+                        self.value(*w).as_slice(),
+                        self.value(*bias).as_slice(),
+                        *slope,
+                        n,
+                        k,
+                        m,
+                        &self.par,
+                        &mut out,
+                    );
+                }
+                t.observe("tensor.matmul_ns");
+                Tensor::from_vec(n, m, out)
+            }
+            Op::Axpy(a, b, k) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.axpy(
+                    self.value(*a).as_slice(),
+                    *k,
+                    self.value(*b).as_slice(),
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::Add(a, b) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.add(
+                    self.value(*a).as_slice(),
+                    self.value(*b).as_slice(),
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::Sub(a, b) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.sub(
+                    self.value(*a).as_slice(),
+                    self.value(*b).as_slice(),
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::Mul(a, b) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.mul(
+                    self.value(*a).as_slice(),
+                    self.value(*b).as_slice(),
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::AddRow(a, bias) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.add_bias_rows(
+                    self.value(*a).as_slice(),
+                    self.value(*bias).as_slice(),
+                    rows,
+                    cols,
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::Scale(a, k) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.scale(self.value(*a).as_slice(), *k, &mut out);
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::Relu(a) => self.execute_unary(*a, Unary::Relu, rows, cols),
+            Op::LeakyRelu(a, slope) => self.execute_unary(*a, Unary::LeakyRelu(*slope), rows, cols),
+            Op::Sigmoid(a) => self.execute_unary(*a, Unary::Sigmoid, rows, cols),
+            Op::Tanh(a) => self.execute_unary(*a, Unary::Tanh, rows, cols),
+            Op::GatherRows(a, index) => {
+                let x = self.value(*a);
+                let mut out = self.out_buf(rows, cols);
+                self.backend
+                    .gather_rows(x.as_slice(), x.rows(), cols, index, &mut out);
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::ScatterAddRows(a, index) => {
+                let x = self.value(*a);
+                let mut out = self.out_buf(rows, cols);
+                self.backend
+                    .scatter_add_rows(x.as_slice(), index, cols, rows, &mut out);
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::ScaleRows(a, factors) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend
+                    .scale_rows(self.value(*a).as_slice(), factors, cols, &mut out);
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::SegmentSoftmax(a, segments, n_segments) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.segment_softmax(
+                    self.value(*a).as_slice(),
+                    rows,
+                    cols,
+                    segments,
+                    *n_segments,
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::LayerNorm(a, gamma, beta, eps) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.layer_norm(
+                    self.value(*a).as_slice(),
+                    self.value(*gamma).as_slice(),
+                    self.value(*beta).as_slice(),
+                    rows,
+                    cols,
+                    *eps,
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::BatchNorm(a, gamma, beta, eps) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.batch_norm(
+                    self.value(*a).as_slice(),
+                    self.value(*gamma).as_slice(),
+                    self.value(*beta).as_slice(),
+                    rows,
+                    cols,
+                    *eps,
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::LayerNormAct(a, gamma, beta, eps, act) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.layer_norm_act(
+                    self.value(*a).as_slice(),
+                    self.value(*gamma).as_slice(),
+                    self.value(*beta).as_slice(),
+                    rows,
+                    cols,
+                    *eps,
+                    *act,
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::BatchNormAct(a, gamma, beta, eps, act) => {
+                let mut out = self.out_buf(rows, cols);
+                self.backend.batch_norm_act(
+                    self.value(*a).as_slice(),
+                    self.value(*gamma).as_slice(),
+                    self.value(*beta).as_slice(),
+                    rows,
+                    cols,
+                    *eps,
+                    *act,
+                    &mut out,
+                );
+                Tensor::from_vec(rows, cols, out)
+            }
+            Op::Leaf
+            | Op::Dropout(..)
+            | Op::Sum(..)
+            | Op::Mean(..)
+            | Op::DivEps(..)
+            | Op::RowDot(..)
+            | Op::MulColBroadcast(..)
+            | Op::ConcatCols(..)
+            | Op::L1Loss(..)
+            | Op::CrossEntropy(..) => {
+                unreachable!("op `{}` materializes at record time", op.kind_name())
+            }
+        };
+        self.nodes[idx].value = Some(value);
+    }
+
+    /// Elementwise activation executor shared by the unary ops.
+    fn execute_unary(&self, a: Var, unary: Unary, rows: usize, cols: usize) -> Tensor {
+        let mut out = self.out_buf(rows, cols);
+        self.backend
+            .unary(unary, self.value(a).as_slice(), &mut out);
+        Tensor::from_vec(rows, cols, out)
+    }
+
+    /// Masks an upstream gradient by a sign-preserving activation's output,
+    /// replicating the unfused activation backward element for element.
+    /// Only `Relu` and positive-slope `LeakyRelu` reach here (the planner
+    /// fuses nothing else).
+    fn mask_by_output(&self, g: &Tensor, out: &Tensor, act: Unary) -> Tensor {
+        match act {
+            Unary::Relu => g.zip_map(out, |gg, ov| if ov > 0.0 { gg } else { 0.0 }),
+            Unary::LeakyRelu(s) => g.zip_map(out, |gg, ov| if ov > 0.0 { gg } else { gg * s }),
+            _ => unreachable!("planner only fuses sign-preserving activations"),
+        }
     }
 
     /// Runs the backward pass from the scalar node `loss`.
@@ -665,6 +1116,11 @@ impl Tape {
     pub fn backward(&self, loss: Var) -> Gradients {
         let _span = mega_obs::span("tape_backward");
         mega_obs::counter_add("tensor.tape.backward_passes", 1);
+        assert!(
+            self.pending.is_empty(),
+            "backward on a planning tape with pending ops — flush first \
+             (loss ops flush automatically)"
+        );
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
@@ -673,7 +1129,7 @@ impl Tape {
         let mut grads: Vec<Tensor> = self
             .nodes
             .iter()
-            .map(|n| Tensor::zeros(n.value.rows(), n.value.cols()))
+            .map(|n| Tensor::zeros(n.rows, n.cols))
             .collect();
         grads[loss.0].set(0, 0, 1.0);
 
@@ -685,17 +1141,24 @@ impl Tape {
             match &self.nodes[idx].op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
-                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let (va, vb) = (self.node_value(a.0), self.node_value(b.0));
                     let (n, k, m) = (va.rows(), va.cols(), vb.cols());
                     // da = g · bᵀ, db = aᵀ · g — both through the backend so
-                    // an accelerated GEMM speeds the backward pass too.
-                    let mut bt = self.pool.acquire(k * m);
-                    kernels::transpose(vb.as_slice(), k, m, &mut bt);
+                    // an accelerated GEMM speeds the backward pass too. When
+                    // b is a cached parameter, the packed transpose is
+                    // reused across steps instead of rebuilt per call.
                     let mut da = self.pool.acquire(n * k);
-                    self.backend
-                        .matmul(g.as_slice(), &bt, n, m, k, &self.par, &mut da);
+                    if let Some(packed) = self.packed_for(*b, Orientation::Transposed) {
+                        self.backend
+                            .matmul_packed(g.as_slice(), &packed, n, &self.par, &mut da);
+                    } else {
+                        let mut bt = self.pool.acquire(k * m);
+                        kernels::transpose(vb.as_slice(), k, m, &mut bt);
+                        self.backend
+                            .matmul(g.as_slice(), &bt, n, m, k, &self.par, &mut da);
+                        self.pool.release(bt);
+                    }
                     add_slice(&mut grads[a.0], &da);
-                    self.pool.release(bt);
                     self.pool.release(da);
                     let mut at = self.pool.acquire(n * k);
                     kernels::transpose(va.as_slice(), n, k, &mut at);
@@ -706,15 +1169,33 @@ impl Tape {
                     self.pool.release(at);
                     self.pool.release(db);
                 }
-                Op::LinearRelu(x, w, bias) => {
-                    let (vx, vw) = (&self.nodes[x.0].value, &self.nodes[w.0].value);
-                    let out = &self.nodes[idx].value;
+                Op::LinearRelu(x, w, bias) | Op::LinearAct(x, w, bias, _) => {
+                    let slope = match &self.nodes[idx].op {
+                        Op::LinearAct(_, _, _, s) => Some(*s),
+                        _ => None,
+                    };
+                    let (vx, vw) = (self.node_value(x.0), self.node_value(w.0));
+                    let out = self.node_value(idx);
                     let (n, k, m) = (vx.rows(), vx.cols(), vw.cols());
                     // Mask the upstream gradient by the activation: the kept
-                    // pre-activations are exactly the positive outputs.
+                    // pre-activations are exactly the positive outputs (both
+                    // activations preserve sign — leaky slopes are positive).
                     let mut gm = self.pool.acquire(n * m);
-                    for ((o, &gv), &ov) in gm.iter_mut().zip(g.as_slice()).zip(out.as_slice()) {
-                        *o = if ov > 0.0 { gv } else { 0.0 };
+                    match slope {
+                        None => {
+                            for ((o, &gv), &ov) in
+                                gm.iter_mut().zip(g.as_slice()).zip(out.as_slice())
+                            {
+                                *o = if ov > 0.0 { gv } else { 0.0 };
+                            }
+                        }
+                        Some(s) => {
+                            for ((o, &gv), &ov) in
+                                gm.iter_mut().zip(g.as_slice()).zip(out.as_slice())
+                            {
+                                *o = if ov > 0.0 { gv } else { gv * s };
+                            }
+                        }
                     }
                     // dbias = column sums of gm, folded row-major as the
                     // unfused AddRow backward does.
@@ -727,13 +1208,19 @@ impl Tape {
                     add_slice(&mut grads[bias.0], &db);
                     self.pool.release(db);
                     // dx = gm · wᵀ, dw = xᵀ · gm — the MatMul backward on the
-                    // masked gradient.
-                    let mut wt = self.pool.acquire(k * m);
-                    kernels::transpose(vw.as_slice(), k, m, &mut wt);
+                    // masked gradient. dx reuses the cached packed transpose
+                    // of a parameter weight when available.
                     let mut dx = self.pool.acquire(n * k);
-                    self.backend.matmul(&gm, &wt, n, m, k, &self.par, &mut dx);
+                    if let Some(packed) = self.packed_for(*w, Orientation::Transposed) {
+                        self.backend
+                            .matmul_packed(&gm, &packed, n, &self.par, &mut dx);
+                    } else {
+                        let mut wt = self.pool.acquire(k * m);
+                        kernels::transpose(vw.as_slice(), k, m, &mut wt);
+                        self.backend.matmul(&gm, &wt, n, m, k, &self.par, &mut dx);
+                        self.pool.release(wt);
+                    }
                     add_slice(&mut grads[x.0], &dx);
-                    self.pool.release(wt);
                     self.pool.release(dx);
                     let mut xt = self.pool.acquire(n * k);
                     kernels::transpose(vx.as_slice(), n, k, &mut xt);
@@ -743,6 +1230,13 @@ impl Tape {
                     self.pool.release(xt);
                     self.pool.release(dw);
                     self.pool.release(gm);
+                }
+                Op::Axpy(a, b, k) => {
+                    // Matches the unfused scale→add reverse order: the add
+                    // side first, then the scaled side.
+                    grads[b.0].add_assign(&g);
+                    let da = g.scale(*k);
+                    grads[a.0].add_assign(&da);
                 }
                 Op::Add(a, b) => {
                     grads[a.0].add_assign(&g);
@@ -754,8 +1248,8 @@ impl Tape {
                     grads[b.0].add_assign(&neg);
                 }
                 Op::Mul(a, b) => {
-                    let da = g.mul(&self.nodes[b.0].value);
-                    let db = g.mul(&self.nodes[a.0].value);
+                    let da = g.mul(self.node_value(b.0));
+                    let db = g.mul(self.node_value(a.0));
                     grads[a.0].add_assign(&da);
                     grads[b.0].add_assign(&db);
                 }
@@ -774,20 +1268,21 @@ impl Tape {
                     grads[a.0].add_assign(&da);
                 }
                 Op::Relu(a) => {
-                    let da = g.zip_map(
-                        &self.nodes[a.0].value,
-                        |gg, x| if x > 0.0 { gg } else { 0.0 },
-                    );
+                    let da =
+                        g.zip_map(self.node_value(a.0), |gg, x| if x > 0.0 { gg } else { 0.0 });
                     grads[a.0].add_assign(&da);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let da = g.zip_map(&self.nodes[a.0].value, |gg, x| {
-                        if x > 0.0 {
-                            gg
-                        } else {
-                            gg * slope
-                        }
-                    });
+                    let da = g.zip_map(
+                        self.node_value(a.0),
+                        |gg, x| {
+                            if x > 0.0 {
+                                gg
+                            } else {
+                                gg * slope
+                            }
+                        },
+                    );
                     grads[a.0].add_assign(&da);
                 }
                 Op::Dropout(a, mask, keep_prob) => {
@@ -799,28 +1294,28 @@ impl Tape {
                     grads[a.0].add_assign(&da);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[idx].value;
+                    let y = self.node_value(idx);
                     let da = g.zip_map(y, |gg, s| gg * s * (1.0 - s));
                     grads[a.0].add_assign(&da);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[idx].value;
+                    let y = self.node_value(idx);
                     let da = g.zip_map(y, |gg, t| gg * (1.0 - t * t));
                     grads[a.0].add_assign(&da);
                 }
                 Op::Sum(a) => {
-                    let va = &self.nodes[a.0].value;
-                    let da = Tensor::full(va.rows(), va.cols(), g.at(0, 0));
+                    let (r, c) = self.dims(*a);
+                    let da = Tensor::full(r, c, g.at(0, 0));
                     grads[a.0].add_assign(&da);
                 }
                 Op::Mean(a) => {
-                    let va = &self.nodes[a.0].value;
-                    let n = (va.rows() * va.cols()).max(1) as f32;
-                    let da = Tensor::full(va.rows(), va.cols(), g.at(0, 0) / n);
+                    let (r, c) = self.dims(*a);
+                    let n = (r * c).max(1) as f32;
+                    let da = Tensor::full(r, c, g.at(0, 0) / n);
                     grads[a.0].add_assign(&da);
                 }
                 Op::DivEps(a, b, eps) => {
-                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let (va, vb) = (self.node_value(a.0), self.node_value(b.0));
                     let da = g.zip_map(vb, |gg, y| gg / (y + eps));
                     let mut db = Tensor::zeros(vb.rows(), vb.cols());
                     for i in 0..db.as_slice().len() {
@@ -831,7 +1326,7 @@ impl Tape {
                     grads[b.0].add_assign(&db);
                 }
                 Op::RowDot(a, b) => {
-                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let (va, vb) = (self.node_value(a.0), self.node_value(b.0));
                     let mut da = Tensor::zeros(va.rows(), va.cols());
                     let mut db = Tensor::zeros(vb.rows(), vb.cols());
                     for r in 0..va.rows() {
@@ -845,7 +1340,7 @@ impl Tape {
                     grads[b.0].add_assign(&db);
                 }
                 Op::MulColBroadcast(a, w) => {
-                    let (va, vw) = (&self.nodes[a.0].value, &self.nodes[w.0].value);
+                    let (va, vw) = (self.node_value(a.0), self.node_value(w.0));
                     let mut da = Tensor::zeros(va.rows(), va.cols());
                     let mut dw = Tensor::zeros(vw.rows(), 1);
                     for r in 0..va.rows() {
@@ -863,7 +1358,7 @@ impl Tape {
                 Op::ConcatCols(parts) => {
                     let mut offset = 0usize;
                     for &p in parts.iter() {
-                        let w = self.nodes[p.0].value.cols();
+                        let w = self.dims(p).1;
                         let mut dp = Tensor::zeros(g.rows(), w);
                         for r in 0..g.rows() {
                             for c in 0..w {
@@ -875,7 +1370,7 @@ impl Tape {
                     }
                 }
                 Op::GatherRows(a, index) => {
-                    let da = g.scatter_add_rows(index, self.nodes[a.0].value.rows());
+                    let da = g.scatter_add_rows(index, self.dims(*a).0);
                     grads[a.0].add_assign(&da);
                 }
                 Op::ScatterAddRows(a, index) => {
@@ -893,7 +1388,7 @@ impl Tape {
                     grads[a.0].add_assign(&da);
                 }
                 Op::SegmentSoftmax(a, segments, n_segments) => {
-                    let p = &self.nodes[idx].value;
+                    let p = self.node_value(idx);
                     let (r, c) = p.shape();
                     // dx = p ⊙ (g - Σ_seg (g ⊙ p)) per column.
                     let mut dots = vec![0.0f32; n_segments * c];
@@ -912,9 +1407,19 @@ impl Tape {
                     }
                     grads[a.0].add_assign(&da);
                 }
-                Op::LayerNorm(a, gamma, beta, eps) => {
-                    let x = &self.nodes[a.0].value;
-                    let gm = &self.nodes[gamma.0].value;
+                Op::LayerNorm(a, gamma, beta, eps) | Op::LayerNormAct(a, gamma, beta, eps, _) => {
+                    // For the fused variant, first mask the upstream
+                    // gradient by the activation exactly as the unfused
+                    // activation backward would (output sign == norm-output
+                    // sign because the fused activations preserve sign).
+                    let ge = match &self.nodes[idx].op {
+                        Op::LayerNormAct(_, _, _, _, act) => {
+                            self.mask_by_output(&g, self.node_value(idx), *act)
+                        }
+                        _ => g.clone(),
+                    };
+                    let x = self.node_value(a.0);
+                    let gm = self.node_value(gamma.0);
                     let (r, c) = x.shape();
                     let cn = c as f32;
                     let mut da = Tensor::zeros(r, c);
@@ -926,7 +1431,7 @@ impl Tape {
                         let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / cn;
                         let inv = 1.0 / (var + eps).sqrt();
                         let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv).collect();
-                        let dxhat: Vec<f32> = (0..c).map(|j| g.at(i, j) * gm.at(0, j)).collect();
+                        let dxhat: Vec<f32> = (0..c).map(|j| ge.at(i, j) * gm.at(0, j)).collect();
                         let mean_dxhat = dxhat.iter().sum::<f32>() / cn;
                         let mean_dxhat_xhat =
                             dxhat.iter().zip(&xhat).map(|(&d, &h)| d * h).sum::<f32>() / cn;
@@ -936,17 +1441,23 @@ impl Tape {
                                 j,
                                 inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat),
                             );
-                            dgamma.set(0, j, dgamma.at(0, j) + g.at(i, j) * xhat[j]);
-                            dbeta.set(0, j, dbeta.at(0, j) + g.at(i, j));
+                            dgamma.set(0, j, dgamma.at(0, j) + ge.at(i, j) * xhat[j]);
+                            dbeta.set(0, j, dbeta.at(0, j) + ge.at(i, j));
                         }
                     }
                     grads[a.0].add_assign(&da);
                     grads[gamma.0].add_assign(&dgamma);
                     grads[beta.0].add_assign(&dbeta);
                 }
-                Op::BatchNorm(a, gamma, beta, eps) => {
-                    let x = &self.nodes[a.0].value;
-                    let gm = &self.nodes[gamma.0].value;
+                Op::BatchNorm(a, gamma, beta, eps) | Op::BatchNormAct(a, gamma, beta, eps, _) => {
+                    let ge = match &self.nodes[idx].op {
+                        Op::BatchNormAct(_, _, _, _, act) => {
+                            self.mask_by_output(&g, self.node_value(idx), *act)
+                        }
+                        _ => g.clone(),
+                    };
+                    let x = self.node_value(a.0);
+                    let gm = self.node_value(gamma.0);
                     let (r, c) = x.shape();
                     let rn = r.max(1) as f32;
                     let mut da = Tensor::zeros(r, c);
@@ -965,7 +1476,7 @@ impl Tape {
                         var /= rn;
                         let inv = 1.0 / (var + eps).sqrt();
                         let xhat: Vec<f32> = (0..r).map(|i| (x.at(i, j) - mean) * inv).collect();
-                        let dxhat: Vec<f32> = (0..r).map(|i| g.at(i, j) * gm.at(0, j)).collect();
+                        let dxhat: Vec<f32> = (0..r).map(|i| ge.at(i, j) * gm.at(0, j)).collect();
                         let mean_dxhat = dxhat.iter().sum::<f32>() / rn;
                         let mean_dxhat_xhat =
                             dxhat.iter().zip(&xhat).map(|(&d, &h)| d * h).sum::<f32>() / rn;
@@ -975,8 +1486,8 @@ impl Tape {
                                 j,
                                 inv * (dxhat[i] - mean_dxhat - xhat[i] * mean_dxhat_xhat),
                             );
-                            dgamma.set(0, j, dgamma.at(0, j) + g.at(i, j) * xhat[i]);
-                            dbeta.set(0, j, dbeta.at(0, j) + g.at(i, j));
+                            dgamma.set(0, j, dgamma.at(0, j) + ge.at(i, j) * xhat[i]);
+                            dbeta.set(0, j, dbeta.at(0, j) + ge.at(i, j));
                         }
                     }
                     grads[a.0].add_assign(&da);
@@ -984,7 +1495,7 @@ impl Tape {
                     grads[beta.0].add_assign(&dbeta);
                 }
                 Op::L1Loss(pred, target) => {
-                    let p = &self.nodes[pred.0].value;
+                    let p = self.node_value(pred.0);
                     let n = (p.rows() * p.cols()).max(1) as f32;
                     let scale = g.at(0, 0) / n;
                     let dp = p.zip_map(target, |a, b| {
@@ -999,7 +1510,7 @@ impl Tape {
                     grads[pred.0].add_assign(&dp);
                 }
                 Op::CrossEntropy(logits, labels) => {
-                    let x = &self.nodes[logits.0].value;
+                    let x = self.node_value(logits.0);
                     let (r, c) = x.shape();
                     let scale = g.at(0, 0) / r.max(1) as f32;
                     let mut dx = Tensor::zeros(r, c);
@@ -1440,6 +1951,274 @@ mod tests {
         let (idx, kind) = tape.first_nonfinite().expect("nan on tape");
         assert_eq!((idx, kind), (0, "leaf"));
         let _ = x;
+    }
+
+    /// Asserts two tensors are bitwise identical.
+    fn assert_bits(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn planner_fuses_linear_chain_bit_identical() {
+        let x = sample(5, 7, 60);
+        let w = sample(7, 3, 61);
+        let b = sample(1, 3, 62);
+
+        let mut eager = Tape::new();
+        let (ex, ew, eb) = (
+            eager.leaf(x.clone()),
+            eager.leaf(w.clone()),
+            eager.leaf(b.clone()),
+        );
+        let em = eager.matmul(ex, ew);
+        let ea = eager.add_row(em, eb);
+        let ey = eager.relu(ea);
+        let eloss = eager.sum(ey);
+        let eg = eager.backward(eloss);
+
+        let mut planned = Tape::new();
+        planned.set_planning(true);
+        let (px, pw, pb) = (
+            planned.leaf(x.clone()),
+            planned.leaf(w.clone()),
+            planned.leaf(b.clone()),
+        );
+        let pm = planned.matmul(px, pw);
+        let pa = planned.add_row(pm, pb);
+        let py = planned.relu(pa);
+        let ploss = planned.sum(py); // flush boundary: fusion runs here
+        let pg = planned.backward(ploss);
+
+        assert_bits(planned.value(py), eager.value(ey));
+        assert_bits(planned.value(ploss), eager.value(eloss));
+        for (pv, ev) in [(px, ex), (pw, ew), (pb, eb)] {
+            assert_bits(pg.wrt(pv), eg.wrt(ev));
+        }
+        // The interior nodes were fused away and never materialized.
+        assert!(planned.nodes[pm.0].value.is_none());
+        assert!(planned.nodes[pa.0].value.is_none());
+        // The same chain with a leaky tail fuses too (positive slope).
+        let mut eager = Tape::new();
+        let (ex, ew, eb) = (
+            eager.leaf(x.clone()),
+            eager.leaf(w.clone()),
+            eager.leaf(b.clone()),
+        );
+        let em = eager.matmul(ex, ew);
+        let ea = eager.add_row(em, eb);
+        let ey = eager.leaky_relu(ea, 0.2);
+        let eloss = eager.sum(ey);
+        let eg = eager.backward(eloss);
+        let mut planned = Tape::new();
+        planned.set_planning(true);
+        let (px, pw, pb) = (planned.leaf(x), planned.leaf(w), planned.leaf(b));
+        let pm = planned.matmul(px, pw);
+        let pa = planned.add_row(pm, pb);
+        let py = planned.leaky_relu(pa, 0.2);
+        let ploss = planned.sum(py);
+        let pg = planned.backward(ploss);
+        assert_bits(planned.value(py), eager.value(ey));
+        assert!(planned.nodes[pm.0].value.is_none());
+        assert!(planned.nodes[pa.0].value.is_none());
+        for (pv, ev) in [(px, ex), (pw, ew), (pb, eb)] {
+            assert_bits(pg.wrt(pv), eg.wrt(ev));
+        }
+    }
+
+    #[test]
+    fn planner_fuses_axpy_and_norm_activations() {
+        // scale → add (both operand orders), layer_norm → leaky_relu,
+        // batch_norm → relu: planned values and gradients must be bitwise
+        // equal to the eager unfused chain.
+        let x = sample(4, 6, 70);
+        let o = sample(4, 6, 71);
+        for scale_on_left in [true, false] {
+            let run = |planning: bool| {
+                let mut t = Tape::new();
+                t.set_planning(planning);
+                let (vx, vo) = (t.leaf(x.clone()), t.leaf(o.clone()));
+                let s = t.scale(vx, 0.75);
+                let y = if scale_on_left {
+                    t.add(s, vo)
+                } else {
+                    t.add(vo, s)
+                };
+                let loss = t.mean(y);
+                let g = t.backward(loss);
+                let elided = t.nodes[s.0].value.is_none();
+                (
+                    t.value(y).clone(),
+                    g.wrt(vx).clone(),
+                    g.wrt(vo).clone(),
+                    elided,
+                )
+            };
+            let (ey, egx, ego, _) = run(false);
+            let (py, pgx, pgo, elided) = run(true);
+            assert!(elided, "scale not fused into axpy");
+            assert_bits(&py, &ey);
+            assert_bits(&pgx, &egx);
+            assert_bits(&pgo, &ego);
+        }
+
+        for batch in [false, true] {
+            let run = |planning: bool| {
+                let mut t = Tape::new();
+                t.set_planning(planning);
+                let vx = t.leaf(x.clone());
+                let gamma = t.leaf(Tensor::full(1, 6, 1.1));
+                let beta = t.leaf(Tensor::full(1, 6, -0.3));
+                let n = if batch {
+                    t.batch_norm(vx, gamma, beta, 1e-5)
+                } else {
+                    t.layer_norm(vx, gamma, beta, 1e-5)
+                };
+                let y = if batch {
+                    t.relu(n)
+                } else {
+                    t.leaky_relu(n, 0.1)
+                };
+                let loss = t.sum(y);
+                let g = t.backward(loss);
+                let elided = t.nodes[n.0].value.is_none();
+                (
+                    t.value(y).clone(),
+                    g.wrt(vx).clone(),
+                    g.wrt(gamma).clone(),
+                    g.wrt(beta).clone(),
+                    elided,
+                )
+            };
+            let (ey, egx, egg, egb, _) = run(false);
+            let (py, pgx, pgg, pgb, elided) = run(true);
+            assert!(elided, "norm not fused into norm-activation");
+            assert_bits(&py, &ey);
+            assert_bits(&pgx, &egx);
+            assert_bits(&pgg, &egg);
+            assert_bits(&pgb, &egb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fused away")]
+    fn fused_interior_node_panics_on_read() {
+        let mut t = Tape::new();
+        t.set_planning(true);
+        let x = t.leaf(sample(3, 4, 80));
+        let w = t.leaf(sample(4, 2, 81));
+        let b = t.leaf(sample(1, 2, 82));
+        let m = t.matmul(x, w);
+        let a = t.add_row(m, b);
+        let y = t.relu(a);
+        let _loss = t.sum(y);
+        let _ = t.value(m); // interior of the fused chain: never materialized
+    }
+
+    #[test]
+    fn planner_keeps_shared_and_rooted_intermediates() {
+        // An intermediate consumed twice must not be elided.
+        let mut t = Tape::new();
+        t.set_planning(true);
+        let x = t.leaf(sample(3, 3, 83));
+        let s = t.scale(x, 2.0);
+        let y = t.add(s, s); // s has two consumers: no axpy fusion
+        let loss = t.sum(y);
+        assert!(t.nodes[s.0].value.is_some());
+        let _ = t.backward(loss);
+
+        // An intermediate a flush consumer is about to read (a root) must
+        // not be elided either, even with a single recorded consumer.
+        let mut t = Tape::new();
+        t.set_planning(true);
+        let x = t.leaf(sample(3, 3, 84));
+        let o = t.leaf(sample(3, 3, 85));
+        let s = t.scale(x, 0.5);
+        let _y = t.add(s, o);
+        let _probe = t.sum(s); // flushes with s as a root
+        assert!(t.nodes[s.0].value.is_some());
+    }
+
+    #[test]
+    fn disabling_planning_flushes_pending_ops() {
+        let mut t = Tape::new();
+        t.set_planning(true);
+        let x = t.leaf(sample(2, 2, 86));
+        let y = t.relu(x);
+        assert!(t.nodes[y.0].value.is_none());
+        t.set_planning(false);
+        assert!(t.nodes[y.0].value.is_some());
+        assert!(!t.planning());
+    }
+
+    #[test]
+    fn pack_cache_packs_each_weight_once_per_step() {
+        use mega_exec::{BlockedBackend, PackCache};
+        let x = sample(9, 16, 90);
+        let w = sample(16, 5, 91);
+        let cache = Arc::new(PackCache::default());
+        let pool = Arc::new(BufferPool::new());
+
+        let step = |cache: &Arc<PackCache>, pool: &Arc<BufferPool>| {
+            let mut t = Tape::with_exec(Arc::new(BlockedBackend), pool.clone());
+            t.set_pack_cache(cache.clone());
+            let vx = t.leaf(x.clone());
+            let vw = t.leaf_param(w.clone(), 7);
+            let y = t.matmul(vx, vw);
+            let loss = t.sum(y);
+            let _ = t.backward(loss);
+        };
+
+        // First step packs w exactly once per orientation (forward normal,
+        // backward transposed): two misses, no hits.
+        step(&cache, &pool);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        // Re-running without an optimizer update re-packs nothing.
+        step(&cache, &pool);
+        step(&cache, &pool);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 4);
+        // An optimizer update invalidates; the next step packs once again.
+        cache.invalidate();
+        step(&cache, &pool);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.invalidations(), 1);
+    }
+
+    #[test]
+    fn pack_cache_matches_uncached_bits() {
+        use mega_exec::{BlockedBackend, PackCache};
+        let x = sample(6, 8, 92);
+        let w = sample(8, 4, 93);
+        let b = sample(1, 4, 94);
+
+        let run = |cached: bool| {
+            let mut t = Tape::with_exec(Arc::new(BlockedBackend), Arc::new(BufferPool::new()));
+            if cached {
+                t.set_pack_cache(Arc::new(PackCache::default()));
+            }
+            let vx = t.leaf(x.clone());
+            let vw = t.leaf_param(w.clone(), 1);
+            let vb = t.leaf(b.clone());
+            let y = t.linear_relu(vx, vw, vb);
+            let loss = t.sum(y);
+            let g = t.backward(loss);
+            (
+                t.value(y).clone(),
+                g.wrt(vx).clone(),
+                g.wrt(vw).clone(),
+                g.wrt(vb).clone(),
+            )
+        };
+        let (uy, ugx, ugw, ugb) = run(false);
+        let (cy, cgx, cgw, cgb) = run(true);
+        assert_bits(&cy, &uy);
+        assert_bits(&cgx, &ugx);
+        assert_bits(&cgw, &ugw);
+        assert_bits(&cgb, &ugb);
     }
 
     #[test]

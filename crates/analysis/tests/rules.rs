@@ -72,6 +72,10 @@ fn obs_routing_exempts_obs_tests_and_examples() {
 fn unordered_collection_fires_in_result_affecting_crates_only() {
     let inside = lint_source("crates/core/src/cache.rs", UNORDERED);
     assert_eq!(lines(&inside, Rule::UnorderedCollection), [2, 3, 5, 5, 7]);
+    // The distributed crate folds gradients and halo rows in a fixed order,
+    // so it stays pinned inside the order-sensitive scope.
+    let dist = lint_source("crates/dist/src/train.rs", UNORDERED);
+    assert_eq!(lines(&dist, Rule::UnorderedCollection), [2, 3, 5, 5, 7]);
     assert!(lint_source("crates/obs/src/cache.rs", UNORDERED).is_empty());
     assert!(lint_source("crates/core/tests/cache.rs", UNORDERED).is_empty());
 }

@@ -244,21 +244,41 @@ pub fn train(args: &Args) -> Result<(), String> {
         .with_parallelism(mega_core::Parallelism::with_threads(threads))
         .with_backend(backend)
         .with_plan(plan);
+    // Passing --workers (any N >= 1, including 1) routes the run through the
+    // distributed trainer, which shards each optimizer step sample-per-shard
+    // and all-reduces gradients in a fixed order — the trajectory is
+    // bit-identical for every worker count. Omitting the flag keeps the plain
+    // whole-batch trainer; its batch-norm sees whole-batch statistics, so it
+    // follows a different (equally deterministic) trajectory.
+    let workers = match args.get("workers") {
+        Some(_) => Some(args.get_or("workers", 1usize)?),
+        None => None,
+    };
+    if workers == Some(0) {
+        return Err("--workers must be at least 1".into());
+    }
     info!(
-        "training {} on {} with the {} engine ({} threads, {} backend, planner {})...",
+        "training {} on {} with the {} engine ({} threads, {} backend, planner {}, {} trainer)...",
         kind.label(),
         ds.name,
         engine.label(),
         mega_core::Parallelism::with_threads(threads).effective_threads(),
         backend_name,
-        if plan { "on" } else { "off" }
+        if plan { "on" } else { "off" },
+        match workers {
+            Some(k) => format!("distributed x{k}"),
+            None => "serial".to_string(),
+        }
     );
     let instrument = wants_obs(args);
     if instrument {
         mega_obs::reset();
         mega_obs::set_enabled(true);
     }
-    let hist = trainer.run(&ds, cfg);
+    let hist = match workers {
+        Some(k) => mega_dist::DistTrainer::new(trainer, k).run(&ds, cfg),
+        None => trainer.run(&ds, cfg),
+    };
     if instrument {
         mega_obs::set_enabled(false);
     }

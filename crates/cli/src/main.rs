@@ -54,6 +54,13 @@ COMMANDS:
                               and tape matmuls; 0 = auto from
                               RAYON_NUM_THREADS or the hardware (default 1).
                               Results are bit-identical for every value.
+        --workers N           run the distributed trainer: shard each
+                              optimizer step across N worker threads and
+                              all-reduce the gradients in a fixed order. The
+                              trajectory is bit-identical for every N >= 1.
+                              Omit the flag for the plain whole-batch
+                              trainer (different batch-norm statistics, so a
+                              different — equally deterministic — run).
         --trace-out FILE      write a Chrome-trace JSON of the run
         --metrics-out FILE    write a deterministic metrics snapshot JSON
     profile                   Instrumented training run + simulated GTX 1080

@@ -270,6 +270,7 @@ fn render(
     render_pool(&mut o, &snap);
     render_traversal(&mut o, &snap);
     render_health(&mut o, &snap);
+    render_dist(&mut o, &snap);
     render_gpusim(&mut o, &snap);
     render_spans(&mut o, &snap);
     if let Some((path, text)) = baseline {
@@ -564,6 +565,65 @@ fn render_health(o: &mut String, snap: &Snap) {
     }
 }
 
+/// Distributed execution: shard-parallel trainer accounting
+/// (`dist.train.*`) and band-engine halo traffic (`dist.*`). Deterministic
+/// snapshots carry the shard/halo counters (bit-stable across runs and
+/// worker counts); wall-clock shard/step/wait times appear only in full
+/// snapshots.
+fn render_dist(o: &mut String, snap: &Snap) {
+    let has_dist = snap.counters.iter().any(|(k, _)| k.starts_with("dist."));
+    if !has_dist {
+        return;
+    }
+    let _ = writeln!(o, "\n## Distributed");
+    let _ = writeln!(o);
+    if let Some(runs) = snap.counter("dist.train.runs") {
+        let workers = snap.counter("dist.train.workers").unwrap_or(0);
+        let steps = snap.counter("dist.train.steps").unwrap_or(0);
+        let shards = snap.counter("dist.train.shards").unwrap_or(0);
+        let per_step = if steps > 0 {
+            format!("{:.1}", shards as f64 / steps as f64)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            o,
+            "- trainer: {runs} runs x {workers} workers; {steps} optimizer steps over \
+             {shards} gradient shards ({per_step} shards/step, fixed-order all-reduce)"
+        );
+        if let Some(ns) = snap.timing_sum_ns("dist.train.shard_ns") {
+            let _ = writeln!(o, "- shard compute: {:.3} ms total", ns as f64 / 1e6);
+        }
+    }
+    if let Some(runs) = snap.counter("dist.runs") {
+        let workers = snap.counter("dist.workers").unwrap_or(0);
+        let steps = snap.counter("dist.steps").unwrap_or(0);
+        let msgs = snap.counter("dist.halo.msgs").unwrap_or(0);
+        let bytes = snap.counter("dist.halo.bytes").unwrap_or(0);
+        let per_msg = if msgs > 0 {
+            format!("{:.0}", bytes as f64 / msgs as f64)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            o,
+            "- band engine: {runs} runs x {workers} workers, {steps} steps; halo traffic \
+             {msgs} messages / {bytes} bytes ({per_msg} B/msg)"
+        );
+        let step_ns = snap.timing_sum_ns("dist.step_ns");
+        let wait_ns = snap.timing_sum_ns("dist.halo.wait_ns");
+        if let (Some(s), Some(w)) = (step_ns, wait_ns) {
+            let _ = writeln!(
+                o,
+                "- per-worker wall clock: {:.3} ms stepping, {:.3} ms waiting on halos ({})",
+                s as f64 / 1e6,
+                w as f64 / 1e6,
+                pct(w, s)
+            );
+        }
+    }
+}
+
 /// Simulated-GPU bridge (`mega profile` exports `gpusim.<engine>.*`).
 fn render_gpusim(o: &mut String, snap: &Snap) {
     let counters: Vec<&(String, u64)> = snap
@@ -788,6 +848,65 @@ mod tests {
         let md = render("m.json", &full, None, &cal, "reference").unwrap();
         assert!(md.contains("| 5.369 |"), "{md}");
         assert!(md.contains("67.1%"), "{md}");
+    }
+
+    #[test]
+    fn distributed_section_summarizes_shards_and_halos() {
+        let cal = Calibration::reference();
+        // No dist counters → no Distributed section.
+        let md = render("m.json", DET_SNAPSHOT, None, &cal, "r").unwrap();
+        assert!(!md.contains("## Distributed"), "{md}");
+        let dist = r#"{
+  "deterministic": true,
+  "counters": {
+    "dist.halo.bytes": 3840,
+    "dist.halo.msgs": 24,
+    "dist.runs": 2,
+    "dist.steps": 8,
+    "dist.train.runs": 1,
+    "dist.train.shards": 24,
+    "dist.train.steps": 3,
+    "dist.train.workers": 4,
+    "dist.workers": 6
+  },
+  "timings": {
+    "dist.train.shard_ns": {"count": 24}
+  }
+}"#;
+        let md = render("m.json", dist, None, &cal, "r").unwrap();
+        assert!(md.contains("## Distributed"), "{md}");
+        assert!(
+            md.contains(
+                "- trainer: 1 runs x 4 workers; 3 optimizer steps over 24 gradient shards \
+                 (8.0 shards/step, fixed-order all-reduce)"
+            ),
+            "{md}"
+        );
+        assert!(
+            md.contains(
+                "- band engine: 2 runs x 6 workers, 8 steps; halo traffic 24 messages / \
+                 3840 bytes (160 B/msg)"
+            ),
+            "{md}"
+        );
+        // Counts-only snapshot: no wall-clock lines.
+        assert!(!md.contains("shard compute"), "{md}");
+        assert!(!md.contains("per-worker wall clock"), "{md}");
+        // A full snapshot adds the measured lines.
+        let full = dist.replace(
+            r#""dist.train.shard_ns": {"count": 24}"#,
+            r#""dist.train.shard_ns": {"count": 24, "sum_ns": 2000000},
+    "dist.step_ns": {"count": 8, "sum_ns": 4000000},
+    "dist.halo.wait_ns": {"count": 24, "sum_ns": 1000000}"#,
+        );
+        let md = render("m.json", &full, None, &cal, "r").unwrap();
+        assert!(md.contains("- shard compute: 2.000 ms total"), "{md}");
+        assert!(
+            md.contains(
+                "- per-worker wall clock: 4.000 ms stepping, 1.000 ms waiting on halos (25.0%)"
+            ),
+            "{md}"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Distributed partitioning and communication-volume analysis (§IV-B6).
+//! Distributed execution and communication analysis over path segments
+//! (§IV-B6).
 //!
 //! The paper argues that conventional distributed GNN training partitions the
 //! *graph*, paying edge-cut communication that requires expensive all-to-all
@@ -10,6 +11,14 @@
 //!   segment partitioner.
 //! * [`comm`] — communication accounting: cut edges, communicating partition
 //!   pairs, replica synchronization volume.
+//! * [`exec`] — the claim, *executed*: a thread-per-segment band engine with
+//!   double-buffered ±ω halo exchange, bit-identical to the serial oracle
+//!   for every worker count.
+//! * [`train`] — a distributed trainer: per-sample gradient shards fanned
+//!   out over workers, all-reduced in a fixed ascending-shard order so the
+//!   loss trajectory is bit-identical for any worker count.
+//! * [`scaling`] — the modeled cluster scaling curves (see
+//!   `bench/dist_scaling` for the modeled/measured split).
 //!
 //! # Example
 //!
@@ -36,9 +45,15 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod exec;
 pub mod partition;
 pub mod scaling;
+pub mod train;
 
 pub use comm::{edge_cut_volume, path_partition_volume, CommStats};
+pub use exec::{
+    run_serial, run_with_plan, BandJob, BandRun, DistExecutor, SegmentPlan, ThreadExecutor,
+};
 pub use partition::{bfs_partition, hash_partition, path_segments};
 pub use scaling::{epoch_scaling, ClusterConfig, ScalingPoint};
+pub use train::DistTrainer;

@@ -1,9 +1,10 @@
-//! Property-based tests for partitioning and communication accounting.
+//! Property-based tests for partitioning, communication accounting, and the
+//! distributed executor's segment/halo geometry.
 
-use mega_core::{preprocess, MegaConfig};
+use mega_core::{preprocess, ChunkPlan, MegaConfig};
 use mega_dist::{
     bfs_partition, edge_cut_volume, epoch_scaling, hash_partition, path_partition_volume,
-    path_segments, ClusterConfig,
+    path_segments, run_serial, BandJob, ClusterConfig, DistExecutor, SegmentPlan, ThreadExecutor,
 };
 use mega_graph::{Graph, GraphBuilder};
 use proptest::prelude::*;
@@ -73,5 +74,95 @@ proptest! {
         prop_assert!(point.total_seconds > 0.0);
         prop_assert!(point.speedup <= k as f64 + 1e-9);
         prop_assert!((point.compute_seconds + point.comm_seconds - point.total_seconds).abs() < 1e-12);
+    }
+
+    /// The segment partition reconstructs the single-process `ChunkPlan`'s
+    /// band windows exactly: for random (len, window, workers) triples, the
+    /// segments are byte-for-byte the chunks `ChunkPlan::build` produces for
+    /// the same quotient, and every halo window is the ±ω read extent.
+    #[test]
+    fn segment_plan_reconstructs_chunk_plan_windows(
+        len in 0usize..400,
+        window in 1usize..16,
+        workers in 1usize..12,
+    ) {
+        let plan = SegmentPlan::build(len, window, workers);
+        let segs = plan.segments();
+        // Segments partition the path in order.
+        let mut cursor = 0usize;
+        for seg in segs {
+            prop_assert_eq!(seg.start, cursor);
+            cursor = seg.end;
+            // The halo geometry is exactly the chunked engine's read extent.
+            prop_assert_eq!(seg.read_lo, seg.start.saturating_sub(window));
+            prop_assert_eq!(seg.read_hi, (seg.end + window).min(len));
+        }
+        prop_assert_eq!(cursor, len);
+        // The same chunk quotient through `ChunkPlan::build` yields the
+        // identical segment list — the distributed plan *is* the
+        // single-process plan, worker-count included.
+        if plan.workers() > 1 {
+            let chunk_size = segs[0].owned_len();
+            let cp = ChunkPlan::build(len, window, chunk_size);
+            prop_assert_eq!(segs, cp.chunks());
+        }
+        // Adjacent-only halos: every read extent is covered by the segment
+        // plus its immediate neighbors, so the chain exchange suffices.
+        for (w, seg) in segs.iter().enumerate() {
+            if w > 0 {
+                prop_assert!(seg.read_lo >= segs[w - 1].start);
+            }
+            if w + 1 < segs.len() {
+                prop_assert!(seg.read_hi <= segs[w + 1].end);
+            }
+        }
+    }
+
+    /// On a real schedule, the segment plan's assignment is exactly
+    /// `path_segments`' quotient assignment (when no worker clamping is
+    /// needed — the clamp only engages when a segment would be thinner
+    /// than the band).
+    #[test]
+    fn segment_assignment_matches_path_segments(g in arb_graph(), k in 1usize..8) {
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let band = s.band();
+        prop_assume!(k == 1 || band.len().div_ceil(k) >= band.window().max(1));
+        let plan = SegmentPlan::for_schedule(&s, k);
+        prop_assert_eq!(plan.assignment(), path_segments(&s, k));
+    }
+
+    /// Distributed execution through the halo protocol is bit-identical to
+    /// the serial oracle on random graphs, for every worker count.
+    #[test]
+    fn halo_exchange_matches_serial_bits(g in arb_graph(), workers in 1usize..6, seed in 0u64..1000) {
+        let s = preprocess(&g, &MegaConfig::default()).unwrap();
+        let band = s.band();
+        let edges = s.working_graph().edge_count();
+        let dim = 3usize;
+        // Cheap deterministic pseudo-inputs; the kernels do not care about
+        // the distribution, only the bits.
+        let mix = |i: usize| {
+            let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed);
+            ((h >> 32) as f32 / u32::MAX as f32) - 0.5
+        };
+        let x0: Vec<f32> = (0..band.len() * dim).map(mix).collect();
+        let weights: Vec<f32> = (0..edges).map(|e| mix(e + band.len() * dim)).collect();
+        let job = BandJob {
+            band,
+            x0: &x0,
+            dim,
+            weights: &weights,
+            edge_count: edges,
+            steps: 3,
+            damping: 0.75,
+        };
+        let oracle = run_serial(&job);
+        let run = ThreadExecutor::new(workers).run(&job);
+        let ob: Vec<u32> = oracle.x.iter().map(|v| v.to_bits()).collect();
+        let rb: Vec<u32> = run.x.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(ob, rb);
+        let odw: Vec<u32> = oracle.dw.iter().map(|v| v.to_bits()).collect();
+        let rdw: Vec<u32> = run.dw.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(odw, rdw);
     }
 }

@@ -529,17 +529,30 @@ pub fn batch_norm(
 }
 
 /// One active slot's weight-gradient contribution, folding the `lo`/`hi`
-/// products interleaved per feature — the shared inner loop of both the
-/// serial and the chunk-parallel weight-grad kernels (they must agree
-/// bit-for-bit, so there is exactly one copy of it).
+/// products interleaved per feature — the shared inner loop of the serial,
+/// chunk-parallel, and segment-local weight-grad kernels (they must agree
+/// bit-for-bit, so there is exactly one copy of it). Takes the four rows as
+/// slices so callers can offset into segment-local slabs.
 #[inline]
-fn slot_weight_grad(band_dim: usize, x: &[f32], d_out: &[f32], lo: usize, hi: usize) -> f32 {
+fn slot_weight_grad(
+    band_dim: usize,
+    x_lo: &[f32],
+    x_hi: &[f32],
+    d_lo: &[f32],
+    d_hi: &[f32],
+) -> f32 {
     let mut acc = 0.0f32;
     for d in 0..band_dim {
-        acc += d_out[lo * band_dim + d] * x[hi * band_dim + d];
-        acc += d_out[hi * band_dim + d] * x[lo * band_dim + d];
+        acc += d_lo[d] * x_hi[d];
+        acc += d_hi[d] * x_lo[d];
     }
     acc
+}
+
+/// Row `r` of a full-length `L × dim` slab, as a `dim`-element slice.
+#[inline]
+fn row(buf: &[f32], r: usize, dim: usize) -> &[f32] {
+    &buf[r * dim..(r + 1) * dim]
 }
 
 /// Serial reference kernel: masked banded aggregation.
@@ -586,16 +599,76 @@ fn aggregate_chunk_into(
     weights: &[f32],
     out: &mut [f32],
 ) {
-    let w_max = band.window();
     debug_assert_eq!(out.len(), chunk.owned_len() * dim);
-    for r in chunk.start..chunk.end {
-        let row = &mut out[(r - chunk.start) * dim..(r - chunk.start + 1) * dim];
+    banded_aggregate_segment(
+        band,
+        chunk,
+        chunk.start,
+        chunk.end,
+        x,
+        0,
+        dim,
+        weights,
+        out,
+        chunk.start,
+    );
+}
+
+/// Segment-local banded aggregation: rows `[row_lo, row_hi)` of `chunk`'s
+/// owned range, folded in exactly `aggregate_chunk_into`'s serial slot
+/// order, but reading `x` and writing `out` as *slabs* — `x` covers global
+/// path rows `[x_base, x_base + x.len()/dim)` and `out` covers
+/// `[out_base, out_base + out.len()/dim)`. This is the distributed
+/// executor's entry point: each worker holds only its segment's ±ω read
+/// extent, so every index must be translated by the slab base.
+///
+/// Bit-identical to the same rows of [`banded_aggregate_serial`] for any
+/// slab placement, because the per-row fold order never changes — only
+/// where the rows live in memory.
+///
+/// # Panics
+///
+/// Panics if the requested rows fall outside `chunk`'s owned range or the
+/// slabs do not cover the rows the fold touches.
+#[allow(clippy::too_many_arguments)]
+pub fn banded_aggregate_segment(
+    band: &BandMask,
+    chunk: &Chunk,
+    row_lo: usize,
+    row_hi: usize,
+    x: &[f32],
+    x_base: usize,
+    dim: usize,
+    weights: &[f32],
+    out: &mut [f32],
+    out_base: usize,
+) {
+    assert!(
+        chunk.start <= row_lo && row_hi <= chunk.end,
+        "rows [{row_lo}, {row_hi}) outside owned range [{}, {})",
+        chunk.start,
+        chunk.end
+    );
+    assert!(
+        x_base <= chunk.read_lo && chunk.read_hi <= x_base + x.len() / dim.max(1),
+        "x slab [{x_base}, {}) does not cover read extent [{}, {})",
+        x_base + x.len() / dim.max(1),
+        chunk.read_lo,
+        chunk.read_hi
+    );
+    assert!(
+        out_base <= row_lo && (row_hi - out_base) * dim <= out.len(),
+        "out slab does not cover rows [{row_lo}, {row_hi})"
+    );
+    let w_max = band.window();
+    for r in row_lo..row_hi {
+        let row = &mut out[(r - out_base) * dim..(r - out_base + 1) * dim];
         for lo in r.saturating_sub(w_max)..r {
             if let Some(e) = band.slot(lo, r - lo) {
                 check_read(chunk, lo);
                 let w = weights[e];
                 for d in 0..dim {
-                    row[d] += w * x[lo * dim + d];
+                    row[d] += w * x[(lo - x_base) * dim + d];
                 }
             }
         }
@@ -604,11 +677,50 @@ fn aggregate_chunk_into(
                 check_read(chunk, r + k);
                 let w = weights[e];
                 for d in 0..dim {
-                    row[d] += w * x[(r + k) * dim + d];
+                    row[d] += w * x[(r + k - x_base) * dim + d];
                 }
             }
         }
     }
+}
+
+/// Segment-local weight gradient: the `(edge, value)` pairs for every active
+/// slot whose `lo` row is owned by `chunk`, in ascending `(lo, offset)` slot
+/// order, computed by the shared `slot_weight_grad` fold. `x` and `d_out`
+/// are slabs covering global rows `[x_base, …)` and `[d_base, …)`; both
+/// must span `chunk`'s ±ω read extent, since a slot reaches up to ω rows
+/// past the owned range. Each edge claims exactly one slot, so the returned
+/// pairs are disjoint across segments and a fixed-order merge reproduces
+/// [`banded_weight_grad_serial`] bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn banded_weight_grad_segment(
+    band: &BandMask,
+    chunk: &Chunk,
+    x: &[f32],
+    x_base: usize,
+    d_out: &[f32],
+    d_base: usize,
+    dim: usize,
+) -> Vec<(usize, f32)> {
+    let slots = band.active_slots();
+    let begin = slots.partition_point(|s| s.lo < chunk.start);
+    let end = slots.partition_point(|s| s.lo < chunk.end);
+    let mut local: Vec<(usize, f32)> = Vec::with_capacity(end - begin);
+    for s in &slots[begin..end] {
+        check_read(chunk, s.lo);
+        check_read(chunk, s.hi);
+        local.push((
+            s.edge,
+            slot_weight_grad(
+                dim,
+                row(x, s.lo - x_base, dim),
+                row(x, s.hi - x_base, dim),
+                row(d_out, s.lo - d_base, dim),
+                row(d_out, s.hi - d_base, dim),
+            ),
+        ));
+    }
+    local
 }
 
 /// Parallel chunked banded aggregation — bit-identical to
@@ -737,7 +849,13 @@ pub fn banded_weight_grad_serial(
 ) -> Vec<f32> {
     let mut dw = vec![0.0f32; edge_count];
     for s in band.active_slots() {
-        dw[s.edge] = slot_weight_grad(dim, x, d_out, s.lo, s.hi);
+        dw[s.edge] = slot_weight_grad(
+            dim,
+            row(x, s.lo, dim),
+            row(x, s.hi, dim),
+            row(d_out, s.lo, dim),
+            row(d_out, s.hi, dim),
+        );
     }
     dw
 }
@@ -809,7 +927,16 @@ pub fn banded_weight_grad_with_plan(
             check_read(chunk, s.hi);
             #[cfg(feature = "race-check")]
             writers.claim(s.edge, chunk_id as u32);
-            local.push((s.edge, slot_weight_grad(dim, x, d_out, s.lo, s.hi)));
+            local.push((
+                s.edge,
+                slot_weight_grad(
+                    dim,
+                    row(x, s.lo, dim),
+                    row(x, s.hi, dim),
+                    row(d_out, s.lo, dim),
+                    row(d_out, s.hi, dim),
+                ),
+            ));
         }
         t.observe("core.parallel.chunk_wgrad_ns");
         local

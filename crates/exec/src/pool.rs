@@ -89,6 +89,11 @@ pub struct BufferPool {
     classes: Mutex<BTreeMap<u32, ClassState>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Suppresses the per-class gauge/trace exports (hit/miss counters are
+    /// additive and stay on). Concurrent pools would race last-writer-wins
+    /// on the shared gauge names; a quiet pool is observed via
+    /// [`BufferPool::class_stats`] and aggregated by its owner instead.
+    quiet: bool,
 }
 
 impl BufferPool {
@@ -99,6 +104,22 @@ impl BufferPool {
     /// An empty pool.
     pub fn new() -> Self {
         BufferPool::default()
+    }
+
+    /// An empty pool that never exports the per-class gauges or the
+    /// resident-bytes trace track. For pools that run concurrently with
+    /// others (e.g. one per distributed worker): the gauge names are
+    /// global, so live exports from concurrent pools would interleave
+    /// nondeterministically — the owner aggregates [`class_stats`] after
+    /// joining instead. The additive `exec.pool.hits`/`misses` counters
+    /// stay on; sums are interleaving-invariant.
+    ///
+    /// [`class_stats`]: BufferPool::class_stats
+    pub fn quiet() -> Self {
+        BufferPool {
+            quiet: true,
+            ..BufferPool::default()
+        }
     }
 
     /// The class a request of `len` elements draws from: index of the next
@@ -136,6 +157,7 @@ impl BufferPool {
     pub fn acquire(&self, len: usize) -> Vec<f32> {
         let class = Self::class_of_request(len);
         let obs = mega_obs::enabled();
+        let gauges = obs && !self.quiet;
         let (recycled, telemetry) = {
             let mut classes = self.classes.lock().expect("buffer pool poisoned");
             let state = classes.entry(class).or_default();
@@ -146,7 +168,8 @@ impl BufferPool {
                 state.resident_bytes -= 4 * buf.capacity() as u64;
             }
             let stats = (state.resident_bytes, state.resident_hwm_bytes, state.cap());
-            let telemetry = obs.then(|| (stats, classes.values().map(|s| s.resident_bytes).sum()));
+            let telemetry =
+                gauges.then(|| (stats, classes.values().map(|s| s.resident_bytes).sum()));
             (recycled, telemetry)
         };
         let buf = match recycled {
@@ -186,7 +209,7 @@ impl BufferPool {
             state.resident_hwm_bytes = state.resident_hwm_bytes.max(state.resident_bytes);
             state.parked.push(buf);
         }
-        if obs {
+        if obs && !self.quiet {
             let stats = (state.resident_bytes, state.resident_hwm_bytes, state.cap());
             let total = classes.values().map(|s| s.resident_bytes).sum();
             drop(classes);

@@ -31,6 +31,19 @@ impl Binder {
         }
     }
 
+    /// Extracts the gradients of every bound parameter as owned
+    /// `(param, grad)` pairs, in exactly [`Binder::apply`]'s binding order.
+    /// This is the shippable form of a gradient shard: a distributed
+    /// coordinator that replays shards' pair lists through
+    /// `ParamStore::accumulate` in a fixed shard order reproduces the
+    /// single-process accumulation bit-for-bit.
+    pub fn shard_grads(&self, grads: &mega_tensor::Gradients) -> Vec<(ParamId, Tensor)> {
+        self.bound
+            .iter()
+            .map(|&(p, v)| (p, grads.wrt(v).clone()))
+            .collect()
+    }
+
     /// Number of bindings recorded.
     pub fn len(&self) -> usize {
         self.bound.len()

@@ -3,34 +3,55 @@
 //! Usage: `cargo run -p mega-analysis --bin mega-lint -- --workspace`
 //!
 //! Scans every Rust source in the workspace against the rule catalog in
-//! `mega_analysis::Rule`, prints findings as `file:line: [rule] message`,
-//! and exits non-zero when anything fires — which is how CI turns the
-//! project invariants into a merge gate.
+//! `mega_analysis::Rule` — token rules plus the call-graph rules
+//! (determinism-taint, unsafe-reach, panic-surface, span-coverage,
+//! stale-pragma) — prints findings as `file:line: [rule] message`, applies
+//! the checked-in ratchet baselines, and exits non-zero when anything
+//! gates — which is how CI turns the project invariants into a merge gate.
 
+use mega_analysis::{audit, render_json, Analysis};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mega-lint --workspace [--root <dir>]
+const USAGE: &str =
+    "usage: mega-lint --workspace [--root <dir>] [--format text|json] [--update-audits]
 
 Lints every Rust source in the workspace against the MEGA invariant rules
-(bit-exactness, unsafe hygiene, obs routing, determinism). Exits 1 when
-any finding survives suppression pragmas, 2 on usage errors.
+(bit-exactness, unsafe hygiene, obs routing, determinism taint, unsafe/panic
+reachability, span coverage). Exits 1 when any finding survives suppression
+pragmas and the ratchet baselines, 2 on usage errors.
 
-  --workspace     lint the enclosing cargo workspace (required)
-  --root <dir>    use <dir> as the workspace root instead of discovering
-                  it from the current directory
+  --workspace       lint the enclosing cargo workspace (required)
+  --root <dir>      use <dir> as the workspace root instead of discovering
+                    it from the current directory
+  --format <fmt>    output format: text (default) or json (full analysis,
+                    including ratchet-tolerated findings)
+  --update-audits   rewrite crates/analysis/audit/unsafe_reach.txt from the
+                    computed reach set and refresh ratchet counts downward;
+                    review the diff before committing
 ";
 
 fn main() -> ExitCode {
     let mut workspace = false;
+    let mut json = false;
+    let mut update = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--update-audits" => update = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage_error("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => return usage_error("--format needs text or json"),
             },
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -57,26 +78,101 @@ fn main() -> ExitCode {
         }
     };
 
-    match mega_analysis::lint_workspace(&root) {
-        Ok((files, findings)) if findings.is_empty() => {
-            println!("mega-lint: clean — {files} files checked");
-            ExitCode::SUCCESS
-        }
-        Ok((files, findings)) => {
-            for finding in &findings {
-                println!("{finding}");
-            }
-            println!(
-                "mega-lint: {} finding(s) in {files} files checked",
-                findings.len()
-            );
-            ExitCode::from(1)
-        }
+    let analysis = match mega_analysis::analyze_workspace(&root) {
+        Ok(a) => a,
         Err(err) => {
             eprintln!("mega-lint: failed to scan {}: {err}", root.display());
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        if let Err(err) = write_audits(&root, &analysis) {
+            eprintln!("mega-lint: failed to update audit files: {err}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "mega-lint: wrote {} entries to {} and refreshed {}",
+            analysis.unsafe_reach.len(),
+            audit::UNSAFE_AUDIT,
+            audit::RATCHET_FILE,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", render_json(&analysis));
+        return if analysis.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    let gate = analysis.gate();
+    for r in &analysis.ratchet {
+        if r.count < r.baseline {
+            println!(
+                "mega-lint: note: `{}` is at {} findings, below its baseline of {} — \
+                 tighten {} to lock the progress in",
+                r.rule.id(),
+                r.count,
+                r.baseline,
+                audit::RATCHET_FILE,
+            );
         }
     }
+    if gate.is_empty() {
+        println!("mega-lint: clean — {} files checked", analysis.files);
+        ExitCode::SUCCESS
+    } else {
+        for finding in &gate {
+            println!("{finding}");
+        }
+        println!(
+            "mega-lint: {} finding(s) in {} files checked",
+            gate.len(),
+            analysis.files
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Rewrites the unsafe-reach inventory from the computed set and lowers
+/// any ratchet baseline that the current count has dropped below. Baselines
+/// are never raised here: adding headroom is a reviewed, manual edit.
+fn write_audits(root: &std::path::Path, a: &Analysis) -> std::io::Result<()> {
+    let unsafe_path = root.join(audit::UNSAFE_AUDIT);
+    if let Some(dir) = unsafe_path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut inventory = String::from(
+        "# Public fns that transitively reach an `unsafe` block (static call\n\
+         # edges). Exact inventory: additions AND stale entries fail mega-lint.\n\
+         # Regenerate with `mega-lint --workspace --update-audits` and review.\n",
+    );
+    for entry in &a.unsafe_reach {
+        inventory.push_str(entry);
+        inventory.push('\n');
+    }
+    std::fs::write(&unsafe_path, inventory)?;
+    let ratchet_path = root.join(audit::RATCHET_FILE);
+    if ratchet_path.exists() {
+        let old = std::fs::read_to_string(&ratchet_path)?;
+        let mut out = String::new();
+        for line in old.lines() {
+            let trimmed = line.trim();
+            let rewritten = trimmed.split_once(char::is_whitespace).and_then(|(id, _)| {
+                let rule = mega_analysis::Rule::from_id(id.trim())?;
+                let status = a.ratchet.iter().find(|r| r.rule == rule)?;
+                (status.count < status.baseline).then(|| format!("{} {}", rule.id(), status.count))
+            });
+            out.push_str(&rewritten.unwrap_or_else(|| line.to_string()));
+            out.push('\n');
+        }
+        std::fs::write(&ratchet_path, out)?;
+    }
+    Ok(())
 }
 
 fn usage_error(why: &str) -> ExitCode {

@@ -38,7 +38,7 @@ const CLOCK_READS: [&str; 2] = ["Instant::now", "SystemTime::now"];
 /// `src/` trees whose collections can reach numeric results or emitted
 /// orderings, where seed-dependent `HashMap`/`HashSet` iteration would
 /// break run-to-run determinism.
-const ORDER_SENSITIVE: [&str; 11] = [
+pub(crate) const ORDER_SENSITIVE: [&str; 11] = [
     "src/",
     "crates/graph/src/",
     "crates/core/src/",

@@ -23,6 +23,11 @@ pub struct Line {
     /// Concatenated text of every comment on the line — line comments, doc
     /// comments, and block-comment content — without the delimiters.
     pub comment: String,
+    /// True when a doc comment (`///`, `//!`, `/** */`, `/*! */`)
+    /// contributed to `comment`. Doc prose *describes* markers like
+    /// suppression pragmas without issuing them, so pragma collection
+    /// skips doc text.
+    pub doc: bool,
 }
 
 impl Line {
@@ -34,8 +39,9 @@ impl Line {
 
 enum State {
     Code,
-    /// Inside block comments, nested to the given depth.
-    Block(u32),
+    /// Inside block comments, nested to the given depth; the flag records
+    /// whether the outermost block opened as a doc comment.
+    Block(u32, bool),
     /// Inside a regular (escape-processing) string or byte-string literal.
     Str,
     /// Inside a raw string literal closed by `"` followed by this many `#`.
@@ -52,19 +58,20 @@ pub fn strip(source: &str) -> Vec<Line> {
         let mut i = 0;
         while i < chars.len() {
             match state {
-                State::Block(depth) => {
+                State::Block(depth, is_doc) => {
                     if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = State::Block(depth + 1);
+                        state = State::Block(depth + 1, is_doc);
                         i += 2;
                     } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
                         state = if depth == 1 {
                             State::Code
                         } else {
-                            State::Block(depth - 1)
+                            State::Block(depth - 1, is_doc)
                         };
                         i += 2;
                     } else {
                         line.comment.push(chars[i]);
+                        line.doc |= is_doc;
                         i += 1;
                     }
                 }
@@ -97,10 +104,15 @@ pub fn strip(source: &str) -> Vec<Line> {
                         while j < chars.len() && (chars[j] == '/' || chars[j] == '!') {
                             j += 1;
                         }
+                        line.doc |= j > i + 2;
                         line.comment.extend(&chars[j..]);
                         i = chars.len();
                     } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = State::Block(1);
+                        let is_doc = matches!(chars.get(i + 2), Some(&'!'))
+                            || (matches!(chars.get(i + 2), Some(&'*'))
+                                && chars.get(i + 3) != Some(&'/'));
+                        line.doc |= is_doc;
+                        state = State::Block(1, is_doc);
                         i += 2;
                     } else if c == '"' {
                         line.code.push('"');
@@ -224,6 +236,17 @@ mod tests {
         let lines = strip("let x = \"mul_add inside a string\";");
         assert_eq!(lines[0].code, "let x = \"\";");
         assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let lines = strip(
+            "//! inner doc\n/// outer doc\n// plain\ncode();\n/*! block doc\nstill doc */\n/* plain block */",
+        );
+        assert!(lines[0].doc && lines[1].doc);
+        assert!(!lines[2].doc && !lines[3].doc);
+        assert!(lines[4].doc && lines[5].doc);
+        assert!(!lines[6].doc);
     }
 
     #[test]

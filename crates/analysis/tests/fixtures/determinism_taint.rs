@@ -1,0 +1,13 @@
+// `determinism-taint` fixture: sources inside result-affecting code.
+pub fn width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub fn plan(n: usize) -> usize {
+    n / width()
+}
+
+fn quiet_clock() -> u64 {
+    // mega-lint: allow(determinism-taint, reason = "diagnostic only; value never reaches results")
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,22 @@
+// `span-coverage` fixture: opener, runs-under, calls-opener, uncovered.
+pub fn opener(n: usize) -> usize {
+    let _g = mega_obs::span("opener");
+    inner(n)
+}
+
+pub fn inner(n: usize) -> usize {
+    n + 1
+}
+
+pub fn wrapper(n: usize) -> usize {
+    opener(n)
+}
+
+pub fn uncovered(n: usize) -> usize {
+    n * 2
+}
+
+// mega-lint: allow(span-coverage, reason = "O(1) accessor; nothing to attribute")
+pub fn tiny() -> usize {
+    0
+}

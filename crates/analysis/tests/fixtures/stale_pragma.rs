@@ -1,0 +1,7 @@
+// `stale-pragma` fixture: one pragma earns its keep, one is stale.
+use std::collections::HashMap; // mega-lint: allow(unordered-collection, reason = "re-export for callers that key by id")
+
+// mega-lint: allow(no-fma, reason = "there is no fma here any more")
+pub fn plain(x: f32) -> f32 {
+    x + 1.0
+}

@@ -1,0 +1,13 @@
+// `unsafe-reach` fixture: a pub entry reaching unsafe through a helper.
+pub fn entry(p: *const f32) -> f32 {
+    helper(p)
+}
+
+fn helper(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn safe_path(x: f32) -> f32 {
+    x + 1.0
+}

@@ -74,6 +74,7 @@ impl SegmentPlan {
     }
 
     /// [`SegmentPlan::build`] for a preprocessed schedule's band.
+    // mega-lint: allow(span-coverage, reason = "plan construction, not kernel work; runs before any step loop")
     pub fn for_schedule(schedule: &AttentionSchedule, workers: usize) -> Self {
         let band = schedule.band();
         SegmentPlan::build(band.len(), band.window(), workers)
@@ -83,6 +84,7 @@ impl SegmentPlan {
     /// harness's entry point for proving that corrupt segment ownership
     /// panics instead of racing. Not validated.
     #[doc(hidden)]
+    // mega-lint: allow(span-coverage, reason = "race-check harness constructor; never on a measured path")
     pub fn from_raw_parts(len: usize, window: usize, chunks: Vec<Chunk>) -> Self {
         let requested = chunks.len().max(1);
         SegmentPlan {
@@ -93,11 +95,13 @@ impl SegmentPlan {
 
     /// The effective worker count: the number of segments after clamping
     /// (≤ the requested count).
+    // mega-lint: allow(span-coverage, reason = "O(1) plan accessor; nothing to attribute")
     pub fn workers(&self) -> usize {
         self.plan.chunks().len()
     }
 
     /// The worker count originally requested, before clamping.
+    // mega-lint: allow(span-coverage, reason = "O(1) plan accessor; nothing to attribute")
     pub fn requested(&self) -> usize {
         self.requested
     }
@@ -108,11 +112,13 @@ impl SegmentPlan {
     }
 
     /// Path length.
+    // mega-lint: allow(span-coverage, reason = "O(1) plan accessor; nothing to attribute")
     pub fn len(&self) -> usize {
         self.plan.len()
     }
 
     /// Whether the path is empty.
+    // mega-lint: allow(span-coverage, reason = "O(1) plan accessor; nothing to attribute")
     pub fn is_empty(&self) -> bool {
         self.plan.len() == 0
     }
@@ -124,6 +130,7 @@ impl SegmentPlan {
 
     /// Segment id per path position — must equal
     /// [`crate::path_segments`]'s assignment (proven by proptest).
+    // mega-lint: allow(span-coverage, reason = "test/proptest oracle over the plan, not step-loop work")
     pub fn assignment(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.len());
         for (seg, chunk) in self.segments().iter().enumerate() {
@@ -221,6 +228,7 @@ impl ThreadExecutor {
     /// # Panics
     ///
     /// Panics if `workers == 0`.
+    // mega-lint: allow(span-coverage, reason = "executor constructor; spans open in run_with_plan")
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
         ThreadExecutor {
@@ -232,6 +240,7 @@ impl ThreadExecutor {
     /// An executor pinned to an explicit segment plan — the race-check
     /// harness's entry point (corrupt plans must panic under
     /// `--features race-check`, not race).
+    // mega-lint: allow(span-coverage, reason = "race-check harness constructor; spans open in run_with_plan")
     pub fn with_plan(plan: SegmentPlan) -> Self {
         ThreadExecutor {
             workers: plan.workers().max(1),
@@ -251,6 +260,7 @@ impl ThreadExecutor {
 }
 
 impl DistExecutor for ThreadExecutor {
+    // mega-lint: allow(span-coverage, reason = "O(1) accessor on the executor trait; nothing to attribute")
     fn workers(&self) -> usize {
         self.workers
     }
@@ -266,6 +276,7 @@ impl DistExecutor for ThreadExecutor {
 /// bit-for-bit.
 pub fn run_serial(job: &BandJob<'_>) -> BandRun {
     assert_eq!(job.x0.len(), job.band.len() * job.dim, "x0 must be L x dim");
+    let _span = mega_obs::span("dist_serial");
     let mut x = job.x0.to_vec();
     let mut dw = vec![0.0f32; job.edge_count];
     for _ in 0..job.steps {
